@@ -1,0 +1,19 @@
+"""Make ``benchmarks/common.py`` importable when pytest runs this dir."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Render RESULTS.md from whatever result CSVs exist after a run."""
+    del session, exitstatus
+    try:
+        from repro.eval.analysis import build_report
+
+        results = Path(__file__).parent / "results"
+        if results.exists():
+            build_report(results, Path(__file__).parent.parent / "RESULTS.md")
+    except Exception:
+        pass  # reporting must never fail the benchmark run

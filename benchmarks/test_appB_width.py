@@ -1,0 +1,68 @@
+"""Appendix B: global vs multi-dimensional histogram bucket widths.
+
+Paper: a global equi-width histogram has per-dimension bucket width
+``1/2**tau`` independent of d, while any multi-dimensional partition with
+>= 2 points per bucket has average width >= ``(2/n)**(1/d)`` — near the
+whole domain in high dimensions.  Worked example (n=1e6, d=100, tau=8):
+0.0039 vs >= 0.877.  We print the analytic bounds plus the width actually
+measured on an R-tree bucket encoder over simulated data.
+"""
+
+import numpy as np
+
+from common import emit, get_dataset
+from repro.core.multidim import (
+    RTreeBucketEncoder,
+    global_width_bound,
+    multidim_width_bound,
+)
+
+TAU = 8
+
+
+def run_experiment():
+    rows = [
+        [
+            "paper example (n=1e6, d=100)",
+            round(global_width_bound(TAU), 4),
+            round(multidim_width_bound(1_000_000, 100), 4),
+            "",
+        ]
+    ]
+    measured = {}
+    for name in ("nus-wide-sim", "sogou-sim"):
+        dataset = get_dataset(name)
+        span = dataset.domain.span
+        encoder = RTreeBucketEncoder(dataset.points, TAU)
+        w_measured = encoder.average_bucket_width() / span
+        w_analytic = multidim_width_bound(dataset.num_points, dataset.dim)
+        rows.append(
+            [
+                f"{name} (n={dataset.num_points}, d={dataset.dim})",
+                round(global_width_bound(TAU), 4),
+                round(w_analytic, 4),
+                round(w_measured, 4),
+            ]
+        )
+        measured[name] = (w_measured, w_analytic)
+    return rows, measured
+
+
+def test_appB_width(benchmark):
+    rows, measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "appB_width",
+        "Appendix B — normalized per-dimension bucket widths at tau=8",
+        ["setting", "w_global", "w_multidim (bound)", "w_multidim (measured)"],
+        rows,
+    )
+    for name, (w_measured, w_analytic) in measured.items():
+        # The measured R-tree width towers over the global histogram's
+        # width; it can undershoot the *uniform-data* analytic bound on
+        # clustered data (points concentrate), but stays in its regime.
+        assert w_measured > 10 * global_width_bound(TAU), name
+        assert w_measured > 0.15 * w_analytic, name
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

@@ -1,0 +1,49 @@
+"""Figure 1: candidate generation vs refinement time of C2LSH (no cache).
+
+Paper: on NUS-WIDE / IMGNET / SOGOU the candidate-refinement phase
+dominates the wall-clock response time (the motivation for caching).
+Expected shape: refinement >= ~70% of the response time on every dataset.
+"""
+
+from common import DEFAULT_K, emit, get_context, get_dataset
+from repro.eval.runner import Experiment
+
+DATASETS = ("nus-wide-sim", "imgnet-sim", "sogou-sim")
+
+
+def run_experiment():
+    rows = []
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        context = get_context(name)
+        result = Experiment(dataset, method="NO-CACHE", k=DEFAULT_K).run(
+            context=context
+        )
+        total = result.response_time_s
+        rows.append(
+            [
+                name,
+                round(result.gen_time_s, 4),
+                round(result.refine_time_s, 4),
+                round(total, 4),
+                round(result.refine_time_s / total, 3) if total else 0.0,
+            ]
+        )
+    return rows
+
+
+def test_fig01_motivation(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "fig01_motivation",
+        "Figure 1 — C2LSH response time split (modeled seconds, no cache)",
+        ["dataset", "t_generate", "t_refine", "t_total", "refine_share"],
+        rows,
+    )
+    for row in rows:
+        assert row[4] > 0.5, f"refinement should dominate on {row[0]}"
+
+
+if __name__ == "__main__":
+    for line in run_experiment():
+        print(line)

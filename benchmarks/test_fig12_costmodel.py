@@ -1,0 +1,75 @@
+"""Figure 12: estimated vs measured query I/O of HC-W as a function of tau.
+
+Paper: the Section-4 cost model tracks the measured I/O curve closely on
+all three datasets, and the model's chosen default tau lands near the
+measured optimum.  Expected shape: estimate within a small factor of the
+measurement across the tau sweep; argmin(estimated) close to
+argmin(measured).
+"""
+
+import numpy as np
+
+from common import (
+    DEFAULT_K,
+    cache_bytes_for,
+    emit,
+    get_context,
+    get_dataset,
+)
+from repro.core.cost_model import optimal_tau
+from repro.eval.runner import Experiment
+
+DATASETS = ("nus-wide-sim", "imgnet-sim", "sogou-sim")
+TAUS = tuple(range(4, 13))
+
+
+def run_experiment():
+    rows = []
+    chosen = {}
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        context = get_context(name)
+        model = context.cost_model()
+        cache_bytes = cache_bytes_for(dataset)
+        measured = {}
+        for tau in TAUS:
+            result = Experiment(
+                dataset,
+                method="HC-W",
+                tau=tau,
+                cache_bytes=cache_bytes,
+                k=DEFAULT_K,
+            ).run(context=context)
+            estimated = model.estimate_io_equiwidth(cache_bytes, tau)
+            measured[tau] = result.avg_refine_io
+            rows.append(
+                [name, tau, round(estimated, 1), round(result.avg_refine_io, 1)]
+            )
+        best_measured = min(measured, key=measured.get)
+        best_estimated = optimal_tau(model, cache_bytes, tau_range=(TAUS[0], TAUS[-1]))
+        chosen[name] = (best_estimated, best_measured, measured)
+    return rows, chosen
+
+
+def test_fig12_costmodel(benchmark):
+    rows, chosen = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "fig12_costmodel",
+        "Figure 12 — estimated vs measured HC-W refine I/O per tau",
+        ["dataset", "tau", "estimated_io", "measured_io"],
+        rows,
+    )
+    for name, (tau_est, tau_meas, measured) in chosen.items():
+        # The model's tau should achieve I/O within 2x of the sweep optimum.
+        io_at_est = measured[tau_est]
+        io_best = measured[tau_meas]
+        assert io_at_est <= 2.0 * io_best + 2.0, (
+            f"{name}: model tau={tau_est} measured-best tau={tau_meas}"
+        )
+    # Estimates track measurements within an order of magnitude everywhere.
+    for _, _, est, meas in rows:
+        assert est <= 20 * max(meas, 0.5) and meas <= 20 * max(est, 0.5)
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

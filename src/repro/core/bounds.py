@@ -1,0 +1,68 @@
+"""Lower/upper distance bounds from approximate points (paper Section 3.2).
+
+An approximate point decodes to a bounding rectangle ``[lo, hi]`` per
+dimension.  For a query ``q``:
+
+* ``dist-``: per dimension, 0 if ``q`` falls inside the interval, else the
+  distance to the nearer edge (the paper's ``dist^-_q``);
+* ``dist+``: per dimension, the distance to the farther edge
+  (the paper's ``dist^+_q``).
+
+Both are valid Euclidean bounds: ``dist- <= dist(q, p) <= dist+`` for any
+point ``p`` inside the rectangle.  The error vector of Def. 10 is the
+vector of interval widths; Lemma 1 guarantees
+``dist+ - dist <= ||error||``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rectangle_bounds(
+    query: np.ndarray, lowers: np.ndarray, uppers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lower and upper Euclidean distance bounds to rectangles.
+
+    Args:
+        query: ``(d,)`` query point.
+        lowers: ``(m, d)`` rectangle lower corners.
+        uppers: ``(m, d)`` rectangle upper corners.
+
+    Returns:
+        ``(lb, ub)`` arrays of shape ``(m,)``.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    lowers = np.atleast_2d(np.asarray(lowers, dtype=np.float64))
+    uppers = np.atleast_2d(np.asarray(uppers, dtype=np.float64))
+    if lowers.shape != uppers.shape or lowers.shape[-1] != query.shape[-1]:
+        raise ValueError("query, lowers and uppers must agree on dimension")
+    below = np.maximum(lowers - query, 0.0)
+    above = np.maximum(query - uppers, 0.0)
+    lb = np.sqrt(np.sum((below + above) ** 2, axis=-1))
+    far = np.maximum(np.abs(query - lowers), np.abs(query - uppers))
+    ub = np.sqrt(np.sum(far**2, axis=-1))
+    return lb, ub
+
+
+def error_vector_norms(lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
+    """``||eps(c)||`` per rectangle (Def. 10): norm of interval widths."""
+    widths = np.atleast_2d(np.asarray(uppers) - np.asarray(lowers))
+    return np.sqrt(np.sum(widths.astype(np.float64) ** 2, axis=-1))
+
+
+def exact_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``query`` to each row of ``points``."""
+    query = np.asarray(query, dtype=np.float64)
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    return np.sqrt(np.sum((points - query) ** 2, axis=-1))
+
+
+def kth_smallest(values: np.ndarray, k: int) -> float:
+    """The k-th smallest entry (1-based); +inf when fewer than k values."""
+    values = np.asarray(values, dtype=np.float64)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if values.size < k:
+        return float("inf")
+    return float(np.partition(values, k - 1)[k - 1])

@@ -1,0 +1,350 @@
+"""Histogram construction methods (paper Sections 3.3 and 3.5).
+
+Four constructors, matching the paper's method lineup:
+
+* ``build_equiwidth``   — HC-W: equal-width buckets over the value span;
+* ``build_equidepth``   — HC-D: equal cumulative data frequency (also the
+  encoding scheme of the VA-file, per the paper's Section 5.1 note);
+* ``build_voptimal``    — HC-V: classical V-optimal (min-SSE) dynamic
+  program of Jagadish et al.;
+* ``build_knn_optimal`` — HC-O: the paper's Algorithm 2, minimizing the
+  kNN metric M3 = sum_i F'(bucket_i) * width_i^2 by dynamic programming.
+
+Both DPs share a vectorized interval-partition engine; a faithful scalar
+transcription of the paper's Algorithm 2 (with the Lemma-3 monotonicity
+break) is kept as ``build_knn_optimal_reference`` and cross-checked by the
+test suite, together with an exhaustive brute force for tiny domains.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.domain import ValueDomain
+from repro.core.histogram import Histogram
+
+#: Domains larger than this are coarsened to this many candidate split
+#: positions before the quadratic DPs run (see _group_positions).
+DEFAULT_MAX_POSITIONS = 1024
+
+
+# ----------------------------------------------------------------------
+# Heuristic histograms
+# ----------------------------------------------------------------------
+def build_equiwidth(domain: ValueDomain, n_buckets: int) -> Histogram:
+    """HC-W: ``n_buckets`` equal-width buckets spanning the value range."""
+    _check_buckets(n_buckets)
+    lo, hi = float(domain.values[0]), float(domain.values[-1])
+    if lo == hi:
+        return Histogram(np.array([lo]), np.array([hi]), domain.counts.sum(keepdims=True))
+    edges = np.linspace(lo, hi, n_buckets + 1)
+    hist = Histogram(lowers=edges[:-1], uppers=edges[1:])
+    # Attach data frequencies for diagnostics.
+    codes = hist.lookup(domain.values)
+    freqs = np.bincount(codes, weights=domain.counts, minlength=n_buckets)
+    return Histogram(hist.lowers, hist.uppers, freqs.astype(np.int64))
+
+
+def build_equidepth(domain: ValueDomain, n_buckets: int) -> Histogram:
+    """HC-D: buckets of (approximately) equal total data frequency."""
+    _check_buckets(n_buckets)
+    if n_buckets >= domain.size:
+        return Histogram.identity(domain)
+    csum = np.cumsum(domain.counts)
+    total = csum[-1]
+    targets = total * np.arange(1, n_buckets, dtype=np.float64) / n_buckets
+    # Position where each quantile boundary lands; next bucket starts after.
+    cut_positions = np.searchsorted(csum, targets, side="left")
+    starts = np.unique(np.concatenate([[0], cut_positions + 1]))
+    starts = starts[starts < domain.size]
+    return Histogram.from_splits(domain, starts)
+
+
+# ----------------------------------------------------------------------
+# Shared DP engine
+# ----------------------------------------------------------------------
+def _check_buckets(n_buckets: int) -> None:
+    if n_buckets <= 0:
+        raise ValueError(f"n_buckets must be positive, got {n_buckets}")
+
+
+def _group_positions(
+    size: int, weight: np.ndarray, max_positions: int
+) -> np.ndarray:
+    """Pick candidate split positions when the domain is too large for DP.
+
+    Groups the ``size`` domain positions into at most ``max_positions``
+    contiguous runs of (approximately) equal cumulative ``weight``; the DP
+    then only considers splits at run starts.  Exact when
+    ``size <= max_positions``.
+    """
+    if size <= max_positions:
+        return np.arange(size, dtype=np.int64)
+    weight = np.asarray(weight, dtype=np.float64)
+    # Blend in a uniform floor so zero-weight stretches still get coverage.
+    floor = max(weight.sum(), 1.0) / size * 0.25
+    blended = np.cumsum(weight + floor)
+    targets = blended[-1] * np.arange(1, max_positions) / max_positions
+    cuts = np.searchsorted(blended, targets, side="left") + 1
+    starts = np.unique(np.concatenate([[0], cuts]))
+    return starts[starts < size].astype(np.int64)
+
+
+def _interval_partition_dp(
+    cost: np.ndarray, n_buckets: int
+) -> tuple[np.ndarray, float]:
+    """Minimize the total cost of partitioning positions 0..m-1.
+
+    Args:
+        cost: ``(m, m)`` matrix; ``cost[s, e]`` is the cost of a bucket
+            covering positions ``s..e`` (entries with s > e are ignored).
+        n_buckets: at most this many buckets.
+
+    Returns:
+        (starts, optimum): split start positions (ascending, starting at 0)
+        and the optimal total cost.
+    """
+    m = cost.shape[0]
+    if cost.shape != (m, m):
+        raise ValueError("cost must be square")
+    n_buckets = min(n_buckets, m)
+    masked = cost.copy()
+    s_idx, e_idx = np.tril_indices(m, k=-1)
+    masked[s_idx, e_idx] = np.inf  # forbid s > e
+    opt = np.empty((n_buckets, m), dtype=np.float64)
+    arg = np.zeros((n_buckets, m), dtype=np.int64)
+    opt[0] = masked[0]
+    for b in range(1, n_buckets):
+        prev = opt[b - 1]
+        if prev[m - 1] <= 0.0:
+            # Already perfect; more buckets cannot help.
+            opt[b:] = prev
+            n_buckets = b
+            break
+        # candidate[s, e] = prev[s-1] + cost of bucket [s..e], s >= 1
+        shifted = np.concatenate([[np.inf], prev[:-1]])
+        candidate = shifted[:, None] + masked
+        best_s = np.argmin(candidate, axis=0)
+        best_val = candidate[best_s, np.arange(m)]
+        take_new = best_val < prev
+        opt[b] = np.where(take_new, best_val, prev)
+        arg[b] = np.where(take_new, best_s, -1)  # -1 = inherited from b-1
+    # Backtrack.
+    starts: list[int] = []
+    e = m - 1
+    b = n_buckets - 1
+    while e >= 0:
+        while b > 0 and arg[b, e] == -1:
+            b -= 1
+        if b == 0:
+            starts.append(0)
+            break
+        s = int(arg[b, e])
+        starts.append(s)
+        e = s - 1
+        b -= 1
+    starts.reverse()
+    return np.asarray(starts, dtype=np.int64), float(opt[n_buckets - 1, m - 1])
+
+
+def _dp_over_groups(
+    domain: ValueDomain,
+    bucket_cost: "callable",
+    n_buckets: int,
+    max_positions: int,
+    weight_for_grouping: np.ndarray,
+) -> Histogram:
+    """Run an interval DP over (possibly coarsened) candidate positions."""
+    group_starts = _group_positions(domain.size, weight_for_grouping, max_positions)
+    g = len(group_starts)
+    group_ends = np.append(group_starts[1:] - 1, domain.size - 1)
+    cost = bucket_cost(group_starts, group_ends)
+    starts_g, _ = _interval_partition_dp(cost, min(n_buckets, g))
+    starts = group_starts[starts_g]
+    return Histogram.from_splits(domain, starts)
+
+
+# ----------------------------------------------------------------------
+# V-optimal (HC-V)
+# ----------------------------------------------------------------------
+def build_voptimal(
+    domain: ValueDomain,
+    n_buckets: int,
+    max_positions: int = DEFAULT_MAX_POSITIONS,
+) -> Histogram:
+    """HC-V: minimize the SSE of data frequencies within buckets."""
+    _check_buckets(n_buckets)
+    if n_buckets >= domain.size:
+        return Histogram.identity(domain)
+    counts = domain.counts.astype(np.float64)
+    csum = np.concatenate([[0.0], np.cumsum(counts)])
+    csum2 = np.concatenate([[0.0], np.cumsum(counts**2)])
+
+    def bucket_cost(g_starts: np.ndarray, g_ends: np.ndarray) -> np.ndarray:
+        # Bucket from group s to group e covers positions
+        # g_starts[s] .. g_ends[e]; SSE = sum(F^2) - sum(F)^2 / count.
+        sums = csum[g_ends[None, :] + 1] - csum[g_starts[:, None]]
+        sq = csum2[g_ends[None, :] + 1] - csum2[g_starts[:, None]]
+        n_vals = (
+            g_ends[None, :] - g_starts[:, None] + 1
+        ).astype(np.float64)
+        n_vals = np.maximum(n_vals, 1.0)
+        return sq - sums**2 / n_vals
+
+    return _dp_over_groups(domain, bucket_cost, n_buckets, max_positions, counts)
+
+
+# ----------------------------------------------------------------------
+# Optimal kNN histogram (HC-O) — paper Algorithm 2
+# ----------------------------------------------------------------------
+def build_knn_optimal(
+    domain: ValueDomain,
+    fprime: np.ndarray,
+    n_buckets: int,
+    max_positions: int = DEFAULT_MAX_POSITIONS,
+) -> Histogram:
+    """HC-O: minimize Metric M3 by the vectorized Algorithm-2 DP.
+
+    Args:
+        domain: distinct-value domain the histogram must cover.
+        fprime: ``(domain.size,)`` workload frequency array ``F'``.
+        n_buckets: ``B = 2**tau``.
+        max_positions: DP coarsening threshold; the DP is exact whenever the
+            domain has at most this many distinct values.
+    """
+    _check_buckets(n_buckets)
+    fprime = np.asarray(fprime, dtype=np.float64)
+    if fprime.shape != (domain.size,):
+        raise ValueError("fprime must align with the domain")
+    if np.any(fprime < 0):
+        raise ValueError("fprime must be non-negative")
+    if n_buckets >= domain.size:
+        return Histogram.identity(domain)
+    pref = np.concatenate([[0.0], np.cumsum(fprime)])
+    values = domain.values
+
+    def bucket_cost(g_starts: np.ndarray, g_ends: np.ndarray) -> np.ndarray:
+        # Upsilon([l, u]) = F'-mass inside * (u - l)^2 (Eqn. 4).
+        mass = pref[g_ends[None, :] + 1] - pref[g_starts[:, None]]
+        width = values[g_ends[None, :]] - values[g_starts[:, None]]
+        return mass * width * width
+
+    return _dp_over_groups(domain, bucket_cost, n_buckets, max_positions, fprime)
+
+
+def build_knn_optimal_reference(
+    domain: ValueDomain, fprime: np.ndarray, n_buckets: int
+) -> Histogram:
+    """Scalar transcription of the paper's Algorithm 2 (with Lemma 3 break).
+
+    Quadratic in the domain size; intended for tests and small domains.
+    """
+    _check_buckets(n_buckets)
+    fprime = np.asarray(fprime, dtype=np.float64)
+    m = domain.size
+    if n_buckets >= m:
+        return Histogram.identity(domain)
+    values = domain.values
+    pref = np.concatenate([[0.0], np.cumsum(fprime)])
+
+    def ups(s: int, e: int) -> float:
+        return (pref[e + 1] - pref[s]) * (values[e] - values[s]) ** 2
+
+    inf = np.inf
+    opt = np.full((n_buckets, m), inf)
+    pos = np.full((n_buckets, m), -1, dtype=np.int64)
+    for e in range(m):
+        opt[0, e] = ups(0, e)
+    for b in range(1, n_buckets):
+        for e in range(m):
+            best = opt[b - 1, e]  # "at most b+1 buckets" inherits b-level
+            best_s = -1
+            # Paper Algorithm 2 line 10: t from n-1 down to 1, i.e. the last
+            # bucket [t+1 .. n]; here s = t+1 runs from e down to 1.
+            for s in range(e, 0, -1):
+                tail = ups(s, e)
+                if tail >= best:
+                    break  # Lemma 3: tail only grows as s decreases
+                cand = opt[b - 1, s - 1] + tail
+                if cand < best:
+                    best = cand
+                    best_s = s
+            opt[b, e] = best
+            pos[b, e] = best_s
+    starts: list[int] = []
+    e = m - 1
+    b = n_buckets - 1
+    while e >= 0:
+        while b > 0 and pos[b, e] == -1:
+            b -= 1
+        if b == 0:
+            starts.append(0)
+            break
+        s = int(pos[b, e])
+        starts.append(s)
+        e = s - 1
+        b -= 1
+    starts.reverse()
+    return Histogram.from_splits(domain, np.asarray(starts, dtype=np.int64))
+
+
+def knn_optimal_bruteforce(
+    domain: ValueDomain, fprime: np.ndarray, n_buckets: int
+) -> tuple[Histogram, float]:
+    """Exhaustive search over all split combinations (tiny domains only)."""
+    fprime = np.asarray(fprime, dtype=np.float64)
+    m = domain.size
+    if m > 14:
+        raise ValueError("brute force limited to domains of <= 14 values")
+    values = domain.values
+    pref = np.concatenate([[0.0], np.cumsum(fprime)])
+
+    def total(starts: tuple[int, ...]) -> float:
+        bounds = list(starts) + [m]
+        cost = 0.0
+        for s, nxt in zip(bounds[:-1], bounds[1:]):
+            e = nxt - 1
+            cost += (pref[e + 1] - pref[s]) * (values[e] - values[s]) ** 2
+        return cost
+
+    best_starts: tuple[int, ...] = (0,)
+    best_cost = total((0,))
+    max_cuts = min(n_buckets - 1, m - 1)
+    for n_cuts in range(1, max_cuts + 1):
+        for cuts in itertools.combinations(range(1, m), n_cuts):
+            cand = (0,) + cuts
+            cost = total(cand)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_starts = cand
+    hist = Histogram.from_splits(domain, np.asarray(best_starts, dtype=np.int64))
+    return hist, best_cost
+
+
+# ----------------------------------------------------------------------
+# Named dispatch used by the evaluation harness
+# ----------------------------------------------------------------------
+BUILDER_NAMES = ("equiwidth", "equidepth", "voptimal", "knn-optimal")
+
+
+def build_histogram(
+    name: str,
+    domain: ValueDomain,
+    n_buckets: int,
+    fprime: np.ndarray | None = None,
+    max_positions: int = DEFAULT_MAX_POSITIONS,
+) -> Histogram:
+    """Build a histogram by method name (HC-W/D/V/O in the paper)."""
+    if name == "equiwidth":
+        return build_equiwidth(domain, n_buckets)
+    if name == "equidepth":
+        return build_equidepth(domain, n_buckets)
+    if name == "voptimal":
+        return build_voptimal(domain, n_buckets, max_positions)
+    if name == "knn-optimal":
+        if fprime is None:
+            raise ValueError("knn-optimal requires the workload F' array")
+        return build_knn_optimal(domain, fprime, n_buckets, max_positions)
+    raise ValueError(f"unknown histogram {name!r}; choices: {BUILDER_NAMES}")

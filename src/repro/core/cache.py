@@ -1,0 +1,463 @@
+"""The in-memory cache of (approximate) points (paper Sections 2-3).
+
+The cache ``Psi`` maps point identifiers to compact approximate
+representations; a lookup yields lower/upper distance bounds without any
+I/O.  Two admission policies from the paper:
+
+* **HFF** (highest-frequency-first): static; the cache is filled offline
+  with the candidates most frequently requested by the workload ``WL`` and
+  never changes at query time (the paper's default, Section 4).
+* **LRU**: dynamic; every refinement fetch is admitted, evicting the least
+  recently used entry.
+
+``ExactCache`` is the paper's EXACT baseline (full vectors, exact
+distances, few items); ``ApproximateCache`` stores bit-packed tau-bit
+codes ("exploit every bit"), holding ``Lvalue/tau`` times more items at
+the cost of interval bounds.  ``LeafNodeCache`` adapts the idea to
+tree-based indexes (Section 3.6.1), caching whole leaf nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.bitpack import BitPackedMatrix
+from repro.core.bounds import exact_distances, rectangle_bounds
+from repro.core.encoder import PointEncoder
+
+
+class CachePolicy(enum.Enum):
+    """Cache admission/eviction policy."""
+
+    HFF = "hff"
+    LRU = "lru"
+
+
+class PointCache:
+    """Interface shared by exact and approximate point caches.
+
+    Lookups are aligned with Algorithm 1's initialization: a missing
+    candidate gets ``lb = 0`` and ``ub = +inf``.
+    """
+
+    capacity_bytes: int
+
+    @property
+    def max_items(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def num_items(self) -> int:
+        raise NotImplementedError
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def lookup(
+        self, query: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bounds for candidates: ``(hit_mask, lb, ub)`` aligned with ids."""
+        raise NotImplementedError
+
+    def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
+        """Offer freshly fetched points (no-op for static policies)."""
+
+
+def _normalize_ids(ids: np.ndarray) -> np.ndarray:
+    return np.atleast_1d(np.asarray(ids, dtype=np.int64))
+
+
+class ApproximateCache(PointCache):
+    """Bit-packed cache of encoded points.
+
+    Args:
+        encoder: histogram-based point encoder defining the code geometry.
+        capacity_bytes: cache size ``CS``; item capacity is the number of
+            word-rounded packed rows that fit.
+        n_points: dataset cardinality (for the id -> slot table).
+        policy: HFF (static, default) or LRU (dynamic).
+    """
+
+    def __init__(
+        self,
+        encoder: PointEncoder,
+        capacity_bytes: int,
+        n_points: int,
+        policy: CachePolicy = CachePolicy.HFF,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if n_points <= 0:
+            raise ValueError("n_points must be positive")
+        self.encoder = encoder
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        probe = BitPackedMatrix(0, encoder.n_fields, encoder.bits)
+        self._max_items = min(capacity_bytes // probe.row_bytes, n_points)
+        self._store = BitPackedMatrix(
+            self._max_items, encoder.n_fields, encoder.bits
+        )
+        self._slot_of = np.full(n_points, -1, dtype=np.int64)
+        self._id_of_slot = np.full(self._max_items, -1, dtype=np.int64)
+        self._free: list[int] = list(range(self._max_items - 1, -1, -1))
+        self._lru: OrderedDict[int, int] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @property
+    def max_items(self) -> int:
+        return self._max_items
+
+    @property
+    def num_items(self) -> int:
+        return self._max_items - len(self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.num_items * self._store.row_bytes
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        return self._slot_of[_normalize_ids(ids)] >= 0
+
+    # ------------------------------------------------------------------
+    def _insert(self, point_id: int, codes_row: np.ndarray) -> None:
+        if self._slot_of[point_id] >= 0:
+            slot = int(self._slot_of[point_id])
+            self._store.set_rows(np.asarray([slot]), codes_row[None, :])
+        else:
+            if not self._free:
+                if self.policy is not CachePolicy.LRU:
+                    return  # static cache full
+                evict_id, evict_slot = self._lru.popitem(last=False)
+                self._slot_of[evict_id] = -1
+                self._free.append(evict_slot)
+            slot = self._free.pop()
+            self._slot_of[point_id] = slot
+            self._id_of_slot[slot] = point_id
+            self._store.set_rows(np.asarray([slot]), codes_row[None, :])
+        if self.policy is CachePolicy.LRU:
+            self._lru[point_id] = int(self._slot_of[point_id])
+            self._lru.move_to_end(point_id)
+
+    def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
+        """Bulk-load entries (in priority order); returns how many fit."""
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(ids) != len(points):
+            raise ValueError("ids and points must align")
+        take = min(len(ids), len(self._free))
+        if take == 0:
+            return 0
+        ids = ids[:take]
+        codes = self.encoder.encode(points[:take])
+        if (
+            self.policy is CachePolicy.LRU
+            or np.any(self.contains(ids))
+            or len(np.unique(ids)) != take
+        ):
+            # Slow path: LRU bookkeeping, updates, or duplicate ids.
+            for pid, row in zip(ids.tolist(), codes):
+                self._insert(pid, row)
+            return take
+        slots = np.asarray(
+            [self._free.pop() for _ in range(take)], dtype=np.int64
+        )
+        self._slot_of[ids] = slots
+        self._id_of_slot[slots] = ids
+        self._store.set_rows(slots, codes)
+        return take
+
+    def populate_hff(self, frequencies: np.ndarray, points: np.ndarray) -> int:
+        """HFF: load the most workload-frequent points first.
+
+        Args:
+            frequencies: ``(n,)`` candidate frequency of every point id
+                (``freq(p) = |{q in WL : p in C(q)}|``).
+            points: the full ``(n, d)`` dataset (indexed by id).
+        """
+        frequencies = np.asarray(frequencies)
+        order = np.argsort(-frequencies, kind="stable")
+        order = order[frequencies[order] > 0]
+        # Fill any remaining capacity with arbitrary (never-requested) points
+        # only if the workload is smaller than the cache.
+        if len(order) < self._max_items:
+            rest = np.setdiff1d(
+                np.arange(len(frequencies)), order, assume_unique=False
+            )
+            order = np.concatenate([order, rest])
+        return self.populate(order[: self._max_items], points[order[: self._max_items]])
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, query: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids = _normalize_ids(ids)
+        slots = self._slot_of[ids]
+        hits = slots >= 0
+        lb = np.zeros(len(ids), dtype=np.float64)
+        ub = np.full(len(ids), np.inf, dtype=np.float64)
+        if np.any(hits):
+            codes = self._store.get_rows(slots[hits])
+            lo, hi = self.encoder.rectangles(codes)
+            lb[hits], ub[hits] = rectangle_bounds(query, lo, hi)
+            if self.policy is CachePolicy.LRU:
+                for pid in ids[hits].tolist():
+                    self._lru.move_to_end(pid)
+        return hits, lb, ub
+
+    def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
+        if self.policy is not CachePolicy.LRU or self._max_items == 0:
+            return
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        codes = self.encoder.encode(points)
+        for pid, row in zip(ids.tolist(), codes):
+            self._insert(pid, row)
+
+
+class ExactCache(PointCache):
+    """The EXACT baseline: caches full vectors, returns exact distances.
+
+    Capacity accounting uses the on-disk record size (``dim * value_bytes``,
+    i.e. ``Lvalue`` bits per coordinate), matching the paper's comparison
+    between exact and approximate caching under one budget ``CS``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        capacity_bytes: int,
+        n_points: int,
+        value_bytes: int = 4,
+        policy: CachePolicy = CachePolicy.HFF,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.dim = dim
+        self.value_bytes = value_bytes
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self._item_bytes = dim * value_bytes
+        self._max_items = min(capacity_bytes // self._item_bytes, n_points)
+        self._data = np.zeros((self._max_items, dim), dtype=np.float64)
+        self._slot_of = np.full(n_points, -1, dtype=np.int64)
+        self._free: list[int] = list(range(self._max_items - 1, -1, -1))
+        self._lru: OrderedDict[int, int] = OrderedDict()
+
+    @property
+    def max_items(self) -> int:
+        return self._max_items
+
+    @property
+    def num_items(self) -> int:
+        return self._max_items - len(self._free)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.num_items * self._item_bytes
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        return self._slot_of[_normalize_ids(ids)] >= 0
+
+    def _insert(self, point_id: int, point: np.ndarray) -> None:
+        if self._slot_of[point_id] >= 0:
+            self._data[self._slot_of[point_id]] = point
+        else:
+            if not self._free:
+                if self.policy is not CachePolicy.LRU:
+                    return
+                evict_id, evict_slot = self._lru.popitem(last=False)
+                self._slot_of[evict_id] = -1
+                self._free.append(evict_slot)
+            slot = self._free.pop()
+            self._slot_of[point_id] = slot
+            self._data[slot] = point
+        if self.policy is CachePolicy.LRU:
+            self._lru[point_id] = int(self._slot_of[point_id])
+            self._lru.move_to_end(point_id)
+
+    def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        take = min(len(ids), len(self._free))
+        if take == 0:
+            return 0
+        ids = ids[:take]
+        if (
+            self.policy is CachePolicy.LRU
+            or np.any(self.contains(ids))
+            or len(np.unique(ids)) != take
+        ):
+            for pid, pt in zip(ids.tolist(), points[:take]):
+                self._insert(pid, pt)
+            return take
+        slots = np.asarray(
+            [self._free.pop() for _ in range(take)], dtype=np.int64
+        )
+        self._slot_of[ids] = slots
+        self._data[slots] = points[:take]
+        return take
+
+    def populate_hff(self, frequencies: np.ndarray, points: np.ndarray) -> int:
+        frequencies = np.asarray(frequencies)
+        order = np.argsort(-frequencies, kind="stable")
+        order = order[frequencies[order] > 0]
+        if len(order) < self._max_items:
+            rest = np.setdiff1d(np.arange(len(frequencies)), order)
+            order = np.concatenate([order, rest])
+        chosen = order[: self._max_items]
+        return self.populate(chosen, points[chosen])
+
+    def lookup(
+        self, query: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids = _normalize_ids(ids)
+        slots = self._slot_of[ids]
+        hits = slots >= 0
+        lb = np.zeros(len(ids), dtype=np.float64)
+        ub = np.full(len(ids), np.inf, dtype=np.float64)
+        if np.any(hits):
+            dist = exact_distances(query, self._data[slots[hits]])
+            lb[hits] = dist
+            ub[hits] = dist
+            if self.policy is CachePolicy.LRU:
+                for pid in ids[hits].tolist():
+                    self._lru.move_to_end(pid)
+        return hits, lb, ub
+
+    def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
+        if self.policy is not CachePolicy.LRU or self._max_items == 0:
+            return
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        for pid, pt in zip(ids.tolist(), points):
+            self._insert(pid, pt)
+
+
+class NoCache(PointCache):
+    """The NO-CACHE baseline: every candidate goes to refinement."""
+
+    capacity_bytes = 0
+
+    @property
+    def max_items(self) -> int:
+        return 0
+
+    @property
+    def num_items(self) -> int:
+        return 0
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        return np.zeros(len(_normalize_ids(ids)), dtype=bool)
+
+    def lookup(
+        self, query: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids = _normalize_ids(ids)
+        return (
+            np.zeros(len(ids), dtype=bool),
+            np.zeros(len(ids), dtype=np.float64),
+            np.full(len(ids), np.inf, dtype=np.float64),
+        )
+
+
+class LeafNodeCache:
+    """Tree-index adaptation (Section 3.6.1): cache items are leaf nodes.
+
+    Each entry stores the approximate representations of *all* points of a
+    leaf; tree searches consult the cache before fetching a leaf from disk.
+    Population is static by leaf access frequency under the workload.
+    """
+
+    def __init__(
+        self,
+        encoder: PointEncoder | None,
+        capacity_bytes: int,
+        exact: bool = False,
+        value_bytes: int = 4,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if encoder is None and not exact:
+            raise ValueError("approximate leaf cache needs an encoder")
+        self.encoder = encoder
+        self.capacity_bytes = capacity_bytes
+        self.exact = exact
+        self.value_bytes = value_bytes
+        self.used_bytes = 0
+        self._entries: dict[int, tuple[np.ndarray, object]] = {}
+
+    def _entry_bytes(self, n_points: int, dim: int) -> int:
+        if self.exact:
+            return n_points * dim * self.value_bytes
+        probe = BitPackedMatrix(0, self.encoder.n_fields, self.encoder.bits)
+        return n_points * probe.row_bytes
+
+    def try_add(self, leaf_id: int, point_ids: np.ndarray, points: np.ndarray) -> bool:
+        """Add a leaf if it fits; returns True when cached."""
+        point_ids = _normalize_ids(point_ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        cost = self._entry_bytes(len(points), points.shape[1])
+        if self.used_bytes + cost > self.capacity_bytes:
+            return False
+        payload: object
+        if self.exact:
+            payload = points.copy()
+        else:
+            payload = self.encoder.encode(points)
+        self._entries[leaf_id] = (point_ids.copy(), payload)
+        self.used_bytes += cost
+        return True
+
+    def populate_by_frequency(
+        self,
+        leaf_frequencies: dict[int, int],
+        leaf_contents: "callable",
+    ) -> int:
+        """Fill with leaves in descending access frequency.
+
+        Args:
+            leaf_frequencies: leaf id -> workload access count.
+            leaf_contents: callable ``leaf_id -> (point_ids, points)``.
+
+        Returns:
+            number of leaves cached.
+        """
+        added = 0
+        for leaf_id in sorted(
+            leaf_frequencies, key=lambda l: (-leaf_frequencies[l], l)
+        ):
+            ids, pts = leaf_contents(leaf_id)
+            if self.try_add(leaf_id, ids, pts):
+                added += 1
+            else:
+                break
+        return added
+
+    def __contains__(self, leaf_id: int) -> bool:
+        return leaf_id in self._entries
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, query: np.ndarray, leaf_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Bounds for every point of a cached leaf: ``(ids, lb, ub)``.
+
+        For exact leaf caches the bounds coincide with exact distances.
+        Returns None on a miss.
+        """
+        entry = self._entries.get(leaf_id)
+        if entry is None:
+            return None
+        point_ids, payload = entry
+        if self.exact:
+            dist = exact_distances(query, payload)
+            return point_ids, dist, dist.copy()
+        lo, hi = self.encoder.rectangles(payload)
+        lb, ub = rectangle_bounds(query, lo, hi)
+        return point_ids, lb, ub

@@ -1,0 +1,238 @@
+"""Cost estimation and automatic tuning of the code length (Section 4).
+
+The refinement cost is ``Crefine = (1 - rho_hit * rho_prune) * |C(q)|``
+(Eqn. 1).  The model estimates both factors from the workload:
+
+* ``rho_hit`` — under HFF, the hit ratio is the workload mass of the
+  ``Nitem`` most frequent candidates, where ``Nitem`` grows as the code
+  shrinks (Theorem 1 bounds it by ``Lvalue/tau`` times the exact cache's);
+* ``rho_prune = 1 - rho_refine`` — Theorem 2 bounds ``rho_refine`` by
+  ``||eps(b_k)|| / Dmax``; for equi-width histograms this collapses to the
+  closed form ``sqrt(d) * w / Dmax`` with bucket width ``w`` (Theorem 3).
+
+``optimal_tau`` sweeps the code length and reports the value minimizing the
+estimated I/O — the paper's Section 4.2 tuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bitpack import BitPackedMatrix
+from repro.core.bounds import error_vector_norms
+from repro.core.encoder import PointEncoder
+
+
+def packed_row_bytes(n_fields: int, bits: int) -> int:
+    """Bytes of one bit-packed cache row (word-rounded, footnote 5)."""
+    return BitPackedMatrix(0, n_fields, bits).row_bytes
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Workload-derived cost estimator for one dataset + index setup.
+
+    Attributes:
+        dim: dataset dimensionality ``d``.
+        value_span: width of the global value domain (``max V - min V``).
+        d_max: the largest candidate distance from a query (the paper's
+            ``Dmax = c * R`` from the LSH guarantee; estimated from the
+            workload when no analytic value is available).
+        candidate_frequencies: ``(n,)`` per-point candidate frequency under
+            the workload (``freq(p) = |{q in WL : p in C(q)}|``).
+        avg_candidates: mean ``|C(q)|`` over workload queries.
+        lvalue_bits: bits per coordinate in the EXACT cache (32 for the
+            paper's float values).
+        pages_per_fetch: disk pages charged per refined candidate.
+    """
+
+    dim: int
+    value_span: float
+    d_max: float
+    candidate_frequencies: np.ndarray
+    avg_candidates: float
+    lvalue_bits: int = 32
+    pages_per_fetch: float = 1.0
+    #: Optional sorted candidate-distance arrays, one per workload query.
+    #: When present they replace Theorem 2's uniform-density assumption
+    #: with the measured distance distribution (Section 4.1.1 averages
+    #: rho^q_refine over WL; the uniform g_q(x) is only needed when no
+    #: distances are available).
+    distance_profiles: tuple = ()
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.candidate_frequencies, dtype=np.float64)
+        if freqs.ndim != 1 or len(freqs) == 0:
+            raise ValueError("candidate_frequencies must be a 1-D array")
+        if self.dim <= 0 or self.d_max <= 0 or self.value_span < 0:
+            raise ValueError("dim and d_max must be positive")
+        order = np.sort(freqs)[::-1]
+        total = order.sum()
+        cum = np.cumsum(order) / total if total > 0 else np.zeros_like(order)
+        object.__setattr__(self, "candidate_frequencies", freqs)
+        object.__setattr__(self, "_cum_mass", cum)
+
+    # ------------------------------------------------------------------
+    # rho_hit (Section 4.1.2)
+    # ------------------------------------------------------------------
+    def hit_ratio(self, n_items: int) -> float:
+        """HFF hit ratio when the ``n_items`` most frequent points fit."""
+        if n_items <= 0:
+            return 0.0
+        n_items = min(n_items, len(self._cum_mass))
+        return float(self._cum_mass[n_items - 1])
+
+    def items_for(self, cache_bytes: int, bits_per_field: int, n_fields: int) -> int:
+        """Cache items that fit for a given per-point code geometry."""
+        if cache_bytes <= 0:
+            return 0
+        return cache_bytes // packed_row_bytes(n_fields, bits_per_field)
+
+    def exact_items_for(self, cache_bytes: int) -> int:
+        """Items an EXACT cache holds (``Lvalue`` bits per coordinate)."""
+        item_bytes = self.dim * self.lvalue_bits // 8
+        return cache_bytes // max(item_bytes, 1)
+
+    def theorem1_bound(self, tau: int, exact_hit_ratio: float) -> float:
+        """Theorem 1: ``rho_hit <= (Lvalue / tau) * rho*_hit`` (capped)."""
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        return min(1.0, self.lvalue_bits / tau * exact_hit_ratio)
+
+    # ------------------------------------------------------------------
+    # rho_refine (Sections 4.1.3, 4.2.1)
+    # ------------------------------------------------------------------
+    def rho_refine_equiwidth(self, tau: int) -> float:
+        """Theorem 3: ``rho_refine <= min(sqrt(d) * w / Dmax, 1)``.
+
+        The bucket width generalizes the paper's ``2**(Lvalue - tau)`` to
+        arbitrary value spans: ``w = span / 2**tau``.
+        """
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        width = self.value_span / float(2**tau)
+        return min(np.sqrt(self.dim) * width / self.d_max, 1.0)
+
+    def rho_refine_encoder(
+        self, encoder: PointEncoder, qr_points: np.ndarray
+    ) -> float:
+        """Theorem 2 instantiated with measured error vectors.
+
+        ``qr_points`` are the near-candidate points ``b_k^q`` of the
+        workload (one row per query is enough); the bound averages
+        ``min(||eps|| / Dmax, 1)`` over them.
+        """
+        qr_points = np.atleast_2d(np.asarray(qr_points, dtype=np.float64))
+        codes = encoder.encode(qr_points)
+        lo, hi = encoder.rectangles(codes)
+        norms = error_vector_norms(lo, hi)
+        return float(np.mean(np.minimum(norms / self.d_max, 1.0)))
+
+    def rho_refine_profile(self, eps_norm: float, k: int = 10) -> float | None:
+        """Empirical rho_refine from workload candidate-distance profiles.
+
+        For each query, a cache-hit candidate needs refinement when its
+        distance falls in ``(dist(b_k), ub_k]`` with
+        ``ub_k <= dist(b_k) + ||eps||`` (Theorem 2 without the uniform
+        density assumption): the fraction of candidates within
+        ``dist_k + eps_norm``, beyond the k results themselves.
+
+        Returns None when no profiles were provided.
+        """
+        if not self.distance_profiles:
+            return None
+        ratios = []
+        for dists in self.distance_profiles:
+            n = len(dists)
+            if n == 0:
+                continue
+            kk = min(k, n)
+            dist_k = dists[kk - 1]
+            within = float(np.searchsorted(dists, dist_k + eps_norm, "right"))
+            ratios.append(min((within - kk) / n, 1.0) if n else 0.0)
+        if not ratios:
+            return None
+        return float(np.mean(ratios))
+
+    # ------------------------------------------------------------------
+    # End-to-end I/O estimate (Section 4.1.1)
+    # ------------------------------------------------------------------
+    def estimate_crefine(self, rho_hit: float, rho_refine: float) -> float:
+        """Eqn. 1 with ``rho_prune = 1 - rho_refine``."""
+        rho_prune = 1.0 - min(max(rho_refine, 0.0), 1.0)
+        return (1.0 - rho_hit * rho_prune) * self.avg_candidates
+
+    def estimate_io_equiwidth(
+        self, cache_bytes: int, tau: int, k: int = 10
+    ) -> float:
+        """Estimated refinement page reads for HC-W at code length tau.
+
+        Uses the empirical distance profiles when available, otherwise
+        Theorem 3's closed form.
+        """
+        n_items = self.items_for(cache_bytes, tau, self.dim)
+        rho_hit = self.hit_ratio(n_items)
+        eps_norm = np.sqrt(self.dim) * self.value_span / float(2**tau)
+        rho_refine = self.rho_refine_profile(eps_norm, k=k)
+        if rho_refine is None:
+            rho_refine = self.rho_refine_equiwidth(tau)
+        return self.estimate_crefine(rho_hit, rho_refine) * self.pages_per_fetch
+
+    def estimate_io_encoder(
+        self, cache_bytes: int, encoder: PointEncoder, qr_points: np.ndarray,
+        k: int = 10,
+    ) -> float:
+        """Estimated refinement page reads for an arbitrary encoder."""
+        n_items = self.items_for(cache_bytes, encoder.bits, encoder.n_fields)
+        rho_hit = self.hit_ratio(n_items)
+        qr_points = np.atleast_2d(np.asarray(qr_points, dtype=np.float64))
+        codes = encoder.encode(qr_points)
+        lo, hi = encoder.rectangles(codes)
+        eps_norm = float(np.mean(error_vector_norms(lo, hi)))
+        rho_refine = self.rho_refine_profile(eps_norm, k=k)
+        if rho_refine is None:
+            rho_refine = float(np.minimum(eps_norm / self.d_max, 1.0))
+        return self.estimate_crefine(rho_hit, rho_refine) * self.pages_per_fetch
+
+
+def optimal_tau(
+    model: CostModel,
+    cache_bytes: int,
+    tau_range: tuple[int, int] = (1, 20),
+) -> int:
+    """Section 4.2.2: the code length minimizing estimated I/O for HC-W.
+
+    Equivalent to maximizing ``rho_hit * rho_prune`` over tau in the given
+    inclusive range.
+    """
+    lo, hi = tau_range
+    if not 1 <= lo <= hi:
+        raise ValueError("tau_range must satisfy 1 <= lo <= hi")
+    costs = {tau: model.estimate_io_equiwidth(cache_bytes, tau) for tau in range(lo, hi + 1)}
+    return min(costs, key=lambda tau: (costs[tau], tau))
+
+
+def optimal_tau_encoder(
+    model: CostModel,
+    cache_bytes: int,
+    encoder_factory,
+    qr_points: np.ndarray,
+    tau_range: tuple[int, int] = (1, 16),
+) -> int:
+    """Generic tuner: sweep tau, building the method's encoder each time.
+
+    Args:
+        encoder_factory: callable ``tau -> PointEncoder`` for the caching
+            method being tuned (e.g. builds an HC-O histogram with
+            ``2**tau`` buckets).
+    """
+    lo, hi = tau_range
+    if not 1 <= lo <= hi:
+        raise ValueError("tau_range must satisfy 1 <= lo <= hi")
+    costs = {}
+    for tau in range(lo, hi + 1):
+        encoder = encoder_factory(tau)
+        costs[tau] = model.estimate_io_encoder(cache_bytes, encoder, qr_points)
+    return min(costs, key=lambda tau: (costs[tau], tau))

@@ -1,0 +1,109 @@
+"""Value domains: the distinct coordinate values histograms must cover.
+
+Definition 9 of the paper requires the histogram to cover ``V``, the set of
+distinct dimensional values of the data points.  All histogram construction
+in this package runs over a ``ValueDomain``: the sorted distinct values of a
+dataset together with their data frequencies ``F`` (used by equi-depth and
+V-optimal) — the workload frequencies ``F'`` live in
+``repro.core.frequency``.
+
+Float datasets are first snapped onto a bounded integer grid of
+``2**value_bits`` levels (the paper's footnote 7: "applying discretization
+on floating-point values"); ``Lvalue = value_bits`` is also the bit width
+used by the cost model's exact-cache comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def discretize(points: np.ndarray, value_bits: int) -> np.ndarray:
+    """Snap float coordinates onto the integer grid ``[0, 2**value_bits)``.
+
+    Scaling is global min-max over the whole array (the paper normalizes
+    dimensions to a common domain before applying a global histogram).
+    Returns a float64 array whose values are non-negative integers.
+    """
+    if not 1 <= value_bits <= 24:
+        raise ValueError(f"value_bits must be in [1, 24], got {value_bits}")
+    points = np.asarray(points, dtype=np.float64)
+    lo = points.min()
+    hi = points.max()
+    levels = (1 << value_bits) - 1
+    if hi == lo:
+        return np.zeros_like(points)
+    scaled = (points - lo) / (hi - lo) * levels
+    return np.rint(scaled)
+
+
+@dataclass(frozen=True)
+class ValueDomain:
+    """Sorted distinct coordinate values and their dataset frequencies.
+
+    Attributes:
+        values: ``(m,)`` strictly increasing distinct values.
+        counts: ``(m,)`` number of coordinates (over all dims of all points)
+            equal to each value — the frequency array ``F[x]`` of the paper.
+    """
+
+    values: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if values.ndim != 1 or counts.shape != values.shape:
+            raise ValueError("values and counts must be 1-D of equal length")
+        if len(values) == 0:
+            raise ValueError("a ValueDomain cannot be empty")
+        if np.any(np.diff(values) <= 0):
+            raise ValueError("values must be strictly increasing")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "counts", counts)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "ValueDomain":
+        """Domain of every coordinate value appearing in ``points``."""
+        flat = np.asarray(points, dtype=np.float64).ravel()
+        if flat.size == 0:
+            raise ValueError("points must be non-empty")
+        values, counts = np.unique(flat, return_counts=True)
+        return cls(values, counts)
+
+    @classmethod
+    def from_column(cls, column: np.ndarray) -> "ValueDomain":
+        """Domain of a single dimension (for individual histograms)."""
+        return cls.from_points(np.asarray(column).reshape(-1, 1))
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values."""
+        return len(self.values)
+
+    @property
+    def span(self) -> float:
+        """Width of the covered interval ``max(V) - min(V)``."""
+        return float(self.values[-1] - self.values[0])
+
+    def index_of(self, x: np.ndarray) -> np.ndarray:
+        """Map values to their positions in ``values`` (must be members)."""
+        idx = np.searchsorted(self.values, x)
+        idx = np.clip(idx, 0, self.size - 1)
+        if not np.all(self.values[idx] == np.asarray(x, dtype=np.float64)):
+            raise ValueError("some values are not members of the domain")
+        return idx
+
+    def project_frequencies(self, coords: np.ndarray) -> np.ndarray:
+        """Histogram arbitrary coordinates onto the domain positions.
+
+        Used to build the workload frequency array ``F'``: each coordinate
+        in ``coords`` is counted at its domain position.  Coordinates are
+        assumed to be domain members (they come from dataset points).
+        """
+        idx = self.index_of(np.asarray(coords, dtype=np.float64).ravel())
+        return np.bincount(idx, minlength=self.size).astype(np.int64)

@@ -1,0 +1,136 @@
+"""Point encoders: exact point -> tau-bit code array -> bounding rectangle.
+
+Three encoder families mirror the paper's histogram categories
+(Section 3.6.2):
+
+* ``GlobalHistogramEncoder``     — one histogram for all dimensions (HC-*),
+* ``IndividualHistogramEncoder`` — one histogram per dimension (iHC-*),
+* ``repro.core.multidim.RTreeBucketEncoder`` — one multi-dimensional
+  bucket id per point (mHC-R).
+
+Encoders know their code geometry (fields x bits) so the cache can pack
+them with ``BitPackedMatrix`` and decode them back to rectangles for bound
+computation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.histogram import Histogram
+
+
+class PointEncoder(ABC):
+    """Converts exact points to compact codes and codes to rectangles."""
+
+    #: number of code fields per point (d, or 1 for multi-dimensional).
+    n_fields: int
+    #: bits per code field (tau).
+    bits: int
+    #: dimensionality of the points being encoded.
+    dim: int
+
+    @property
+    def bits_per_point(self) -> int:
+        """Payload bits of one encoded point (before word rounding)."""
+        return self.n_fields * self.bits
+
+    @abstractmethod
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """``(m, d)`` points -> ``(m, n_fields)`` integer codes."""
+
+    @abstractmethod
+    def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(m, n_fields)`` codes -> ``(lowers, uppers)`` of shape (m, d)."""
+
+
+class GlobalHistogramEncoder(PointEncoder):
+    """Def. 8: every coordinate encoded by the same global histogram."""
+
+    def __init__(self, histogram: Histogram, dim: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.histogram = histogram
+        self.dim = dim
+        self.n_fields = dim
+        self.bits = histogram.code_length
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"expected dimension {self.dim}")
+        return self.histogram.lookup(points)
+
+    def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        return self.histogram.decode_bounds(codes)
+
+
+class IndividualHistogramEncoder(PointEncoder):
+    """Section 3.6.2: dimension ``j`` encoded by its own histogram ``H_j``.
+
+    All per-dimension histograms share the code width ``tau`` (the max of
+    their individual code lengths) so rows pack uniformly — matching the
+    paper's iHC-* methods which use the same tau for every dimension.
+    """
+
+    def __init__(self, histograms: list[Histogram]) -> None:
+        if not histograms:
+            raise ValueError("need at least one histogram")
+        self.histograms = list(histograms)
+        self.dim = len(histograms)
+        self.n_fields = self.dim
+        self.bits = max(h.code_length for h in histograms)
+        # Stacked decode tables, padded to the max bucket count so decode
+        # is one fancy-index instead of a per-dimension loop.
+        max_b = max(h.num_buckets for h in histograms)
+        self._lowers = np.zeros((self.dim, max_b), dtype=np.float64)
+        self._uppers = np.zeros((self.dim, max_b), dtype=np.float64)
+        for j, h in enumerate(histograms):
+            self._lowers[j, : h.num_buckets] = h.lowers
+            self._uppers[j, : h.num_buckets] = h.uppers
+            if h.num_buckets < max_b:
+                self._lowers[j, h.num_buckets :] = h.lowers[-1]
+                self._uppers[j, h.num_buckets :] = h.uppers[-1]
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(f"expected dimension {self.dim}")
+        codes = np.empty(points.shape, dtype=np.int64)
+        for j, h in enumerate(self.histograms):
+            codes[:, j] = h.lookup(points[:, j])
+        return codes
+
+    def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        dims = np.arange(self.dim)[None, :]
+        return self._lowers[dims, codes], self._uppers[dims, codes]
+
+
+class ExactEncoder(PointEncoder):
+    """Degenerate encoder used by the EXACT baseline: stores raw values.
+
+    Codes are the discretized coordinate values themselves; rectangles
+    collapse to points, so bounds equal exact distances.
+    """
+
+    def __init__(self, dim: int, value_bits: int) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.n_fields = dim
+        self.bits = value_bits
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        codes = np.rint(points).astype(np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= (1 << self.bits)):
+            raise ValueError("exact values do not fit the configured bits")
+        return codes
+
+    def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.float64))
+        return codes.copy(), codes.copy()

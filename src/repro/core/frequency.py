@@ -1,0 +1,163 @@
+"""The workload frequency array ``F'`` (paper Eqn. 2-3).
+
+``QR`` is the multiset of the k near-neighbor candidates ``b_r^q`` of every
+workload query (the points contributing to the k-th upper bound ``ub_k``);
+``F'[x]`` counts how often the coordinate value ``x`` appears among the
+coordinates of ``QR`` members.  Metric (M3) weights bucket widths by
+``F'``, so the optimal histogram spends its buckets where near-neighbor
+coordinates concentrate.
+
+At histogram-construction time no histogram (and hence no ``ub_k``) exists
+yet, so ``QR`` is instantiated with the k *exact* nearest candidates of
+each workload query — exactly the points satisfying
+``dist(q, b) <= ub_k`` under any correct upper bound (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domain import ValueDomain
+
+
+@dataclass(frozen=True)
+class QRSet:
+    """The near-candidate multiset ``QR`` of a workload.
+
+    Attributes:
+        point_ids: ``(q, k)`` ids of the k nearest candidates per distinct
+            workload query (rows may hold fewer when candidates run short;
+            missing slots are -1).
+        weights: ``(q,)`` multiplicity of each distinct query in the
+            workload (popular queries contribute proportionally to ``F'``).
+    """
+
+    point_ids: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        ids = np.asarray(self.point_ids, dtype=np.int64)
+        weights = np.asarray(self.weights, dtype=np.int64)
+        if ids.ndim != 2 or weights.shape != (len(ids),):
+            raise ValueError("point_ids must be (q, k); weights (q,)")
+        object.__setattr__(self, "point_ids", ids)
+        object.__setattr__(self, "weights", weights)
+
+
+def _unique_queries(queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse repeated workload queries; returns (unique, multiplicity)."""
+    queries = np.asarray(queries, dtype=np.float64)
+    uniq, counts = np.unique(queries, axis=0, return_counts=True)
+    return uniq, counts
+
+
+def compute_qr(
+    points: np.ndarray,
+    workload_queries: np.ndarray,
+    k: int,
+    candidate_sets: list[np.ndarray] | None = None,
+    query_chunk: int = 64,
+) -> QRSet:
+    """Find the k nearest candidates of every workload query.
+
+    Args:
+        points: ``(n, d)`` dataset.
+        workload_queries: ``(W, d)`` workload ``WL`` (repetitions allowed;
+            they become weights).
+        k: result size the cache is tuned for.
+        candidate_sets: optional per-distinct-query candidate id arrays from
+            the index ``I``; when omitted the whole dataset is the
+            candidate set (generic tuning).
+        query_chunk: queries per vectorized distance block.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    uniq, weights = _unique_queries(workload_queries)
+    if candidate_sets is not None and len(candidate_sets) != len(uniq):
+        raise ValueError(
+            "candidate_sets must have one entry per distinct workload query "
+            f"({len(uniq)}), got {len(candidate_sets)}"
+        )
+    ids = np.full((len(uniq), k), -1, dtype=np.int64)
+    if candidate_sets is None:
+        sq_norms = np.sum(points**2, axis=1)
+        for lo in range(0, len(uniq), query_chunk):
+            block = uniq[lo : lo + query_chunk]
+            d2 = (
+                sq_norms[None, :]
+                - 2.0 * block @ points.T
+                + np.sum(block**2, axis=1)[:, None]
+            )
+            kk = min(k, len(points))
+            top = np.argpartition(d2, kk - 1, axis=1)[:, :kk]
+            # Sort the k block by actual distance for determinism.
+            row_order = np.argsort(np.take_along_axis(d2, top, axis=1), axis=1)
+            ids[lo : lo + len(block), :kk] = np.take_along_axis(
+                top, row_order, axis=1
+            )
+    else:
+        for i, (q, cands) in enumerate(zip(uniq, candidate_sets)):
+            cands = np.asarray(cands, dtype=np.int64)
+            if cands.size == 0:
+                continue
+            d2 = np.sum((points[cands] - q) ** 2, axis=1)
+            kk = min(k, len(cands))
+            top = np.argpartition(d2, kk - 1)[:kk] if kk < len(cands) else np.arange(len(cands))
+            top = top[np.argsort(d2[top])][:kk]
+            ids[i, :kk] = cands[top]
+    return QRSet(point_ids=ids, weights=weights)
+
+
+def _flatten_members(qr: QRSet) -> tuple[np.ndarray, np.ndarray]:
+    """Expand QR into aligned (member_ids, weights) arrays."""
+    mask = qr.point_ids >= 0
+    member_ids = qr.point_ids[mask]
+    weights = np.broadcast_to(
+        qr.weights[:, None], qr.point_ids.shape
+    )[mask]
+    return member_ids, weights.astype(np.int64)
+
+
+def fprime_global(
+    domain: ValueDomain, points: np.ndarray, qr: QRSet
+) -> np.ndarray:
+    """``F'[x]`` over the global domain (Eqn. 3).
+
+    Counts every coordinate of every QR member, weighted by the query
+    multiplicity that put the member into QR.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    member_ids, weights = _flatten_members(qr)
+    if member_ids.size == 0:
+        return np.zeros(domain.size, dtype=np.int64)
+    d = points.shape[1]
+    idx = domain.index_of(points[member_ids].ravel())
+    w = np.repeat(weights, d)
+    return np.bincount(idx, weights=w, minlength=domain.size).astype(np.int64)
+
+
+def fprime_per_dimension(
+    domains: list[ValueDomain], points: np.ndarray, qr: QRSet
+) -> list[np.ndarray]:
+    """Per-dimension decomposition ``F'_j`` (paper Section 3.6.2).
+
+    ``F'`` decomposes into per-dimension arrays because Metric M3 is a sum
+    over dimensions; each ``F'_j`` drives an independent Algorithm-2 run.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if len(domains) != points.shape[1]:
+        raise ValueError("need one domain per dimension")
+    member_ids, weights = _flatten_members(qr)
+    if member_ids.size == 0:
+        return [np.zeros(dom.size, dtype=np.int64) for dom in domains]
+    block = points[member_ids]
+    out = []
+    for j, dom in enumerate(domains):
+        idx = dom.index_of(block[:, j])
+        out.append(
+            np.bincount(idx, weights=weights, minlength=dom.size).astype(np.int64)
+        )
+    return out

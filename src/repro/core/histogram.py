@@ -1,0 +1,150 @@
+"""Histograms as compact value encoders (paper Definitions 6-8).
+
+A histogram is an array of ``B`` buckets, each an interval ``[l_i, u_i]``
+of coordinate values; the *bucket position* ``i`` is the tau-bit code that
+stands in for every value inside the bucket.  For kNN caching the only
+thing that matters is the interval geometry (Def. 6 note: "we only care
+about the bucket position and its interval, but not its frequency"),
+although frequencies are retained when available for diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domain import ValueDomain
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A sequence of non-overlapping value buckets covering a domain.
+
+    Attributes:
+        lowers: ``(B,)`` inclusive lower bound of each bucket, increasing.
+        uppers: ``(B,)`` inclusive upper bound of each bucket, increasing.
+        frequencies: optional ``(B,)`` total data frequency per bucket.
+
+    Buckets may be separated by gaps (when built over distinct data values,
+    a bucket is shrunk to the values it actually contains); every dataset
+    value is inside exactly one bucket.
+    """
+
+    lowers: np.ndarray
+    uppers: np.ndarray
+    frequencies: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        lowers = np.asarray(self.lowers, dtype=np.float64)
+        uppers = np.asarray(self.uppers, dtype=np.float64)
+        if lowers.ndim != 1 or lowers.shape != uppers.shape or len(lowers) == 0:
+            raise ValueError("lowers/uppers must be equal-length 1-D arrays")
+        if np.any(uppers < lowers):
+            raise ValueError("each bucket needs lower <= upper")
+        if np.any(lowers[1:] < uppers[:-1]):
+            raise ValueError("buckets must be non-overlapping and sorted")
+        object.__setattr__(self, "lowers", lowers)
+        object.__setattr__(self, "uppers", uppers)
+        if self.frequencies is not None:
+            freqs = np.asarray(self.frequencies, dtype=np.int64)
+            if freqs.shape != lowers.shape:
+                raise ValueError("frequencies must match the bucket count")
+            object.__setattr__(self, "frequencies", freqs)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_splits(
+        cls, domain: ValueDomain, starts: np.ndarray, weights: np.ndarray | None = None
+    ) -> "Histogram":
+        """Build buckets from split *positions* in a value domain.
+
+        ``starts`` are the domain positions where each bucket begins
+        (``starts[0]`` must be 0); bucket ``i`` covers domain positions
+        ``starts[i] .. starts[i+1]-1`` and is shrunk to those values.
+        ``weights`` defaults to the domain's data counts.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        if len(starts) == 0 or starts[0] != 0:
+            raise ValueError("starts must begin with position 0")
+        if np.any(np.diff(starts) <= 0):
+            raise ValueError("starts must be strictly increasing")
+        if starts[-1] >= domain.size:
+            raise ValueError("last start beyond the domain")
+        ends = np.append(starts[1:] - 1, domain.size - 1)
+        counts = domain.counts if weights is None else np.asarray(weights)
+        csum = np.concatenate([[0], np.cumsum(counts)])
+        freqs = csum[ends + 1] - csum[starts]
+        return cls(
+            lowers=domain.values[starts],
+            uppers=domain.values[ends],
+            frequencies=freqs,
+        )
+
+    @classmethod
+    def identity(cls, domain: ValueDomain) -> "Histogram":
+        """One singleton bucket per distinct value (exact encoding)."""
+        return cls(
+            lowers=domain.values.copy(),
+            uppers=domain.values.copy(),
+            frequencies=domain.counts.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return len(self.lowers)
+
+    @property
+    def code_length(self) -> int:
+        """tau = ceil(log2 B): bits needed to address a bucket."""
+        return max(1, math.ceil(math.log2(self.num_buckets)))
+
+    @property
+    def widths(self) -> np.ndarray:
+        """Per-bucket interval width ``u_i - l_i``."""
+        return self.uppers - self.lowers
+
+    def interval(self, code: int) -> tuple[float, float]:
+        """The ``[l, u]`` interval of one bucket position."""
+        return float(self.lowers[code]), float(self.uppers[code])
+
+    # ------------------------------------------------------------------
+    # Encoding (Def. 7 bucket lookup)
+    # ------------------------------------------------------------------
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Map values to bucket positions (vectorized Def. 7).
+
+        Each value maps to the first bucket whose upper bound covers it;
+        values beyond the last bucket clamp to the last one.  Bounds derived
+        from codes are guaranteed to contain the value whenever the value is
+        a member of the domain the histogram was built from.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.searchsorted(self.uppers, values, side="left")
+        return np.minimum(codes, self.num_buckets - 1).astype(np.int64)
+
+    def decode_bounds(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-code ``(lowers, uppers)`` arrays for bound computation."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.num_buckets):
+            raise IndexError("code out of range")
+        return self.lowers[codes], self.uppers[codes]
+
+    def covers(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask: is each value inside its looked-up bucket?"""
+        values = np.asarray(values, dtype=np.float64)
+        codes = self.lookup(values)
+        return (self.lowers[codes] <= values) & (values <= self.uppers[codes])
+
+    def storage_bytes(self) -> int:
+        """In-memory footprint of the bucket table itself (Table 3 'Space')."""
+        total = self.lowers.nbytes + self.uppers.nbytes
+        if self.frequencies is not None:
+            total += self.frequencies.nbytes
+        return total

@@ -1,0 +1,137 @@
+"""Cache and histogram maintenance (paper Section 3.5).
+
+"We expect that the distribution of queries in the workload does not
+change rapidly.  Following the practice in search engines, we propose to
+perform updates and rebuild the cache periodically (e.g., daily)."
+
+``SlidingWindowWorkload`` collects recent queries; ``CacheMaintainer``
+rebuilds the histogram (for HC-O), the HFF cache content, or both, from
+the current window — either on demand or automatically every
+``rebuild_every`` recorded queries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builders import build_knn_optimal
+from repro.core.cache import ApproximateCache
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.core.frequency import compute_qr, fprime_global
+
+
+class SlidingWindowWorkload:
+    """A bounded window of the most recent queries."""
+
+    def __init__(self, capacity: int = 2000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._window: deque[np.ndarray] = deque(maxlen=capacity)
+
+    def record(self, query: np.ndarray) -> None:
+        self._window.append(np.asarray(query, dtype=np.float64).copy())
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def queries(self) -> np.ndarray:
+        if not self._window:
+            raise ValueError("the window is empty")
+        return np.stack(list(self._window))
+
+
+@dataclass
+class RebuildReport:
+    """What a rebuild changed.
+
+    Attributes:
+        window_size: queries the rebuild was based on.
+        cache_items: entries in the rebuilt cache.
+        histogram_buckets: bucket count of the rebuilt histogram.
+    """
+
+    window_size: int
+    cache_items: int
+    histogram_buckets: int
+
+
+class CacheMaintainer:
+    """Periodically re-derives the HC-O cache from recent queries.
+
+    Args:
+        index: candidate generator (``candidates(query, k, tracker)``).
+        points: the in-memory dataset view used for offline rebuilds
+            (the paper's rebuild is an offline daily job over the data).
+        k: result size the cache is tuned for.
+        tau: code length of the rebuilt histograms.
+        cache_bytes: cache budget.
+        window: sliding workload window (a fresh one is created when
+            omitted).
+        rebuild_every: automatic rebuild period in recorded queries
+            (0 disables auto-rebuild).
+    """
+
+    def __init__(
+        self,
+        index,
+        points: np.ndarray,
+        k: int,
+        tau: int,
+        cache_bytes: int,
+        window: SlidingWindowWorkload | None = None,
+        rebuild_every: int = 0,
+    ) -> None:
+        if tau <= 0 or k <= 0:
+            raise ValueError("tau and k must be positive")
+        self.index = index
+        self.points = np.asarray(points, dtype=np.float64)
+        self.k = k
+        self.tau = tau
+        self.cache_bytes = cache_bytes
+        self.window = window or SlidingWindowWorkload()
+        self.rebuild_every = rebuild_every
+        self.cache: ApproximateCache | None = None
+        self._since_rebuild = 0
+        self.rebuilds = 0
+
+    def observe(self, query: np.ndarray) -> bool:
+        """Record a served query; returns True if a rebuild was triggered."""
+        self.window.record(query)
+        self._since_rebuild += 1
+        if self.rebuild_every and self._since_rebuild >= self.rebuild_every:
+            self.rebuild()
+            return True
+        return False
+
+    def rebuild(self) -> RebuildReport:
+        """Re-derive F', the HC-O histogram and the HFF cache content."""
+        from repro.core.domain import ValueDomain
+
+        queries = self.window.queries()
+        distinct, weights = np.unique(queries, axis=0, return_counts=True)
+        candidate_sets = [
+            np.asarray(self.index.candidates(q, self.k, None), dtype=np.int64)
+            for q in distinct
+        ]
+        frequencies = np.zeros(len(self.points), dtype=np.int64)
+        for cands, weight in zip(candidate_sets, weights):
+            frequencies[cands] += weight
+        qr = compute_qr(self.points, queries, self.k, candidate_sets=candidate_sets)
+        domain = ValueDomain.from_points(self.points)
+        fprime = fprime_global(domain, self.points, qr)
+        histogram = build_knn_optimal(domain, fprime, 2**self.tau)
+        encoder = GlobalHistogramEncoder(histogram, self.points.shape[1])
+        cache = ApproximateCache(encoder, self.cache_bytes, len(self.points))
+        cache.populate_hff(frequencies, self.points)
+        self.cache = cache
+        self._since_rebuild = 0
+        self.rebuilds += 1
+        return RebuildReport(
+            window_size=len(queries),
+            cache_items=cache.num_items,
+            histogram_buckets=histogram.num_buckets,
+        )

@@ -1,0 +1,87 @@
+"""Histogram quality metrics (paper Section 3.3-3.4).
+
+* ``msse`` — the classical V-optimal objective (sum of squared errors of
+  frequencies around the per-bucket mean, Jagadish et al. VLDB'98), used by
+  HC-V;
+* ``upsilon`` — the per-bucket term of the paper's simplified metric
+  (Eqn. 4): total workload frequency inside the bucket times squared width;
+* ``m3`` — the paper's Metric (M3) = (M2): the sum of ``upsilon`` over all
+  buckets, which Algorithm 2 minimizes exactly.
+
+The exact Metric (M1) counts candidates that survive candidate reduction;
+it requires running the search pipeline, so it lives in the evaluation
+harness (``repro.eval.runner.measure_m1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.domain import ValueDomain
+from repro.core.histogram import Histogram
+
+
+def _bucket_positions(
+    histogram: Histogram, domain: ValueDomain
+) -> tuple[np.ndarray, np.ndarray]:
+    """Domain-position ranges ``[start, end]`` covered by each bucket."""
+    starts = np.searchsorted(domain.values, histogram.lowers, side="left")
+    ends = np.searchsorted(domain.values, histogram.uppers, side="right") - 1
+    return starts, ends
+
+
+def upsilon(freq_sum: np.ndarray | float, width: np.ndarray | float) -> np.ndarray:
+    """Eqn. 4: ``Upsilon([l, u]) = (sum of F' in [l, u]) * (u - l)^2``."""
+    return np.asarray(freq_sum, dtype=np.float64) * np.square(
+        np.asarray(width, dtype=np.float64)
+    )
+
+
+def m3(
+    histogram: Histogram, domain: ValueDomain, fprime: np.ndarray
+) -> float:
+    """Metric (M3): total workload-weighted squared bucket width.
+
+    Args:
+        histogram: candidate histogram.
+        domain: the value domain it was built over.
+        fprime: ``(domain.size,)`` workload frequency array ``F'``.
+    """
+    fprime = np.asarray(fprime, dtype=np.float64)
+    if fprime.shape != (domain.size,):
+        raise ValueError("fprime must align with the domain")
+    starts, ends = _bucket_positions(histogram, domain)
+    csum = np.concatenate([[0.0], np.cumsum(fprime)])
+    sums = csum[ends + 1] - csum[starts]
+    return float(np.sum(upsilon(sums, histogram.widths)))
+
+
+def msse(histogram: Histogram, domain: ValueDomain) -> float:
+    """The V-optimal SSE metric over the distinct-value domain.
+
+    ``MSSE(H) = sum_i sum_{x in bucket i} (F[x] - avg_i)^2`` where ``avg_i``
+    is the mean frequency of the distinct values inside bucket ``i``.
+    """
+    starts, ends = _bucket_positions(histogram, domain)
+    counts = domain.counts.astype(np.float64)
+    csum = np.concatenate([[0.0], np.cumsum(counts)])
+    csum2 = np.concatenate([[0.0], np.cumsum(counts**2)])
+    n_vals = (ends - starts + 1).astype(np.float64)
+    sums = csum[ends + 1] - csum[starts]
+    sq_sums = csum2[ends + 1] - csum2[starts]
+    return float(np.sum(sq_sums - sums**2 / n_vals))
+
+
+def mean_error_vector_norm_sq(
+    histogram: Histogram, points: np.ndarray
+) -> float:
+    """Average squared error-vector norm ``||eps(c)||^2`` over points.
+
+    The error vector (Def. 10) has per-dimension entries equal to the width
+    of the bucket each coordinate falls in; its norm bounds the gap between
+    the upper-bound distance and the true distance (Lemma 1).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    codes = histogram.lookup(points)
+    widths = histogram.widths[codes]
+    return float(np.mean(np.sum(widths**2, axis=-1)))

@@ -1,0 +1,69 @@
+"""Multi-dimensional histograms (mHC-R) and the Appendix-B width analysis.
+
+A multi-dimensional histogram partitions the whole space into ``2**tau``
+buckets; each point's approximation is just the id of the bucket
+(rectangle) containing it.  The paper instantiates this with an R-tree's
+leaf MBRs and shows it is hopeless in high dimensions: covering ``n``
+points with rectangles of at least 2 points forces an average
+per-dimension width of ``(2/n)**(1/d)`` — near the full domain for large
+``d`` — while a global histogram keeps width ``1/2**tau`` regardless of
+``d`` (Appendix B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoder import PointEncoder
+from repro.index.rtree import RTree
+
+
+class RTreeBucketEncoder(PointEncoder):
+    """mHC-R: encode a point as the id of its R-tree leaf bucket.
+
+    Args:
+        points: dataset used to bulk-load the R-tree.
+        tau: code length; the tree is built with ``2**tau`` leaves.
+    """
+
+    def __init__(self, points: np.ndarray, tau: int) -> None:
+        if not 1 <= tau <= 24:
+            raise ValueError("tau must be in [1, 24]")
+        points = np.asarray(points, dtype=np.float64)
+        n_leaves = min(2**tau, 1 << max(1, int(np.log2(max(len(points), 2)))))
+        # Ensure a power of two not exceeding the point count.
+        while n_leaves > 1 and n_leaves > len(points):
+            n_leaves //= 2
+        self.tree = RTree(points, n_leaves=n_leaves)
+        self.dim = points.shape[1]
+        self.n_fields = 1
+        self.bits = tau
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return self.tree.assign(points)[:, None]
+
+    def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))[:, 0]
+        if codes.size and (codes.min() < 0 or codes.max() >= self.tree.num_leaves):
+            raise IndexError("bucket id out of range")
+        return self.tree.leaf_lo[codes], self.tree.leaf_hi[codes]
+
+    def average_bucket_width(self) -> float:
+        """Measured ``w_br``: mean per-dimension width of the bucket MBRs."""
+        return self.tree.average_leaf_width()
+
+
+def global_width_bound(tau: int, span: float = 1.0) -> float:
+    """Appendix B: equi-width global histogram bucket width ``span / 2**tau``."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    return span / float(2**tau)
+
+
+def multidim_width_bound(n_points: int, dim: int, span: float = 1.0) -> float:
+    """Appendix B: lower bound ``span * (2/n)**(1/d)`` on the average
+    per-dimension width of multi-dimensional buckets holding >= 2 points."""
+    if n_points < 2 or dim <= 0:
+        raise ValueError("need n_points >= 2 and dim > 0")
+    return span * (2.0 / n_points) ** (1.0 / dim)

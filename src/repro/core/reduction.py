@@ -1,0 +1,118 @@
+"""Phase 2 of Algorithm 1: candidate reduction without I/O.
+
+Given cache-derived bounds for the candidate set ``C(q)``:
+
+* ``lb_k`` — the k-th smallest lower bound over all candidates,
+* ``ub_k`` — the k-th smallest upper bound over all candidates,
+* **early pruning**: a candidate with ``lb > ub_k`` cannot be a result,
+* **true-result detection**: a candidate with ``ub < lb_k`` must be one.
+
+Candidates missing from the cache carry ``lb = 0`` and ``ub = +inf``
+(Algorithm 1, line 4), so they are never pruned and always proceed to
+refinement — which is exactly why the cache hit ratio matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import kth_smallest
+
+
+@dataclass(frozen=True)
+class ReductionOutcome:
+    """Result of the candidate-reduction phase for one query.
+
+    Attributes:
+        remaining_ids: candidates that still require refinement, with their
+            lower bounds (sorted ascending by bound for the multi-step
+            phase).
+        remaining_lb: lower bounds aligned with ``remaining_ids``.
+        confirmed_ids: candidates detected as true results (no I/O needed).
+        confirmed_ub: their upper bounds (used as conservative distance
+            estimates by the refinement threshold).
+        pruned_ids: candidates eliminated by early pruning.
+        lb_k / ub_k: the distance thresholds of Algorithm 1 lines 7-8.
+        num_hits: how many candidates were found in the cache.
+    """
+
+    remaining_ids: np.ndarray
+    remaining_lb: np.ndarray
+    confirmed_ids: np.ndarray
+    confirmed_ub: np.ndarray
+    pruned_ids: np.ndarray
+    lb_k: float
+    ub_k: float
+    num_hits: int
+
+    @property
+    def num_candidates(self) -> int:
+        return (
+            len(self.remaining_ids)
+            + len(self.confirmed_ids)
+            + len(self.pruned_ids)
+        )
+
+    @property
+    def num_pruned(self) -> int:
+        """Candidates removed without I/O (pruned or confirmed)."""
+        return len(self.pruned_ids) + len(self.confirmed_ids)
+
+    @property
+    def c_refine(self) -> int:
+        """The remaining candidate size ``Crefine`` of Eqn. 1."""
+        return len(self.remaining_ids)
+
+
+def reduce_candidates(
+    candidate_ids: np.ndarray,
+    hit_mask: np.ndarray,
+    lower_bounds: np.ndarray,
+    upper_bounds: np.ndarray,
+    k: int,
+) -> ReductionOutcome:
+    """Apply early pruning and true-result detection (Alg. 1 lines 7-13).
+
+    Args:
+        candidate_ids: ``(c,)`` ids from the candidate-generation phase.
+        hit_mask: ``(c,)`` True where the cache held the candidate.
+        lower_bounds / upper_bounds: ``(c,)`` bounds (0 / +inf on misses).
+        k: result size.
+    """
+    candidate_ids = np.atleast_1d(np.asarray(candidate_ids, dtype=np.int64))
+    lower_bounds = np.asarray(lower_bounds, dtype=np.float64)
+    upper_bounds = np.asarray(upper_bounds, dtype=np.float64)
+    hit_mask = np.asarray(hit_mask, dtype=bool)
+    if not (
+        len(candidate_ids) == len(lower_bounds) == len(upper_bounds) == len(hit_mask)
+    ):
+        raise ValueError("candidate arrays must align")
+    if np.any(lower_bounds > upper_bounds):
+        raise ValueError("found lb > ub; bounds are inconsistent")
+    lb_k = kth_smallest(lower_bounds, k)
+    ub_k = kth_smallest(upper_bounds, k)
+    pruned = lower_bounds > ub_k
+    # True-result detection: ub <= lb_k admits candidates tied at the k-th
+    # lower bound (at most k-1 candidates can be strictly closer than
+    # lb_k, so each such candidate belongs to a valid top-k set); capped
+    # at k members, smallest upper bound first.
+    confirmed = (upper_bounds <= lb_k) & ~pruned
+    if int(np.sum(confirmed)) > k:
+        order = np.lexsort((candidate_ids, upper_bounds))
+        keep = order[confirmed[order]][:k]
+        confirmed = np.zeros_like(confirmed)
+        confirmed[keep] = True
+    remaining = ~pruned & ~confirmed
+    order = np.argsort(lower_bounds[remaining], kind="stable")
+    return ReductionOutcome(
+        remaining_ids=candidate_ids[remaining][order],
+        remaining_lb=lower_bounds[remaining][order],
+        confirmed_ids=candidate_ids[confirmed],
+        confirmed_ub=upper_bounds[confirmed],
+        pruned_ids=candidate_ids[pruned],
+        lb_k=lb_k,
+        ub_k=ub_k,
+        num_hits=int(np.sum(hit_mask)),
+    )

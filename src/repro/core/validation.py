@@ -1,0 +1,101 @@
+"""Invariant audits for debugging and defensive testing.
+
+Each ``audit_*`` function checks the structural invariants its subject
+must uphold and returns a list of human-readable violations (empty =
+healthy).  They are used by the test suite and are handy when developing
+new encoders or caches against the framework's contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import exact_distances, rectangle_bounds
+from repro.core.domain import ValueDomain
+from repro.core.encoder import PointEncoder
+from repro.core.histogram import Histogram
+
+
+def audit_histogram(histogram: Histogram, domain: ValueDomain) -> list[str]:
+    """Check a histogram against the domain it claims to cover.
+
+    Invariants: buckets sorted and non-overlapping; every domain value
+    inside its looked-up bucket; codes addressable in ``code_length``
+    bits.
+    """
+    problems: list[str] = []
+    if np.any(histogram.uppers < histogram.lowers):
+        problems.append("bucket with upper < lower")
+    if np.any(histogram.lowers[1:] < histogram.uppers[:-1]):
+        problems.append("overlapping buckets")
+    if histogram.num_buckets > 2**histogram.code_length:
+        problems.append("code_length too small for the bucket count")
+    covered = histogram.covers(domain.values)
+    if not covered.all():
+        bad = domain.values[~covered][:5].tolist()
+        problems.append(f"domain values outside their bucket: {bad}")
+    return problems
+
+
+def audit_encoder(
+    encoder: PointEncoder, points: np.ndarray, sample: int = 256
+) -> list[str]:
+    """Check that an encoder's rectangles contain the encoded points.
+
+    This is the single property the whole framework's exactness rests on
+    (bounds derived from a containing rectangle are always conservative).
+    """
+    problems: list[str] = []
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    take = points[: min(sample, len(points))]
+    codes = encoder.encode(take)
+    if codes.shape != (len(take), encoder.n_fields):
+        problems.append(
+            f"encode returned shape {codes.shape}, expected "
+            f"({len(take)}, {encoder.n_fields})"
+        )
+        return problems
+    if codes.size and (codes.min() < 0 or codes.max() >= 2**encoder.bits):
+        problems.append("codes do not fit the declared bit width")
+    lo, hi = encoder.rectangles(codes)
+    if lo.shape != take.shape or hi.shape != take.shape:
+        problems.append("rectangles do not match the point dimensionality")
+        return problems
+    outside = ~np.all((lo <= take + 1e-9) & (take <= hi + 1e-9), axis=1)
+    if outside.any():
+        problems.append(
+            f"{int(outside.sum())} of {len(take)} points fall outside "
+            "their decoded rectangle"
+        )
+    return problems
+
+
+def audit_bounds(
+    encoder: PointEncoder,
+    points: np.ndarray,
+    queries: np.ndarray,
+    sample: int = 64,
+) -> list[str]:
+    """Check the bound sandwich ``lb <= dist <= ub`` on real queries."""
+    problems: list[str] = []
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    take = points[: min(sample, len(points))]
+    codes = encoder.encode(take)
+    lo, hi = encoder.rectangles(codes)
+    for qi, query in enumerate(queries[: min(sample, len(queries))]):
+        lb, ub = rectangle_bounds(query, lo, hi)
+        dist = exact_distances(query, take)
+        if np.any(lb > dist + 1e-9):
+            problems.append(f"query {qi}: lower bound exceeds a distance")
+        if np.any(dist > ub + 1e-9):
+            problems.append(f"query {qi}: upper bound below a distance")
+        if np.any(lb > ub + 1e-9):
+            problems.append(f"query {qi}: lb > ub")
+    return problems
+
+
+def assert_healthy(problems: list[str]) -> None:
+    """Raise AssertionError listing the violations, if any."""
+    if problems:
+        raise AssertionError("; ".join(problems))

@@ -1,0 +1,21 @@
+"""Synthetic datasets and query workloads standing in for the paper's data.
+
+The paper evaluates on NUS-WIDE, IMGNET and SOGOU image-feature datasets
+(with a real query log for SOGOU).  Those corpora are not redistributable;
+this package generates clustered feature data and Zipf-popularity query
+logs with the same structural properties (see DESIGN.md, Section 2).
+"""
+
+from repro.data.clustering import kmeans
+from repro.data.datasets import Dataset, load_dataset
+from repro.data.synthetic import clustered_dataset
+from repro.data.workload import QueryLog, generate_query_log
+
+__all__ = [
+    "Dataset",
+    "QueryLog",
+    "clustered_dataset",
+    "generate_query_log",
+    "kmeans",
+    "load_dataset",
+]

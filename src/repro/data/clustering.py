@@ -1,0 +1,91 @@
+"""Minimal k-means used by iDistance reference points and file clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared-distance weight."""
+    n = len(points)
+    centers = np.empty((n_clusters, points.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for i in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers.
+            centers[i:] = points[rng.integers(n, size=n_clusters - i)]
+            break
+        probs = closest_sq / total
+        pick = int(rng.choice(n, p=probs))
+        centers[i] = points[pick]
+        closest_sq = np.minimum(
+            closest_sq, np.sum((points - centers[i]) ** 2, axis=1)
+        )
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: int = 0,
+    max_iter: int = 25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        points: ``(n, d)`` data.
+        n_clusters: number of centers; clipped to ``n``.
+        seed: RNG seed for deterministic results.
+        max_iter: Lloyd iteration cap.
+
+    Returns:
+        ``(centers, labels)`` with ``centers`` of shape ``(n_clusters, d)``
+        and ``labels`` of shape ``(n,)`` assigning each point to its nearest
+        center.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    if n_clusters <= 0:
+        raise ValueError("n_clusters must be positive")
+    n_clusters = min(n_clusters, len(points))
+    rng = np.random.default_rng(seed)
+    centers = _kmeans_pp_init(points, n_clusters, rng)
+    labels = np.zeros(len(points), dtype=np.int64)
+    for _ in range(max_iter):
+        # Squared distances to every center, (n, k).
+        d2 = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        new_labels = np.argmin(d2, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(n_clusters):
+            members = points[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the point farthest from its center.
+                worst = int(np.argmax(np.min(d2, axis=1)))
+                centers[c] = points[worst]
+    return centers, labels
+
+
+def assign_labels(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Nearest-center labels for ``points`` given fixed ``centers``."""
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    d2 = (
+        np.sum(points**2, axis=1)[:, None]
+        - 2.0 * points @ centers.T
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+    return np.argmin(d2, axis=1)

@@ -1,0 +1,124 @@
+"""Query logs with Zipf popularity (the paper's Figure 2 power law).
+
+The caching techniques of the paper exploit temporal locality in the query
+log: a small fraction of queries accounts for most submissions (Flickr view
+counts, SOGOU search log).  We model a log as draws with replacement from a
+pool of distinct queries under a Zipf(s) popularity distribution, then split
+it into the workload ``WL`` (used to build caches and histograms) and the
+test set ``Qtest`` (used to measure performance), exactly as the paper
+splits its logs (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryLog:
+    """A popularity-skewed query log split into workload and test halves.
+
+    Attributes:
+        pool: ``(m, d)`` distinct query points.
+        workload_idx: indices into ``pool`` for the workload ``WL`` (with
+            repetitions — popular queries appear many times).
+        test_idx: indices into ``pool`` for ``Qtest``.
+    """
+
+    pool: np.ndarray
+    workload_idx: np.ndarray
+    test_idx: np.ndarray
+
+    def __post_init__(self) -> None:
+        pool = np.asarray(self.pool, dtype=np.float64)
+        if pool.ndim != 2 or len(pool) == 0:
+            raise ValueError("pool must be a non-empty (m, d) array")
+        for name in ("workload_idx", "test_idx"):
+            idx = np.asarray(getattr(self, name), dtype=np.int64)
+            if idx.size and (idx.min() < 0 or idx.max() >= len(pool)):
+                raise ValueError(f"{name} out of range")
+            object.__setattr__(self, name, idx)
+        object.__setattr__(self, "pool", pool)
+
+    @property
+    def workload(self) -> np.ndarray:
+        """The ``WL`` query points, with repetitions, shape ``(|WL|, d)``."""
+        return self.pool[self.workload_idx]
+
+    @property
+    def test(self) -> np.ndarray:
+        """The ``Qtest`` query points, shape ``(|Qtest|, d)``."""
+        return self.pool[self.test_idx]
+
+    def popularity(self) -> np.ndarray:
+        """Submissions per distinct query over the whole log, descending.
+
+        This is the series behind the paper's Figure 2 (views per photo).
+        """
+        counts = np.bincount(
+            np.concatenate([self.workload_idx, self.test_idx]),
+            minlength=len(self.pool),
+        )
+        return np.sort(counts)[::-1]
+
+
+def _zipf_probabilities(m: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def generate_query_log(
+    points: np.ndarray,
+    pool_size: int = 500,
+    workload_size: int = 2000,
+    test_size: int = 50,
+    zipf_s: float = 1.1,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> QueryLog:
+    """Build a query log whose queries lie near the data distribution.
+
+    Distinct queries are sampled from the dataset itself (the paper
+    generates query logs "by picking random points from P"), optionally
+    perturbed by Gaussian ``jitter`` (relative to the data's coordinate
+    spread).  Popularities follow Zipf(``zipf_s``); the whole log of
+    ``workload_size + test_size`` submissions is drawn i.i.d. from that
+    popularity and split chronologically.
+
+    Args:
+        points: ``(n, d)`` dataset the queries should resemble.
+        pool_size: number of distinct queries.
+        workload_size: submissions kept as the workload ``WL``.
+        test_size: submissions kept as ``Qtest`` (paper fixes 50).
+        zipf_s: skew; larger = stronger temporal locality.  ``s = 0`` makes
+            a uniform (locality-free) log.
+        jitter: std of added Gaussian noise, relative to coordinate std.
+        seed: RNG seed.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty (n, d) array")
+    if pool_size <= 0 or workload_size < 0 or test_size <= 0:
+        raise ValueError("pool_size and test_size must be positive")
+    if zipf_s < 0:
+        raise ValueError("zipf_s must be non-negative")
+    rng = np.random.default_rng(seed)
+    pick = rng.choice(len(points), size=min(pool_size, len(points)), replace=False)
+    pool = points[pick].copy()
+    if jitter > 0:
+        scale = jitter * float(points.std() or 1.0)
+        pool = pool + rng.normal(scale=scale, size=pool.shape)
+    probs = _zipf_probabilities(len(pool), zipf_s)
+    # Shuffle which pool member gets which popularity rank.
+    rank_of = rng.permutation(len(pool))
+    probs = probs[rank_of]
+    total = workload_size + test_size
+    draws = rng.choice(len(pool), size=total, p=probs)
+    return QueryLog(
+        pool=pool,
+        workload_idx=draws[:workload_size],
+        test_idx=draws[workload_size:],
+    )

@@ -1,0 +1,95 @@
+"""Aggregate benchmark outputs into a single report.
+
+``build_report`` collects the ``benchmarks/results/*.csv`` files written
+by the benchmark suite and renders one Markdown document (RESULTS.md)
+with every regenerated table/figure, in the paper's order — the
+machine-written companion to the hand-written EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+#: Display order and titles, mirroring the paper's evaluation section.
+REPORT_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("fig01_motivation", "Figure 1 — refinement dominates C2LSH response time"),
+    ("fig02_popularity", "Figure 2 — query-popularity power law"),
+    ("fig08_policy", "Figure 8 — HFF vs LRU caching policy"),
+    ("fig09_ordering", "Figure 9 — dataset file ordering"),
+    ("tbl03_categories", "Table 3 — histogram categories"),
+    ("fig10_cva", "Figure 10 — C-VA vs HC-D"),
+    ("fig11_pruning", "Figure 11 — early pruning power"),
+    ("fig12_costmodel", "Figure 12 — cost model accuracy"),
+    ("tbl04_refinement", "Table 4 — refinement time by method"),
+    ("fig13_cachesize", "Figure 13 — effect of cache size"),
+    ("fig14_k", "Figure 14 — effect of result size k"),
+    ("fig15_tau", "Figure 15 — effect of code length tau"),
+    ("fig16_exact", "Figure 16 — exact kNN indexes"),
+    ("appB_width", "Appendix B — bucket width analysis"),
+    ("abl_qr", "Ablation — F' construction"),
+    ("abl_lemma3", "Ablation — Lemma-3 cutoff"),
+    ("abl_zipf", "Ablation — workload skew"),
+    ("abl_resultcache", "Ablation — point vs result caching"),
+    ("abl_pq", "Ablation — bound-giving product quantization"),
+    ("abl_eager", "Ablation — footnote-6 eager miss fetching"),
+    ("ext_join", "Extension — cached kNN join"),
+)
+
+
+def _read_csv(path: Path) -> tuple[list[str], list[list[str]]]:
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        padded = list(row) + [""] * (len(headers) - len(row))
+        lines.append("| " + " | ".join(str(c) for c in padded) + " |")
+    return "\n".join(lines)
+
+
+def build_report(
+    results_dir: str | Path, output: str | Path | None = None
+) -> str:
+    """Render all available result CSVs into one Markdown report.
+
+    Args:
+        results_dir: the ``benchmarks/results`` directory.
+        output: optional path to also write the report to.
+
+    Returns:
+        The Markdown text.  Sections whose CSV is missing are listed as
+        "not yet run".
+    """
+    results_dir = Path(results_dir)
+    parts = [
+        "# Benchmark results",
+        "",
+        "Regenerated tables and figures (see EXPERIMENTS.md for the "
+        "paper-vs-measured discussion). Rebuild with "
+        "`pytest benchmarks/ --benchmark-only`.",
+    ]
+    missing = []
+    for name, title in REPORT_SECTIONS:
+        csv_path = results_dir / f"{name}.csv"
+        parts.append(f"\n## {title}\n")
+        if not csv_path.exists():
+            parts.append("_not yet run_")
+            missing.append(name)
+            continue
+        headers, rows = _read_csv(csv_path)
+        parts.append(_markdown_table(headers, rows))
+    if missing:
+        parts.append(
+            "\n---\n_missing: " + ", ".join(missing) + "_"
+        )
+    text = "\n".join(parts) + "\n"
+    if output is not None:
+        Path(output).write_text(text)
+    return text

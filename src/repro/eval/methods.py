@@ -1,0 +1,472 @@
+"""The paper's method lineup and pipeline assembly.
+
+Methods (Section 5.1):
+
+=========  ==========================================================
+NO-CACHE   no cache; every candidate is refined from disk
+EXACT      cache of exact points (fewest items, exact distances)
+C-VA       the whole VA-file in cache; bits tuned so all points fit
+HC-W/D/V/O global histogram cache (equi-width / equi-depth /
+           V-optimal / the paper's optimal kNN histogram)
+iHC-W/D/O  one histogram per dimension
+mHC-R      multi-dimensional (R-tree bucket) histogram
+=========  ==========================================================
+
+``WorkloadContext`` prepares everything derived from (dataset, index,
+workload): candidate sets, candidate frequencies for HFF, the QR multiset
+and ``F'`` arrays, and the cost model.  Pipelines for different methods
+share one context so comparisons are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.builders import (
+    build_equidepth,
+    build_equiwidth,
+    build_knn_optimal,
+    build_voptimal,
+)
+from repro.core.cache import (
+    ApproximateCache,
+    CachePolicy,
+    ExactCache,
+    LeafNodeCache,
+    NoCache,
+    PointCache,
+)
+from repro.core.cost_model import CostModel
+from repro.core.encoder import (
+    GlobalHistogramEncoder,
+    IndividualHistogramEncoder,
+    PointEncoder,
+)
+from repro.core.frequency import (
+    QRSet,
+    compute_qr,
+    fprime_global,
+    fprime_per_dimension,
+)
+from repro.core.histogram import Histogram
+from repro.core.multidim import RTreeBucketEncoder
+from repro.core.search import CachedKNNSearch, SearchResult
+from repro.data.datasets import Dataset
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.mtree import MTreeIndex
+from repro.index.treesearch import TreeSearchResult
+from repro.index.vafile import VAFileIndex
+from repro.index.vaplus import VAPlusFileIndex
+from repro.index.vptree import VPTreeIndex
+from repro.lsh.c2lsh import C2LSHIndex
+from repro.lsh.e2lsh import E2LSHIndex
+from repro.lsh.multiprobe import MultiProbeLSHIndex
+from repro.lsh.sklsh import SKLSHIndex
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.iostats import QueryIOTracker
+from repro.storage.ordering import make_order
+from repro.storage.pointfile import PointFile
+
+METHOD_NAMES = (
+    "NO-CACHE",
+    "EXACT",
+    "C-VA",
+    "HC-W",
+    "HC-D",
+    "HC-V",
+    "HC-O",
+    "iHC-W",
+    "iHC-D",
+    "iHC-O",
+    "mHC-R",
+)
+
+INDEX_NAMES = ("c2lsh", "e2lsh", "multiprobe", "sklsh", "vafile", "vaplus", "linear")
+TREE_INDEX_NAMES = ("idistance", "vptree", "mtree")
+
+
+def _build_index(name: str, dataset: Dataset, seed: int):
+    if name == "c2lsh":
+        return C2LSHIndex(dataset.points, seed=seed)
+    if name == "e2lsh":
+        return E2LSHIndex(dataset.points, seed=seed)
+    if name == "multiprobe":
+        return MultiProbeLSHIndex(dataset.points, seed=seed)
+    if name == "sklsh":
+        return SKLSHIndex(dataset.points, seed=seed)
+    if name == "vafile":
+        return VAFileIndex(dataset.points)
+    if name == "vaplus":
+        return VAPlusFileIndex(dataset.points)
+    if name == "linear":
+        return LinearScanIndex(dataset.num_points)
+    raise ValueError(f"unknown index {name!r}; choices: {INDEX_NAMES}")
+
+
+@dataclass
+class WorkloadContext:
+    """Everything derived from (dataset, index, workload, k).
+
+    Build once per configuration with ``WorkloadContext.prepare`` and share
+    across all methods being compared.
+    """
+
+    dataset: Dataset
+    index: object
+    point_file: PointFile
+    k: int
+    distinct_queries: np.ndarray
+    query_weights: np.ndarray
+    candidate_sets: list[np.ndarray]
+    frequencies: np.ndarray
+    qr: QRSet
+    d_max: float
+    avg_candidates: float
+    distance_profiles: tuple = ()
+    seed: int = 0
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def prepare(
+        cls,
+        dataset: Dataset,
+        index_name: str = "c2lsh",
+        ordering: str = "raw",
+        k: int = 10,
+        seed: int = 0,
+        disk: DiskConfig | None = None,
+    ) -> "WorkloadContext":
+        """Build the index, run the workload and collect cache inputs."""
+        if dataset.query_log is None:
+            raise ValueError("dataset needs a query log")
+        index = _build_index(index_name, dataset, seed)
+        order = make_order(ordering, dataset.points, seed=seed)
+        point_file = PointFile(
+            dataset.points,
+            disk=SimulatedDisk(disk or DiskConfig()),
+            order=order,
+            value_bytes=dataset.value_bytes,
+        )
+        workload = dataset.query_log.workload
+        distinct, weights = np.unique(workload, axis=0, return_counts=True)
+        candidate_sets: list[np.ndarray] = []
+        frequencies = np.zeros(dataset.num_points, dtype=np.int64)
+        sizes = []
+        d_max = 0.0
+        profiles: list[np.ndarray] = []
+        for query, weight in zip(distinct, weights):
+            cands = np.asarray(
+                index.candidates(query, k, None), dtype=np.int64
+            )
+            candidate_sets.append(cands)
+            sizes.append(len(cands) * weight)
+            frequencies[cands] += weight
+            if cands.size:
+                dists = np.linalg.norm(dataset.points[cands] - query, axis=1)
+                d_max = max(d_max, float(dists.max()))
+                if len(profiles) < 256:
+                    profiles.append(np.sort(dists))
+        qr = compute_qr(dataset.points, workload, k, candidate_sets=candidate_sets)
+        total_weight = int(weights.sum())
+        return cls(
+            dataset=dataset,
+            index=index,
+            point_file=point_file,
+            k=k,
+            distinct_queries=distinct,
+            query_weights=weights,
+            candidate_sets=candidate_sets,
+            frequencies=frequencies,
+            qr=qr,
+            d_max=d_max if d_max > 0 else 1.0,
+            avg_candidates=float(np.sum(sizes) / max(total_weight, 1)),
+            distance_profiles=tuple(profiles),
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def fprime(self) -> np.ndarray:
+        """Global workload frequency array ``F'``."""
+        return fprime_global(self.dataset.domain, self.dataset.points, self.qr)
+
+    @cached_property
+    def fprime_dims(self) -> list[np.ndarray]:
+        """Per-dimension ``F'_j`` arrays (for iHC-* methods)."""
+        domains = [self.dataset.dimension_domain(j) for j in range(self.dataset.dim)]
+        return fprime_per_dimension(domains, self.dataset.points, self.qr)
+
+    @cached_property
+    def qr_points(self) -> np.ndarray:
+        """The k-th near candidate of each workload query (for Theorem 2)."""
+        rows = []
+        for row in self.qr.point_ids:
+            members = row[row >= 0]
+            if members.size:
+                rows.append(self.dataset.points[members[-1]])
+        if not rows:
+            return self.dataset.points[:1]
+        return np.stack(rows)
+
+    def cost_model(self) -> CostModel:
+        """Cost model (Section 4) instantiated from this workload."""
+        return CostModel(
+            dim=self.dataset.dim,
+            value_span=self.dataset.domain.span,
+            d_max=self.d_max,
+            candidate_frequencies=self.frequencies,
+            avg_candidates=self.avg_candidates,
+            lvalue_bits=self.dataset.value_bytes * 8,
+            distance_profiles=self.distance_profiles,
+        )
+
+    # ------------------------------------------------------------------
+    def histogram(self, kind: str, tau: int) -> Histogram:
+        """Build (and memoize) a global histogram of the given kind."""
+        key = (kind, tau)
+        if key not in self._cache:
+            domain = self.dataset.domain
+            n_buckets = 2**tau
+            if kind == "equiwidth":
+                hist = build_equiwidth(domain, n_buckets)
+            elif kind == "equidepth":
+                hist = build_equidepth(domain, n_buckets)
+            elif kind == "voptimal":
+                hist = build_voptimal(domain, n_buckets)
+            elif kind == "knn-optimal":
+                hist = build_knn_optimal(domain, self.fprime, n_buckets)
+            else:
+                raise ValueError(f"unknown histogram kind {kind!r}")
+            self._cache[key] = hist
+        return self._cache[key]
+
+    def dimension_histograms(self, kind: str, tau: int) -> list[Histogram]:
+        """Per-dimension histograms (memoized).
+
+        The per-dimension DPs use a reduced candidate-split grid: one
+        Algorithm-2 run per dimension is exactly the construction cost the
+        paper's Table 3 flags as prohibitive (23.8 days for iHC-O), so the
+        reproduction trades a little optimality for tractability.
+        """
+        key = ("dims", kind, tau)
+        if key not in self._cache:
+            out = []
+            n_buckets = 2**tau
+            for j in range(self.dataset.dim):
+                domain = self.dataset.dimension_domain(j)
+                if kind == "equiwidth":
+                    out.append(build_equiwidth(domain, n_buckets))
+                elif kind == "equidepth":
+                    out.append(build_equidepth(domain, n_buckets))
+                elif kind == "knn-optimal":
+                    out.append(
+                        build_knn_optimal(
+                            domain,
+                            self.fprime_dims[j],
+                            n_buckets,
+                            max_positions=256,
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown per-dimension kind {kind!r}")
+            self._cache[key] = out
+        return self._cache[key]
+
+    def encoder(self, method: str, tau: int) -> PointEncoder:
+        """The point encoder of a caching method (memoized per tau)."""
+        key = ("enc", method, tau)
+        if key in self._cache:
+            return self._cache[key]
+        dim = self.dataset.dim
+        if method == "HC-W":
+            enc = GlobalHistogramEncoder(self.histogram("equiwidth", tau), dim)
+        elif method == "HC-D":
+            enc = GlobalHistogramEncoder(self.histogram("equidepth", tau), dim)
+        elif method == "HC-V":
+            enc = GlobalHistogramEncoder(self.histogram("voptimal", tau), dim)
+        elif method == "HC-O":
+            enc = GlobalHistogramEncoder(self.histogram("knn-optimal", tau), dim)
+        elif method == "iHC-W":
+            enc = IndividualHistogramEncoder(self.dimension_histograms("equiwidth", tau))
+        elif method == "iHC-D":
+            enc = IndividualHistogramEncoder(self.dimension_histograms("equidepth", tau))
+        elif method == "iHC-O":
+            enc = IndividualHistogramEncoder(
+                self.dimension_histograms("knn-optimal", tau)
+            )
+        elif method == "mHC-R":
+            enc = RTreeBucketEncoder(self.dataset.points, tau)
+        else:
+            raise ValueError(f"no encoder for method {method!r}")
+        self._cache[key] = enc
+        return enc
+
+
+@dataclass
+class CachingPipeline:
+    """A ready-to-query configuration: index + cache + data file.
+
+    ``search`` answers queries through Algorithm 1 and records per-query
+    statistics; results are identical to the uncached index's answers.
+    """
+
+    context: WorkloadContext
+    cache: PointCache
+    method: str
+    tau: int | None
+    searcher: CachedKNNSearch
+
+    def search(self, query: np.ndarray, k: int | None = None) -> SearchResult:
+        return self.searcher.search(query, k or self.context.k)
+
+    @property
+    def read_latency_s(self) -> float:
+        return self.context.point_file.disk.config.read_latency_s
+
+    @property
+    def seq_read_latency_s(self) -> float:
+        return self.context.point_file.disk.config.seq_read_latency_s
+
+
+def make_cache(
+    context: WorkloadContext,
+    method: str,
+    tau: int = 8,
+    cache_bytes: int = 1 << 20,
+    policy: CachePolicy = CachePolicy.HFF,
+) -> PointCache:
+    """Build and (for HFF) populate the cache of a named method."""
+    dataset = context.dataset
+    if method == "NO-CACHE":
+        return NoCache()
+    if method == "EXACT":
+        cache = ExactCache(
+            dataset.dim,
+            cache_bytes,
+            dataset.num_points,
+            value_bytes=dataset.value_bytes,
+            policy=policy,
+        )
+        if policy is CachePolicy.HFF:
+            cache.populate_hff(context.frequencies, dataset.points)
+        return cache
+    if method == "C-VA":
+        # Tune bits so the whole (word-rounded) VA-file fits in cache;
+        # fall back to 1 bit/dim when even that does not fit everything.
+        from repro.core.cost_model import packed_row_bytes
+
+        bits = 1
+        for candidate in range(16, 0, -1):
+            if dataset.num_points * packed_row_bytes(dataset.dim, candidate) <= cache_bytes:
+                bits = candidate
+                break
+        histograms = []
+        for j in range(dataset.dim):
+            domain = dataset.dimension_domain(j)
+            histograms.append(build_equidepth(domain, 2**bits))
+        encoder = IndividualHistogramEncoder(histograms)
+        cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
+        order = np.argsort(-context.frequencies, kind="stable")
+        cache.populate(order, dataset.points[order])
+        return cache
+    encoder = context.encoder(method, tau)
+    cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
+    if policy is CachePolicy.HFF:
+        cache.populate_hff(context.frequencies, dataset.points)
+    return cache
+
+
+def build_caching_pipeline(
+    dataset: Dataset,
+    method: str = "HC-O",
+    tau: int = 8,
+    cache_bytes: int = 1 << 20,
+    index_name: str = "c2lsh",
+    ordering: str = "raw",
+    k: int = 10,
+    policy: CachePolicy = CachePolicy.HFF,
+    seed: int = 0,
+    context: WorkloadContext | None = None,
+) -> CachingPipeline:
+    """One-call assembly of a complete cached-search configuration.
+
+    Pass a pre-built ``context`` to reuse the index and workload scans
+    across methods (recommended in benchmarks).
+    """
+    if method not in METHOD_NAMES:
+        raise ValueError(f"unknown method {method!r}; choices: {METHOD_NAMES}")
+    if context is None:
+        context = WorkloadContext.prepare(
+            dataset, index_name=index_name, ordering=ordering, k=k, seed=seed
+        )
+    cache = make_cache(context, method, tau=tau, cache_bytes=cache_bytes, policy=policy)
+    searcher = CachedKNNSearch(context.index, context.point_file, cache)
+    return CachingPipeline(
+        context=context, cache=cache, method=method, tau=tau, searcher=searcher
+    )
+
+
+# ----------------------------------------------------------------------
+# Tree-based indexes (Section 3.6.1)
+# ----------------------------------------------------------------------
+@dataclass
+class TreePipeline:
+    """A tree index plus a leaf-node cache (EXACT or approximate)."""
+
+    index: object
+    cache: LeafNodeCache | None
+    method: str
+    read_latency_s: float = 5e-3
+
+    def search(self, query: np.ndarray, k: int) -> TreeSearchResult:
+        tracker = QueryIOTracker()
+        return self.index.search(query, k, cache=self.cache, tracker=tracker)
+
+
+def build_tree_pipeline(
+    dataset: Dataset,
+    index_name: str = "idistance",
+    method: str = "HC-O",
+    tau: int = 8,
+    cache_bytes: int = 1 << 20,
+    k: int = 10,
+    seed: int = 0,
+    context: WorkloadContext | None = None,
+) -> TreePipeline:
+    """Assemble a tree index with the Section-3.6.1 leaf cache.
+
+    ``method`` may be NO-CACHE, EXACT, or any global/per-dimension HC-*
+    method (the leaf cache stores approximate representations of all
+    points of each cached leaf).
+    """
+    if index_name == "idistance":
+        index = IDistanceIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
+    elif index_name == "vptree":
+        index = VPTreeIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
+    elif index_name == "mtree":
+        index = MTreeIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
+    else:
+        raise ValueError(
+            f"unknown tree index {index_name!r}; choices: {TREE_INDEX_NAMES}"
+        )
+    if method == "NO-CACHE":
+        return TreePipeline(index=index, cache=None, method=method)
+    if method == "EXACT":
+        cache = LeafNodeCache(
+            None, cache_bytes, exact=True, value_bytes=dataset.value_bytes
+        )
+    else:
+        if context is None:
+            context = WorkloadContext.prepare(
+                dataset, index_name="linear", ordering="raw", k=k, seed=seed
+            )
+        encoder = context.encoder(method, tau)
+        cache = LeafNodeCache(encoder, cache_bytes)
+    if dataset.query_log is not None:
+        freqs = index.leaf_access_frequencies(dataset.query_log.workload, k)
+        cache.populate_by_frequency(freqs, index.leaf_contents)
+    return TreePipeline(index=index, cache=cache, method=method)

@@ -1,0 +1,181 @@
+"""Experiment runner: execute test queries, aggregate the paper's metrics.
+
+Measured quantities per configuration (all averaged over ``Qtest``):
+
+* ``rho_hit``, ``rho_prune`` — Eqn. 1's cache factors,
+* ``Crefine`` — candidates entering refinement,
+* refinement / generation page reads and their modeled wall-clock times
+  (``T = page_reads * read_latency``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bounds import rectangle_bounds
+from repro.core.cache import CachePolicy
+from repro.core.encoder import PointEncoder
+from repro.core.reduction import reduce_candidates
+from repro.core.search import QueryStats
+from repro.data.datasets import Dataset
+from repro.eval.methods import WorkloadContext, build_caching_pipeline
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated metrics of one (method, parameters) configuration."""
+
+    method: str
+    tau: int
+    cache_bytes: int
+    k: int
+    num_queries: int
+    avg_candidates: float
+    hit_ratio: float
+    prune_ratio: float
+    avg_crefine: float
+    avg_refine_io: float
+    avg_gen_io: float
+    refine_time_s: float
+    gen_time_s: float
+    response_time_s: float
+    wall_time_s: float
+    per_query: tuple[QueryStats, ...] = field(repr=False, default=())
+
+    @property
+    def avg_io(self) -> float:
+        return self.avg_refine_io + self.avg_gen_io
+
+    @property
+    def hit_times_prune(self) -> float:
+        """The ``rho_hit * rho_prune`` product of Figure 15(a)."""
+        return self.hit_ratio * self.prune_ratio
+
+
+@dataclass
+class Experiment:
+    """One experimental configuration (paper Section 5 defaults).
+
+    Attributes mirror the paper's parameters: result size ``k``, code
+    length ``tau``, cache size ``CS``, caching policy, index and file
+    ordering.
+    """
+
+    dataset: Dataset
+    method: str = "HC-O"
+    k: int = 10
+    tau: int = 8
+    cache_bytes: int = 1 << 20
+    index_name: str = "c2lsh"
+    ordering: str = "raw"
+    policy: CachePolicy = CachePolicy.HFF
+    seed: int = 0
+
+    def run(
+        self,
+        queries: np.ndarray | None = None,
+        context: WorkloadContext | None = None,
+    ) -> ExperimentResult:
+        """Execute the test queries and aggregate statistics.
+
+        Args:
+            queries: query points (defaults to the dataset's ``Qtest``).
+            context: pre-built workload context to share across methods.
+        """
+        pipeline = build_caching_pipeline(
+            self.dataset,
+            method=self.method,
+            tau=self.tau,
+            cache_bytes=self.cache_bytes,
+            index_name=self.index_name,
+            ordering=self.ordering,
+            k=self.k,
+            policy=self.policy,
+            seed=self.seed,
+            context=context,
+        )
+        if queries is None:
+            if self.dataset.query_log is None:
+                raise ValueError("no queries given and dataset has no query log")
+            queries = self.dataset.query_log.test
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        stats: list[QueryStats] = []
+        started = time.perf_counter()
+        for query in queries:
+            stats.append(pipeline.search(query, self.k).stats)
+        wall = time.perf_counter() - started
+        return summarize(
+            stats,
+            method=self.method,
+            tau=self.tau,
+            cache_bytes=self.cache_bytes,
+            k=self.k,
+            read_latency_s=pipeline.read_latency_s,
+            seq_read_latency_s=pipeline.seq_read_latency_s,
+            wall_time_s=wall,
+        )
+
+
+def summarize(
+    stats: list[QueryStats],
+    method: str,
+    tau: int,
+    cache_bytes: int,
+    k: int,
+    read_latency_s: float,
+    seq_read_latency_s: float = 0.0,
+    wall_time_s: float = 0.0,
+) -> ExperimentResult:
+    """Aggregate per-query stats into an ``ExperimentResult``."""
+    if not stats:
+        raise ValueError("no query statistics to summarize")
+    refine_io = float(np.mean([s.refine_page_reads for s in stats]))
+    gen_io = float(np.mean([s.gen_page_reads for s in stats]))
+    return ExperimentResult(
+        method=method,
+        tau=tau,
+        cache_bytes=cache_bytes,
+        k=k,
+        num_queries=len(stats),
+        avg_candidates=float(np.mean([s.num_candidates for s in stats])),
+        hit_ratio=float(np.mean([s.hit_ratio for s in stats])),
+        prune_ratio=float(np.mean([s.prune_ratio for s in stats])),
+        avg_crefine=float(np.mean([s.c_refine for s in stats])),
+        avg_refine_io=refine_io,
+        avg_gen_io=gen_io,
+        refine_time_s=refine_io * read_latency_s,
+        gen_time_s=gen_io * seq_read_latency_s,
+        response_time_s=refine_io * read_latency_s + gen_io * seq_read_latency_s,
+        wall_time_s=wall_time_s,
+        per_query=tuple(stats),
+    )
+
+
+def measure_m1(
+    encoder: PointEncoder, context: WorkloadContext, k: int | None = None
+) -> float:
+    """The exact Metric (M1): candidates surviving reduction over ``WL``.
+
+    Assumes every candidate is cached (Def. 9 evaluates ``refine_H`` over
+    ``C(q) ^ Psi``), isolating the histogram's pruning power from the hit
+    ratio.  Weighted by query multiplicity.
+    """
+    k = k or context.k
+    points = context.dataset.points
+    total = 0.0
+    for query, weight, cands in zip(
+        context.distinct_queries, context.query_weights, context.candidate_sets
+    ):
+        if cands.size == 0:
+            continue
+        codes = encoder.encode(points[cands])
+        lo, hi = encoder.rectangles(codes)
+        lb, ub = rectangle_bounds(query, lo, hi)
+        outcome = reduce_candidates(
+            cands, np.ones(len(cands), dtype=bool), lb, ub, k
+        )
+        total += weight * outcome.c_refine
+    return float(total)

@@ -1,0 +1,130 @@
+"""Programmatic parameter sweeps over one shared workload context.
+
+The benchmarks sweep parameters inline; this module exposes the same
+loops as a small API for notebook/CLI users:
+
+* ``tau_sweep``    — refine I/O vs code length (Figures 12/15),
+* ``cache_sweep``  — response time vs cache size (Figure 13),
+* ``k_sweep``      — response time vs result size (Figure 14),
+* ``method_sweep`` — the Table-4 style method comparison.
+
+Every sweep reuses one ``WorkloadContext`` so the index is built and the
+workload scanned exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.datasets import Dataset
+from repro.eval.methods import WorkloadContext
+from repro.eval.runner import Experiment, ExperimentResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep coordinate and its measured outcome."""
+
+    parameter: str
+    value: float | int | str
+    result: ExperimentResult
+
+
+def _context_for(
+    dataset: Dataset, context: WorkloadContext | None, k: int
+) -> WorkloadContext:
+    if context is not None:
+        return context
+    return WorkloadContext.prepare(dataset, k=k)
+
+
+def tau_sweep(
+    dataset: Dataset,
+    taus: Sequence[int],
+    method: str = "HC-O",
+    cache_bytes: int | None = None,
+    k: int = 10,
+    context: WorkloadContext | None = None,
+) -> list[SweepPoint]:
+    """Measure one method across code lengths."""
+    context = _context_for(dataset, context, k)
+    cache_bytes = cache_bytes or int(dataset.file_bytes * 0.3)
+    out = []
+    for tau in taus:
+        result = Experiment(
+            dataset, method=method, tau=tau, cache_bytes=cache_bytes, k=k
+        ).run(context=context)
+        out.append(SweepPoint("tau", tau, result))
+    return out
+
+
+def cache_sweep(
+    dataset: Dataset,
+    fractions: Sequence[float],
+    method: str = "HC-O",
+    tau: int = 8,
+    k: int = 10,
+    context: WorkloadContext | None = None,
+) -> list[SweepPoint]:
+    """Measure one method across cache sizes (as file-size fractions)."""
+    context = _context_for(dataset, context, k)
+    out = []
+    for fraction in fractions:
+        if fraction <= 0:
+            raise ValueError("cache fractions must be positive")
+        result = Experiment(
+            dataset, method=method, tau=tau,
+            cache_bytes=int(dataset.file_bytes * fraction), k=k,
+        ).run(context=context)
+        out.append(SweepPoint("cache_fraction", fraction, result))
+    return out
+
+
+def k_sweep(
+    dataset: Dataset,
+    ks: Sequence[int],
+    method: str = "HC-O",
+    tau: int = 8,
+    cache_bytes: int | None = None,
+) -> list[SweepPoint]:
+    """Measure one method across result sizes.
+
+    Each ``k`` gets its own context (candidate sets depend on ``k``).
+    """
+    cache_bytes = cache_bytes or int(dataset.file_bytes * 0.3)
+    out = []
+    for k in ks:
+        context = WorkloadContext.prepare(dataset, k=k)
+        result = Experiment(
+            dataset, method=method, tau=tau, cache_bytes=cache_bytes, k=k
+        ).run(context=context)
+        out.append(SweepPoint("k", k, result))
+    return out
+
+
+def method_sweep(
+    dataset: Dataset,
+    methods: Sequence[str],
+    tau: int = 8,
+    cache_bytes: int | None = None,
+    k: int = 10,
+    context: WorkloadContext | None = None,
+) -> list[SweepPoint]:
+    """Measure several methods under one budget (Table-4 style)."""
+    context = _context_for(dataset, context, k)
+    cache_bytes = cache_bytes or int(dataset.file_bytes * 0.3)
+    out = []
+    for method in methods:
+        result = Experiment(
+            dataset, method=method, tau=tau, cache_bytes=cache_bytes, k=k
+        ).run(context=context)
+        out.append(SweepPoint("method", method, result))
+    return out
+
+
+def best_point(points: Sequence[SweepPoint], metric: str = "avg_refine_io") -> SweepPoint:
+    """The sweep point minimizing the given ExperimentResult attribute."""
+    if not points:
+        raise ValueError("empty sweep")
+    return min(points, key=lambda p: getattr(p.result, metric))

@@ -1,0 +1,27 @@
+"""Extensions sketched in the paper's conclusion (Section 7).
+
+The paper closes with: "we plan to extend our caching techniques for
+advanced operations (e.g., kNN join, density-based clustering) on
+high-dimensional data."  This package implements both operations on top
+of the caching machinery:
+
+* ``join``      — cached kNN joins (one cache amortized over a whole
+  batch of queries, where temporal locality is structural);
+* ``ranges``    — cached epsilon-range queries (the Algorithm-1 bound
+  logic specialized to a fixed radius);
+* ``clustering``— DBSCAN driven by cached range queries.
+"""
+
+from repro.extensions.clustering import DBSCANResult, dbscan
+from repro.extensions.join import JoinResult, knn_join, knn_self_join
+from repro.extensions.ranges import RangeResult, range_search
+
+__all__ = [
+    "DBSCANResult",
+    "JoinResult",
+    "RangeResult",
+    "dbscan",
+    "knn_join",
+    "knn_self_join",
+    "range_search",
+]

@@ -1,0 +1,88 @@
+"""Cached epsilon-range queries.
+
+The Algorithm-1 bound logic specialized to a fixed radius: a cached
+candidate with ``ub <= eps`` is *inside* the ball (no I/O), one with
+``lb > eps`` is *outside* (no I/O); only candidates whose interval
+straddles ``eps`` — plus cache misses — are fetched.  This is the
+primitive behind the density-based clustering extension.
+
+Correctness requires a *complete* candidate generator (linear scan,
+VA-file, or a tree index): an LSH candidate set may miss far-but-inside
+members of the ball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import exact_distances
+from repro.core.cache import PointCache
+from repro.storage.iostats import QueryIOTracker
+from repro.storage.pointfile import PointFile
+
+
+@dataclass(frozen=True)
+class RangeResult:
+    """Points within ``eps`` of the query.
+
+    Attributes:
+        ids: member ids (ascending).
+        confirmed_without_io: members admitted purely from cached bounds.
+        pruned_without_io: candidates rejected purely from cached bounds.
+        fetched: candidates resolved by disk fetches.
+        page_reads: refinement pages read.
+    """
+
+    ids: np.ndarray
+    confirmed_without_io: int
+    pruned_without_io: int
+    fetched: int
+    page_reads: int
+
+
+def range_search(
+    query: np.ndarray,
+    eps: float,
+    candidate_ids: np.ndarray,
+    cache: PointCache,
+    point_file: PointFile,
+) -> RangeResult:
+    """All candidates within distance ``eps`` of ``query``.
+
+    Args:
+        query: ``(d,)`` center.
+        eps: ball radius (inclusive).
+        candidate_ids: a superset of the ball members (from a complete
+            index or a full scan).
+        cache: any point cache; bounds of cached candidates decide
+            membership without I/O whenever possible.
+        point_file: disk-resident data for the undecided candidates.
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    query = np.asarray(query, dtype=np.float64)
+    candidate_ids = np.atleast_1d(np.asarray(candidate_ids, dtype=np.int64))
+    if candidate_ids.size == 0:
+        return RangeResult(np.empty(0, dtype=np.int64), 0, 0, 0, 0)
+    hits, lb, ub = cache.lookup(query, candidate_ids)
+    inside = ub <= eps
+    outside = lb > eps
+    undecided = ~inside & ~outside
+    tracker = QueryIOTracker()
+    members = [candidate_ids[inside]]
+    fetched = int(np.sum(undecided))
+    if fetched:
+        fetch_ids = candidate_ids[undecided]
+        points = point_file.fetch(fetch_ids, tracker)
+        dist = exact_distances(query, points)
+        members.append(fetch_ids[dist <= eps])
+    ids = np.sort(np.concatenate(members))
+    return RangeResult(
+        ids=ids,
+        confirmed_without_io=int(np.sum(inside)),
+        pruned_without_io=int(np.sum(outside)),
+        fetched=fetched,
+        page_reads=tracker.page_reads,
+    )

@@ -1,0 +1,33 @@
+"""Exact kNN index substrate: B+-tree, iDistance, VP-tree, R-tree, VA-file.
+
+All indexes answer exact kNN over the simulated disk, and each can be
+accelerated by the paper's caches: ``VAFileIndex`` plugs into the generic
+Algorithm-1 pipeline as a candidate generator, while the tree indexes
+(``IDistanceIndex``, ``VPTreeIndex``, ``RTreeIndex``) use the leaf-node
+cache adaptation of Section 3.6.1 through a shared best-first search.
+"""
+
+from repro.index.bptree import BPlusTree
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex, exact_knn
+from repro.index.mtree import MTreeIndex
+from repro.index.rtree import RTree, RTreeIndex
+from repro.index.treesearch import TreeSearchResult, cached_leaf_knn
+from repro.index.vafile import VAFileIndex
+from repro.index.vaplus import VAPlusFileIndex
+from repro.index.vptree import VPTreeIndex
+
+__all__ = [
+    "BPlusTree",
+    "IDistanceIndex",
+    "LinearScanIndex",
+    "MTreeIndex",
+    "RTree",
+    "RTreeIndex",
+    "TreeSearchResult",
+    "VAFileIndex",
+    "VAPlusFileIndex",
+    "VPTreeIndex",
+    "cached_leaf_knn",
+    "exact_knn",
+]

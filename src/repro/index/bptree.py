@@ -1,0 +1,177 @@
+"""An order-configurable B+-tree over scalar keys.
+
+The iDistance index maps one-dimensional distance keys to leaf nodes
+through a B+-tree (Jagadish et al., TODS 2005).  This implementation
+supports point/range search, single insertions and sorted bulk loading;
+leaves are chained for range scans.  Values are arbitrary Python objects
+(iDistance stores leaf-node ids).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: list[float] = field(default_factory=list)
+    # Leaf: values[i] corresponds to keys[i].  Internal: children has one
+    # more entry than keys; child i holds keys < keys[i].
+    values: list[Any] = field(default_factory=list)
+    children: list["_Node"] = field(default_factory=list)
+    next_leaf: "_Node | None" = None
+
+
+class BPlusTree:
+    """B+-tree keyed by floats.
+
+    Args:
+        order: maximum number of keys per node (>= 3).
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls, items: list[tuple[float, Any]], order: int = 32
+    ) -> "BPlusTree":
+        """Build from key-sorted ``(key, value)`` pairs (faster than inserts)."""
+        tree = cls(order=order)
+        keys = [k for k, _ in items]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("bulk_load requires key-sorted items")
+        if not items:
+            return tree
+        # Build leaf level: chunks of ~2/3 order for insert headroom.
+        chunk = max(2, (2 * order) // 3)
+        leaves: list[_Node] = []
+        for i in range(0, len(items), chunk):
+            part = items[i : i + chunk]
+            leaves.append(
+                _Node(leaf=True, keys=[k for k, _ in part], values=[v for _, v in part])
+            )
+        for a, b in zip(leaves, leaves[1:]):
+            a.next_leaf = b
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for i in range(0, len(level), chunk):
+                group = level[i : i + chunk]
+                node = _Node(leaf=False, children=group)
+                node.keys = [_min_key(child) for child in group[1:]]
+                parents.append(node)
+            level = parents
+        tree._root = level[0]
+        tree._size = len(items)
+        return tree
+
+    # ------------------------------------------------------------------
+    def insert(self, key: float, value: Any) -> None:
+        """Insert a key-value pair (duplicate keys allowed)."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False, keys=[sep], children=[root, right])
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key: float, value: Any):
+        if node.leaf:
+            pos = bisect.bisect_right(node.keys, key)
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+        else:
+            idx = bisect.bisect_right(node.keys, key)
+            split = self._insert(node.children[idx], key, value)
+            if split is not None:
+                sep, right = split
+                node.keys.insert(idx, sep)
+                node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> tuple[float, _Node]:
+        mid = len(node.keys) // 2
+        if node.leaf:
+            right = _Node(
+                leaf=True, keys=node.keys[mid:], values=node.values[mid:]
+            )
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            return right.keys[0], right
+        sep = node.keys[mid]
+        right = _Node(
+            leaf=False, keys=node.keys[mid + 1 :], children=node.children[mid + 1 :]
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    def _leaf_for(self, key: float) -> _Node:
+        """The leftmost leaf that can contain ``key`` (duplicates may span
+        several leaves; descending with bisect_left finds the first)."""
+        node = self._root
+        while not node.leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def search(self, key: float) -> list[Any]:
+        """All values stored under exactly ``key``."""
+        return [value for _, value in self.range_search(key, key)]
+
+    def range_search(self, lo: float, hi: float) -> Iterator[tuple[float, Any]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in order."""
+        if lo > hi:
+            return
+        node: _Node | None = self._leaf_for(lo)
+        while node is not None:
+            start = bisect.bisect_left(node.keys, lo)
+            for i in range(start, len(node.keys)):
+                if node.keys[i] > hi:
+                    return
+                yield node.keys[i], node.values[i]
+            node = node.next_leaf
+
+    def items(self) -> Iterator[tuple[float, Any]]:
+        """All pairs in key order."""
+        node: _Node | None = self._root
+        while node is not None and not node.leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+
+def _min_key(node: _Node) -> float:
+    while not node.leaf:
+        node = node.children[0]
+    return node.keys[0]

@@ -1,0 +1,211 @@
+"""iDistance: B+-tree kNN index over distance keys (Jagadish et al. 2005).
+
+Points are partitioned around k-means reference points; each point gets
+the one-dimensional key ``cluster_id * C + dist(p, center)`` and the keys
+are indexed by a B+-tree.  Leaf nodes (disk pages of points, grouped by
+key order and never crossing cluster boundaries) form the on-disk dataset;
+the B+-tree and cluster metadata stay in memory (the paper stores the
+index ``I`` in memory, Section 3.6.1).
+
+The triangle inequality gives each leaf a distance lower bound
+``max(0, d(q, center) - r_max, r_min - d(q, center))``, which drives the
+shared mindist-ordered search of ``repro.index.treesearch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import LeafNodeCache
+from repro.data.clustering import kmeans
+from repro.index.bptree import BPlusTree
+from repro.index.treesearch import TreeSearchResult, cached_leaf_knn
+from repro.storage.iostats import QueryIOTracker
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    leaf_id: int
+    cluster: int
+    r_min: float
+    r_max: float
+    point_ids: np.ndarray
+    first_page: int
+    n_pages: int
+
+
+class IDistanceIndex:
+    """iDistance with paged leaves and optional leaf-node caching.
+
+    Args:
+        points: ``(n, d)`` dataset.
+        n_refs: number of reference points (k-means centers).
+        page_size: disk page size for leaf layout.
+        value_bytes: stored size of one coordinate.
+        seed: RNG seed for k-means.
+        btree_order: order of the key B+-tree.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_refs: int = 16,
+        page_size: int = 4096,
+        value_bytes: int = 4,
+        seed: int = 0,
+        btree_order: int = 32,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.points = points
+        self.n_points, self.dim = points.shape
+        self.page_size = page_size
+        self.centers, labels = kmeans(points, n_refs, seed=seed)
+        radii = np.linalg.norm(points - self.centers[labels], axis=1)
+        # The key-space stride C must exceed any within-cluster radius.
+        self.stride = float(radii.max()) * 2.0 + 1.0
+        point_bytes = self.dim * value_bytes
+        per_leaf = max(1, page_size // point_bytes)
+        pages_per_leaf = max(1, -(-point_bytes * per_leaf // page_size))
+        order = np.lexsort((radii, labels))
+        self.leaves: list[_Leaf] = []
+        next_page = 0
+        i = 0
+        while i < self.n_points:
+            cluster = int(labels[order[i]])
+            j = i
+            while (
+                j < self.n_points
+                and j - i < per_leaf
+                and int(labels[order[j]]) == cluster
+            ):
+                j += 1
+            ids = order[i:j]
+            self.leaves.append(
+                _Leaf(
+                    leaf_id=len(self.leaves),
+                    cluster=cluster,
+                    r_min=float(radii[ids].min()),
+                    r_max=float(radii[ids].max()),
+                    point_ids=ids.astype(np.int64),
+                    first_page=next_page,
+                    n_pages=pages_per_leaf,
+                )
+            )
+            next_page += pages_per_leaf
+            i = j
+        self.total_pages = next_page
+        self.btree = BPlusTree.bulk_load(
+            [
+                (leaf.cluster * self.stride + leaf.r_min, leaf.leaf_id)
+                for leaf in self.leaves
+            ],
+            order=btree_order,
+        )
+
+    # ------------------------------------------------------------------
+    def key_of(self, point: np.ndarray, cluster: int | None = None) -> float:
+        """The iDistance key of a point (nearest cluster when unspecified)."""
+        point = np.asarray(point, dtype=np.float64)
+        dists = np.linalg.norm(self.centers - point, axis=1)
+        if cluster is None:
+            cluster = int(np.argmin(dists))
+        return cluster * self.stride + float(dists[cluster])
+
+    def leaf_contents(self, leaf_id: int) -> tuple[np.ndarray, np.ndarray]:
+        leaf = self.leaves[leaf_id]
+        return leaf.point_ids, self.points[leaf.point_ids]
+
+    def leaf_pages(self, leaf_id: int) -> tuple[int, int]:
+        leaf = self.leaves[leaf_id]
+        return leaf.first_page, leaf.n_pages
+
+    def leaves_in_key_range(self, lo: float, hi: float) -> list[int]:
+        """Leaf ids whose key interval intersects ``[lo, hi]`` (B+-tree scan).
+
+        A leaf starting before ``lo`` may still intersect, so the scan
+        backs up by one leaf per cluster segment.
+        """
+        hits = [leaf_id for _, leaf_id in self.btree.range_search(lo, hi)]
+        # Include the leaf whose start key is the last one <= lo.
+        best = None
+        for key, leaf_id in self.btree.items():
+            if key > lo:
+                break
+            best = leaf_id
+        if best is not None:
+            leaf = self.leaves[best]
+            if leaf.cluster * self.stride + leaf.r_max >= lo and best not in hits:
+                hits.insert(0, best)
+        return hits
+
+    def leaf_stream(self, query: np.ndarray):
+        """Leaves in ascending mindist order (triangle-inequality bound)."""
+        query = np.asarray(query, dtype=np.float64)
+        dq = np.linalg.norm(self.centers - query, axis=1)
+        bounds = np.empty(len(self.leaves), dtype=np.float64)
+        for idx, leaf in enumerate(self.leaves):
+            d = dq[leaf.cluster]
+            bounds[idx] = max(0.0, d - leaf.r_max, leaf.r_min - d)
+        for idx in np.argsort(bounds, kind="stable"):
+            yield float(bounds[idx]), int(idx)
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        cache: LeafNodeCache | None = None,
+        tracker: QueryIOTracker | None = None,
+    ) -> TreeSearchResult:
+        """Exact kNN with optional leaf-node caching (Section 3.6.1)."""
+        return cached_leaf_knn(
+            query,
+            k,
+            self.leaf_stream(query),
+            self.leaf_contents,
+            self.leaf_pages,
+            cache=cache,
+            tracker=tracker,
+        )
+
+    def leaf_access_frequencies(
+        self, workload_queries: np.ndarray, k: int
+    ) -> dict[int, int]:
+        """Leaf fetch counts under the workload (drives HFF leaf caching)."""
+        freqs: dict[int, int] = {}
+        for query in np.atleast_2d(np.asarray(workload_queries, dtype=np.float64)):
+            tracker = QueryIOTracker()
+            probe = _FrequencyProbe(self, query, k)
+            probe.run(tracker)
+            for leaf_id in probe.fetched:
+                freqs[leaf_id] = freqs.get(leaf_id, 0) + 1
+        return freqs
+
+
+class _FrequencyProbe:
+    """Runs an uncached search and records which leaves were fetched."""
+
+    def __init__(self, index: IDistanceIndex, query: np.ndarray, k: int) -> None:
+        self.index = index
+        self.query = query
+        self.k = k
+        self.fetched: list[int] = []
+
+    def run(self, tracker: QueryIOTracker) -> None:
+        def contents(leaf_id: int):
+            self.fetched.append(leaf_id)
+            return self.index.leaf_contents(leaf_id)
+
+        cached_leaf_knn(
+            self.query,
+            self.k,
+            self.index.leaf_stream(self.query),
+            contents,
+            self.index.leaf_pages,
+            cache=None,
+            tracker=tracker,
+        )

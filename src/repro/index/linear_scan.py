@@ -1,0 +1,47 @@
+"""Linear scan: the ground truth and the degenerate candidate generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.iostats import QueryIOTracker
+
+
+def exact_knn(
+    points: np.ndarray, query: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact k nearest neighbors by brute force (in memory, no I/O).
+
+    Returns ``(ids, distances)`` sorted ascending by distance (ties by id).
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    points = np.asarray(points, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    dists = np.sqrt(np.sum((points - query) ** 2, axis=1))
+    k = min(k, len(points))
+    top = np.argpartition(dists, k - 1)[:k] if k < len(points) else np.arange(len(points))
+    order = np.lexsort((top, dists[top]))
+    ids = top[order]
+    return ids.astype(np.int64), dists[ids]
+
+
+class LinearScanIndex:
+    """Candidate generator that reports the whole dataset.
+
+    Used for the NO-INDEX configuration and as the adversarial baseline: it
+    makes the refinement phase fetch (or prune) every point, showcasing how
+    much work the cache saves.  Generation itself costs no index I/O (there
+    is no index).
+    """
+
+    def __init__(self, n_points: int) -> None:
+        if n_points <= 0:
+            raise ValueError("n_points must be positive")
+        self.n_points = n_points
+
+    def candidates(
+        self, query: np.ndarray, k: int, tracker: QueryIOTracker | None = None
+    ) -> np.ndarray:
+        del query, k, tracker
+        return np.arange(self.n_points, dtype=np.int64)

@@ -1,0 +1,212 @@
+"""Bulk-loaded R-tree over high-dimensional points.
+
+Built STR-style by recursive median splits along the dimension of largest
+spread, producing balanced leaves with minimum bounding rectangles (MBRs).
+Two roles in the reproduction:
+
+* the substrate of the multi-dimensional histogram mHC-R (paper
+  Section 3.6.2): leaf MBRs become histogram buckets (exactly ``2**tau``
+  leaves when built with ``n_leaves``);
+* an exact tree index (``RTreeIndex``) whose kNN search feeds the shared
+  cached-leaf machinery — and whose poor high-dimensional pruning is what
+  Appendix B quantifies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import LeafNodeCache
+from repro.index.treesearch import TreeSearchResult, cached_leaf_knn
+from repro.storage.iostats import QueryIOTracker
+
+
+@dataclass
+class _Node:
+    lo: np.ndarray
+    hi: np.ndarray
+    is_leaf: bool
+    leaf_id: int = -1
+    children: list["_Node"] = field(default_factory=list)
+
+
+def _mindist(query: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> float:
+    below = np.maximum(lo - query, 0.0)
+    above = np.maximum(query - hi, 0.0)
+    return float(np.sqrt(np.sum((below + above) ** 2)))
+
+
+class RTree:
+    """Balanced bulk-loaded R-tree.
+
+    Exactly one of ``n_leaves`` (a power of two; used by mHC-R) or
+    ``leaf_capacity`` (points per leaf; used by the index role) controls
+    the partition depth.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_leaves: int | None = None,
+        leaf_capacity: int | None = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        if (n_leaves is None) == (leaf_capacity is None):
+            raise ValueError("specify exactly one of n_leaves / leaf_capacity")
+        if n_leaves is not None:
+            if n_leaves < 1 or (n_leaves & (n_leaves - 1)):
+                raise ValueError("n_leaves must be a positive power of two")
+            depth = n_leaves.bit_length() - 1
+        else:
+            if leaf_capacity < 1:
+                raise ValueError("leaf_capacity must be positive")
+            depth = None
+        self.points = points
+        self.n_points, self.dim = points.shape
+        self._leaf_capacity = leaf_capacity
+        self.leaf_ids: list[np.ndarray] = []
+        self.labels = np.empty(self.n_points, dtype=np.int64)
+        self.root = self._build(np.arange(self.n_points, dtype=np.int64), depth)
+        self.leaf_lo = np.stack(
+            [self.points[ids].min(axis=0) for ids in self.leaf_ids]
+        )
+        self.leaf_hi = np.stack(
+            [self.points[ids].max(axis=0) for ids in self.leaf_ids]
+        )
+
+    def _build(self, ids: np.ndarray, depth: int | None) -> _Node:
+        pts = self.points[ids]
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        stop = (
+            depth == 0
+            if depth is not None
+            else len(ids) <= self._leaf_capacity
+        ) or len(ids) <= 1
+        if stop:
+            leaf_id = len(self.leaf_ids)
+            self.leaf_ids.append(ids)
+            self.labels[ids] = leaf_id
+            return _Node(lo=lo, hi=hi, is_leaf=True, leaf_id=leaf_id)
+        split_dim = int(np.argmax(hi - lo))
+        order = np.argsort(pts[:, split_dim], kind="stable")
+        half = len(ids) // 2
+        child_depth = None if depth is None else depth - 1
+        left = self._build(ids[order[:half]], child_depth)
+        right = self._build(ids[order[half:]], child_depth)
+        return _Node(lo=lo, hi=hi, is_leaf=False, children=[left, right])
+
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_ids)
+
+    def _containing_leaf(self, node: _Node, p: np.ndarray) -> int | None:
+        """DFS for a leaf whose MBR contains ``p`` (MBRs may overlap, so a
+        greedy descent can dead-end; full containment search cannot)."""
+        if np.any(p < node.lo) or np.any(p > node.hi):
+            return None
+        if node.is_leaf:
+            return node.leaf_id
+        for child in node.children:
+            found = self._containing_leaf(child, p)
+            if found is not None:
+                return found
+        return None
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Leaf id for arbitrary points.
+
+        Prefers a leaf whose MBR *contains* the point (guaranteeing valid
+        distance bounds — every dataset point has one); points outside all
+        leaves fall back to least-enlargement descent.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        out = np.empty(len(points), dtype=np.int64)
+        for i, p in enumerate(points):
+            found = self._containing_leaf(self.root, p)
+            if found is not None:
+                out[i] = found
+                continue
+            node = self.root
+            while not node.is_leaf:
+                best, best_cost = None, None
+                for child in node.children:
+                    grow = np.maximum(child.lo - p, 0.0) + np.maximum(
+                        p - child.hi, 0.0
+                    )
+                    cost = float(np.sum(grow))
+                    if best is None or cost < best_cost:
+                        best, best_cost = child, cost
+                node = best
+            out[i] = node.leaf_id
+        return out
+
+    def average_leaf_width(self) -> float:
+        """Mean per-dimension MBR width (the ``w_br`` of Appendix B)."""
+        return float(np.mean(self.leaf_hi - self.leaf_lo))
+
+
+class RTreeIndex:
+    """Exact kNN over a paged R-tree with optional leaf caching."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_capacity: int | None = None,
+        page_size: int = 4096,
+        value_bytes: int = 4,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        point_bytes = points.shape[1] * value_bytes
+        if leaf_capacity is None:
+            leaf_capacity = max(1, page_size // point_bytes)
+        self.tree = RTree(points, leaf_capacity=leaf_capacity)
+        self.points = self.tree.points
+        self._pages_per_leaf = max(1, -(-point_bytes * leaf_capacity // page_size))
+        self.total_pages = self.tree.num_leaves * self._pages_per_leaf
+
+    def leaf_contents(self, leaf_id: int) -> tuple[np.ndarray, np.ndarray]:
+        ids = self.tree.leaf_ids[leaf_id]
+        return ids, self.points[ids]
+
+    def leaf_pages(self, leaf_id: int) -> tuple[int, int]:
+        return leaf_id * self._pages_per_leaf, self._pages_per_leaf
+
+    def leaf_stream(self, query: np.ndarray):
+        """Best-first traversal by MBR mindist (ascending lower bounds)."""
+        query = np.asarray(query, dtype=np.float64)
+        counter = 0
+        heap: list[tuple[float, int, _Node]] = [(0.0, counter, self.tree.root)]
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if node.is_leaf:
+                yield bound, node.leaf_id
+                continue
+            for child in node.children:
+                counter += 1
+                heapq.heappush(
+                    heap, (max(bound, _mindist(query, child.lo, child.hi)), counter, child)
+                )
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        cache: LeafNodeCache | None = None,
+        tracker: QueryIOTracker | None = None,
+    ) -> TreeSearchResult:
+        """Exact kNN with optional leaf-node caching."""
+        return cached_leaf_knn(
+            query,
+            k,
+            self.leaf_stream(query),
+            self.leaf_contents,
+            self.leaf_pages,
+            cache=cache,
+            tracker=tracker,
+        )

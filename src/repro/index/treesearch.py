@@ -1,0 +1,214 @@
+"""Shared kNN search over paged tree leaves with the leaf-node cache.
+
+Implements the paper's tree-index adaptation (Section 3.6.1): the in-
+memory part of the index streams leaves in ascending lower-bound
+(``mindist``) order; before a leaf is fetched from disk, the leaf-node
+cache is consulted.  A cached leaf yields per-point distance bounds at no
+I/O; those bounds tighten the pruning threshold and defer the leaf fetch,
+which the multi-step rule later performs only when some of its points can
+still qualify.
+
+The procedure is exact: every true kNN member is eventually resolved from
+disk (or its whole leaf is), and leaves are skipped only when their
+``mindist`` exceeds a valid upper bound on the k-th result distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.core.bounds import exact_distances
+from repro.core.cache import LeafNodeCache
+from repro.storage.iostats import QueryIOTracker
+
+
+@dataclass(frozen=True)
+class TreeQueryStats:
+    """Accounting for one tree-index query.
+
+    Attributes:
+        leaves_streamed: leaves whose ``mindist`` was examined.
+        leaf_fetches: leaves read from disk.
+        cached_leaf_hits: leaves answered from the leaf-node cache.
+        deferred_fetches: cached leaves that still had to be read later.
+        page_reads: disk pages read.
+        points_seen: points whose distance (or bound) was computed.
+    """
+
+    leaves_streamed: int
+    leaf_fetches: int
+    cached_leaf_hits: int
+    deferred_fetches: int
+    page_reads: int
+    points_seen: int
+
+
+@dataclass(frozen=True)
+class TreeSearchResult:
+    """kNN answer of a tree search: result ids, exact distances, stats."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: TreeQueryStats
+
+
+#: leaf_id -> (point_ids, points); in-memory payload access used after the
+#: page charge has been recorded.
+LeafContents = Callable[[int], tuple[np.ndarray, np.ndarray]]
+#: leaf_id -> (first_page, n_pages) for I/O charging.
+LeafPages = Callable[[int], tuple[int, int]]
+
+
+class _KthEstimate:
+    """The k-th smallest per-point upper estimate seen so far.
+
+    One estimate per point id: a point may be seen twice (cached upper
+    bound first, exact distance after a deferred leaf fetch), and counting
+    it twice would make the k-th estimate invalidly tight and prune true
+    results.  A repeated push *tightens* the point's estimate instead
+    (exact distance replacing the cached upper bound), so the threshold is
+    as sharp as an uncached search after every fetch.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._best: dict[int, float] = {}
+        self._kth: float = float("inf")
+        self._dirty = False
+
+    def push(self, point_id: int, value: float) -> None:
+        previous = self._best.get(point_id)
+        if previous is not None and previous <= value:
+            return
+        self._best[point_id] = value
+        if previous is None and len(self._best) <= self.k:
+            self._dirty = True
+        elif value < self._kth or previous is not None:
+            self._dirty = True
+
+    def value(self) -> float:
+        if self._dirty:
+            if len(self._best) < self.k:
+                self._kth = float("inf")
+            else:
+                self._kth = heapq.nsmallest(self.k, self._best.values())[-1]
+            self._dirty = False
+        return self._kth
+
+
+def cached_leaf_knn(
+    query: np.ndarray,
+    k: int,
+    leaf_stream: Iterator[tuple[float, int]],
+    leaf_contents: LeafContents,
+    leaf_pages: LeafPages,
+    cache: LeafNodeCache | None = None,
+    tracker: QueryIOTracker | None = None,
+) -> TreeSearchResult:
+    """Exact kNN over a mindist-ordered leaf stream with optional caching.
+
+    Args:
+        query: ``(d,)`` query point.
+        k: result size.
+        leaf_stream: yields ``(mindist, leaf_id)`` with non-decreasing
+            ``mindist`` (a valid lower bound on distances inside the leaf).
+        leaf_contents: in-memory leaf payload accessor.
+        leaf_pages: page extent of a leaf for I/O accounting.
+        cache: optional leaf-node cache (approximate or exact entries).
+        tracker: per-query I/O tracker.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    query = np.asarray(query, dtype=np.float64)
+    est = _KthEstimate(k)
+    resolved: dict[int, float] = {}
+    pending: list[tuple[float, int, int]] = []  # (lb, point_id, leaf_id)
+    fetched_leaves: set[int] = set()
+    leaves_streamed = 0
+    leaf_fetches = 0
+    cached_hits = 0
+    deferred = 0
+    points_seen = 0
+
+    def charge(leaf_id: int) -> None:
+        if tracker is None:
+            return
+        first, count = leaf_pages(leaf_id)
+        for page in range(first, first + count):
+            tracker.needs_read(page)
+
+    def fetch_leaf(leaf_id: int) -> None:
+        nonlocal leaf_fetches, points_seen
+        charge(leaf_id)
+        leaf_fetches += 1
+        fetched_leaves.add(leaf_id)
+        ids, pts = leaf_contents(leaf_id)
+        dists = exact_distances(query, pts)
+        points_seen += len(ids)
+        for pid, dist in zip(ids.tolist(), dists.tolist()):
+            resolved[pid] = dist
+            est.push(pid, dist)
+
+    for mindist, leaf_id in leaf_stream:
+        leaves_streamed += 1
+        if mindist > est.value():
+            break
+        hit = cache.lookup(query, leaf_id) if cache is not None else None
+        if hit is not None:
+            cached_hits += 1
+            ids, lb, ub = hit
+            points_seen += len(ids)
+            if np.array_equal(lb, ub):
+                # Exact cache entry: distances are known outright — the
+                # leaf never needs a disk read.
+                fetched_leaves.add(leaf_id)
+                for pid, dist in zip(ids.tolist(), lb.tolist()):
+                    resolved[pid] = dist
+                    est.push(pid, dist)
+                continue
+            for pid, u in zip(ids.tolist(), ub.tolist()):
+                est.push(pid, u)
+            for pid, bound in zip(ids.tolist(), lb.tolist()):
+                pending.append((bound, pid, leaf_id))
+        else:
+            fetch_leaf(leaf_id)
+
+    # Multi-step resolution of cached leaves: fetch a deferred leaf only
+    # while some of its points could still enter the top-k.
+    pending.sort()
+    for lb, pid, leaf_id in pending:
+        if leaf_id in fetched_leaves or pid in resolved:
+            continue
+        if lb > est.value():
+            break  # sorted ascending: everything after is pruned too
+        fetch_leaf(leaf_id)
+        deferred += 1
+
+    if not resolved:
+        empty = np.empty(0)
+        stats = TreeQueryStats(
+            leaves_streamed,
+            leaf_fetches,
+            cached_hits,
+            deferred,
+            tracker.page_reads if tracker else 0,
+            points_seen,
+        )
+        return TreeSearchResult(empty.astype(np.int64), empty, stats)
+
+    ids = np.fromiter(resolved.keys(), dtype=np.int64, count=len(resolved))
+    dists = np.fromiter(resolved.values(), dtype=np.float64, count=len(resolved))
+    order = np.lexsort((ids, dists))[: min(k, len(ids))]
+    stats = TreeQueryStats(
+        leaves_streamed=leaves_streamed,
+        leaf_fetches=leaf_fetches,
+        cached_leaf_hits=cached_hits,
+        deferred_fetches=deferred,
+        page_reads=tracker.page_reads if tracker else 0,
+        points_seen=points_seen,
+    )
+    return TreeSearchResult(ids[order], dists[order], stats)

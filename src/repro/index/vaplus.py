@@ -1,0 +1,145 @@
+"""VA+-file: vector approximation after a KLT rotation (Ferhatosmanoglu
+et al., CIKM 2000).
+
+The VA+-file improves the VA-file on non-uniform data in three steps:
+
+1. decorrelate the data with the Karhunen-Loeve transform (PCA rotation);
+2. allocate the bit budget *non-uniformly* across the transformed
+   dimensions, proportionally to their variance (high-energy dimensions
+   get more cells);
+3. quantize each dimension with a Lloyd-Max-style scalar quantizer
+   (equi-depth cells approximate it here, matching the paper's equi-depth
+   framing of approximation files).
+
+The original paper's authors skipped the VA+-file because the KLT "is not
+scalable for huge matrices on our datasets" (footnote 10); at this
+reproduction's scale the eigendecomposition is cheap, so the substrate is
+included for completeness.  Like ``VAFileIndex`` it acts as an exact
+candidate generator: phase-1 survivors contain every true kNN member.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import kth_smallest
+from repro.core.builders import build_equidepth
+from repro.core.domain import ValueDomain
+from repro.storage.iostats import QueryIOTracker
+
+
+class VAPlusFileIndex:
+    """VA+-file candidate generator.
+
+    Args:
+        points: ``(n, d)`` dataset (original space).
+        total_bits: bit budget per point, distributed across transformed
+            dimensions by variance (the classic ``b_j ~ log2 variance``
+            water-filling allocation, floored at 0 bits for near-constant
+            dimensions).
+        page_size: for the on-disk scan variant.
+        approximations_on_disk: charge sequential scan pages per query.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        total_bits: int | None = None,
+        page_size: int = 4096,
+        approximations_on_disk: bool = False,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.n_points, self.dim = points.shape
+        if total_bits is None:
+            total_bits = 6 * self.dim
+        if total_bits < self.dim:
+            raise ValueError("need at least one bit per dimension on average")
+        self.page_size = page_size
+        self.approximations_on_disk = approximations_on_disk
+
+        # 1. KLT: rotate onto the data's principal axes.
+        self.mean = points.mean(axis=0)
+        centered = points - self.mean
+        cov = centered.T @ centered / max(self.n_points - 1, 1)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        self.basis = eigvecs[:, order]  # columns = principal directions
+        self.variances = np.maximum(eigvals[order], 0.0)
+        transformed = centered @ self.basis
+
+        # 2. Variance-proportional bit allocation (greedy water-filling).
+        self.bits = self._allocate_bits(self.variances, total_bits)
+
+        # 3. Per-dimension equi-depth quantizers in the rotated space.
+        self._histograms = []
+        for j in range(self.dim):
+            domain = ValueDomain.from_column(transformed[:, j])
+            cells = max(1, 2 ** int(self.bits[j]))
+            self._histograms.append(build_equidepth(domain, cells))
+        self.codes = np.empty((self.n_points, self.dim), dtype=np.int64)
+        max_cells = max(h.num_buckets for h in self._histograms)
+        self._lowers = np.zeros((self.dim, max_cells))
+        self._uppers = np.zeros((self.dim, max_cells))
+        for j, hist in enumerate(self._histograms):
+            self.codes[:, j] = hist.lookup(transformed[:, j])
+            b = hist.num_buckets
+            self._lowers[j, :b] = hist.lowers
+            self._uppers[j, :b] = hist.uppers
+            if b < max_cells:
+                self._lowers[j, b:] = hist.lowers[-1]
+                self._uppers[j, b:] = hist.uppers[-1]
+        self.approximation_bytes = int(np.sum(self.bits)) * self.n_points // 8
+
+    @staticmethod
+    def _allocate_bits(variances: np.ndarray, total_bits: int) -> np.ndarray:
+        """Greedy allocation: each extra bit goes to the dimension whose
+        current quantization error (variance / 4**bits) is largest."""
+        d = len(variances)
+        bits = np.zeros(d, dtype=np.int64)
+        errors = variances.astype(np.float64).copy()
+        for _ in range(total_bits):
+            j = int(np.argmax(errors))
+            bits[j] += 1
+            errors[j] /= 4.0  # one more bit quarters the squared error
+        return bits
+
+    @property
+    def scan_pages(self) -> int:
+        return max(1, -(-self.approximation_bytes // self.page_size))
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Map original-space points into the KLT basis."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return (points - self.mean) @ self.basis
+
+    def bounds(self, query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Phase-1 bounds in the rotated space (rotation preserves L2)."""
+        tq = self.transform(query)[0]
+        lo, hi = self._lowers, self._uppers
+        q = tq[:, None]
+        below = np.maximum(lo - q, 0.0)
+        above = np.maximum(q - hi, 0.0)
+        lb2 = (below + above) ** 2
+        far = np.maximum(np.abs(q - lo), np.abs(q - hi))
+        ub2 = far**2
+        dims = np.arange(self.dim)[None, :]
+        lb = np.sqrt(np.sum(lb2[dims, self.codes], axis=1))
+        ub = np.sqrt(np.sum(ub2[dims, self.codes], axis=1))
+        return lb, ub
+
+    def candidates(
+        self, query: np.ndarray, k: int, tracker: QueryIOTracker | None = None
+    ) -> np.ndarray:
+        """Phase-1 survivors in ascending lower-bound order."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self.approximations_on_disk and tracker is not None:
+            for page in range(self.scan_pages):
+                tracker.needs_read(page)
+        lb, ub = self.bounds(query)
+        delta = kth_smallest(ub, min(k, self.n_points))
+        survivors = np.flatnonzero(lb <= delta)
+        order = np.argsort(lb[survivors], kind="stable")
+        return survivors[order].astype(np.int64)

@@ -1,0 +1,165 @@
+"""VP-tree: vantage-point tree for exact metric kNN (Yianilos 1993).
+
+Internal nodes hold a pivot and the median distance ``mu``; the inner
+child contains points within ``mu`` of the pivot, the outer child the
+rest.  Leaves are disk pages of points.  Best-first search yields leaves
+in ascending lower-bound order, feeding the shared cached-leaf search of
+Section 3.6.1 (the paper evaluates a VP-tree in Figure 16c, citing
+Boytsov & Naidan's implementation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import LeafNodeCache
+from repro.index.treesearch import TreeSearchResult, cached_leaf_knn
+from repro.storage.iostats import QueryIOTracker
+
+
+@dataclass
+class _Node:
+    is_leaf: bool
+    leaf_id: int = -1
+    pivot: np.ndarray | None = None
+    mu: float = 0.0
+    inner: "_Node | None" = None
+    outer: "_Node | None" = None
+    point_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+
+class VPTreeIndex:
+    """VP-tree with paged leaves and optional leaf caching.
+
+    Args:
+        points: ``(n, d)`` dataset.
+        leaf_capacity: points per leaf (default: one disk page's worth).
+        page_size / value_bytes: disk layout parameters.
+        seed: RNG seed for pivot selection.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_capacity: int | None = None,
+        page_size: int = 4096,
+        value_bytes: int = 4,
+        seed: int = 0,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError("points must be a non-empty (n, d) array")
+        self.points = points
+        self.n_points, self.dim = points.shape
+        self.page_size = page_size
+        point_bytes = self.dim * value_bytes
+        if leaf_capacity is None:
+            leaf_capacity = max(1, page_size // point_bytes)
+        self.leaf_capacity = leaf_capacity
+        self._pages_per_leaf = max(1, -(-point_bytes * leaf_capacity // page_size))
+        self._rng = np.random.default_rng(seed)
+        self._leaf_ids: list[np.ndarray] = []
+        self.root = self._build(np.arange(self.n_points, dtype=np.int64))
+        self.total_pages = len(self._leaf_ids) * self._pages_per_leaf
+
+    def _build(self, ids: np.ndarray) -> _Node:
+        if len(ids) <= self.leaf_capacity:
+            leaf_id = len(self._leaf_ids)
+            self._leaf_ids.append(ids)
+            return _Node(is_leaf=True, leaf_id=leaf_id, point_ids=ids)
+        pivot_pos = int(self._rng.integers(len(ids)))
+        pivot = self.points[ids[pivot_pos]]
+        dists = np.linalg.norm(self.points[ids] - pivot, axis=1)
+        mu = float(np.median(dists))
+        inner_mask = dists <= mu
+        # Guard against degenerate splits (all points at one distance).
+        if inner_mask.all() or not inner_mask.any():
+            half = len(ids) // 2
+            order = np.argsort(dists, kind="stable")
+            inner_mask = np.zeros(len(ids), dtype=bool)
+            inner_mask[order[:half]] = True
+            mu = float(dists[order[half - 1]])
+        return _Node(
+            is_leaf=False,
+            pivot=pivot,
+            mu=mu,
+            inner=self._build(ids[inner_mask]),
+            outer=self._build(ids[~inner_mask]),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaf_ids)
+
+    def leaf_contents(self, leaf_id: int) -> tuple[np.ndarray, np.ndarray]:
+        ids = self._leaf_ids[leaf_id]
+        return ids, self.points[ids]
+
+    def leaf_pages(self, leaf_id: int) -> tuple[int, int]:
+        return leaf_id * self._pages_per_leaf, self._pages_per_leaf
+
+    def leaf_stream(self, query: np.ndarray):
+        """Best-first traversal yielding leaves by ascending lower bound."""
+        query = np.asarray(query, dtype=np.float64)
+        counter = 0  # tie-breaker so heap never compares nodes
+        heap: list[tuple[float, int, _Node]] = [(0.0, counter, self.root)]
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if node.is_leaf:
+                yield bound, node.leaf_id
+                continue
+            d = float(np.linalg.norm(query - node.pivot))
+            inner_bound = max(bound, d - node.mu)
+            outer_bound = max(bound, node.mu - d)
+            counter += 1
+            heapq.heappush(heap, (inner_bound, counter, node.inner))
+            counter += 1
+            heapq.heappush(heap, (outer_bound, counter, node.outer))
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        cache: LeafNodeCache | None = None,
+        tracker: QueryIOTracker | None = None,
+    ) -> TreeSearchResult:
+        """Exact kNN with optional leaf-node caching."""
+        return cached_leaf_knn(
+            query,
+            k,
+            self.leaf_stream(query),
+            self.leaf_contents,
+            self.leaf_pages,
+            cache=cache,
+            tracker=tracker,
+        )
+
+    def leaf_access_frequencies(
+        self, workload_queries: np.ndarray, k: int
+    ) -> dict[int, int]:
+        """Leaf fetch counts under the workload (drives HFF leaf caching)."""
+        freqs: dict[int, int] = {}
+        for query in np.atleast_2d(np.asarray(workload_queries, dtype=np.float64)):
+            fetched: list[int] = []
+
+            def contents(leaf_id: int, _fetched=fetched):
+                _fetched.append(leaf_id)
+                return self.leaf_contents(leaf_id)
+
+            cached_leaf_knn(
+                query,
+                k,
+                self.leaf_stream(query),
+                contents,
+                self.leaf_pages,
+                cache=None,
+                tracker=QueryIOTracker(),
+            )
+            for leaf_id in fetched:
+                freqs[leaf_id] = freqs.get(leaf_id, 0) + 1
+        return freqs

@@ -1,0 +1,22 @@
+"""Locality-sensitive hashing substrate (candidate generation, Phase 1).
+
+``C2LSH`` (Gan et al., SIGMOD 2012) — dynamic collision counting with
+virtual rehashing — is the paper's primary index; a classic bucketed
+E2LSH implementation is included as a secondary candidate generator.
+"""
+
+from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams
+from repro.lsh.e2lsh import E2LSHIndex
+from repro.lsh.hashes import PStableHashFamily, collision_probability
+from repro.lsh.multiprobe import MultiProbeLSHIndex
+from repro.lsh.sklsh import SKLSHIndex
+
+__all__ = [
+    "C2LSHIndex",
+    "C2LSHParams",
+    "E2LSHIndex",
+    "MultiProbeLSHIndex",
+    "PStableHashFamily",
+    "SKLSHIndex",
+    "collision_probability",
+]

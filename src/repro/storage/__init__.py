@@ -1,0 +1,30 @@
+"""Simulated disk substrate: pages, I/O accounting, point files, orderings.
+
+The paper measures everything in units of disk page reads (4 KB pages, OS
+cache disabled).  This package provides a byte-accurate simulation of that
+storage layer so the candidate-refinement cost ``Trefine ~= Tio * Crefine``
+can be reproduced without physical disks.
+"""
+
+from repro.storage.bufferpool import BufferedPointFile, BufferPool
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.iostats import IOStats, QueryIOTracker
+from repro.storage.ordering import (
+    clustered_order,
+    raw_order,
+    sorted_key_order,
+)
+from repro.storage.pointfile import PointFile
+
+__all__ = [
+    "BufferPool",
+    "BufferedPointFile",
+    "DiskConfig",
+    "IOStats",
+    "PointFile",
+    "QueryIOTracker",
+    "SimulatedDisk",
+    "clustered_order",
+    "raw_order",
+    "sorted_key_order",
+]

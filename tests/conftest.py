@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic datasets and prepared contexts.
+
+Expensive artifacts (the tiny dataset, its workload context) are session-
+scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.domain import ValueDomain
+from repro.data.datasets import Dataset, load_dataset
+from repro.data.workload import generate_query_log
+from repro.eval.methods import WorkloadContext
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> Dataset:
+    """The registry 'tiny' dataset: 2000 x 16, 8-bit grid, Zipf log."""
+    return load_dataset("tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_context(tiny_dataset: Dataset) -> WorkloadContext:
+    """Workload context over the tiny dataset with the C2LSH index."""
+    return WorkloadContext.prepare(tiny_dataset, index_name="c2lsh", k=10, seed=0)
+
+
+@pytest.fixture(scope="session")
+def micro_points() -> np.ndarray:
+    """400 x 6 grid-valued points for fast index tests."""
+    rng = np.random.default_rng(7)
+    centers = rng.uniform(20, 200, size=(3, 6))
+    pts = np.concatenate(
+        [c + rng.normal(scale=12, size=(140, 6)) for c in centers]
+    )[:400]
+    return np.rint(np.clip(pts, 0, 255))
+
+
+@pytest.fixture(scope="session")
+def micro_dataset(micro_points: np.ndarray) -> Dataset:
+    log = generate_query_log(
+        micro_points, pool_size=40, workload_size=200, test_size=12, seed=3
+    )
+    return Dataset(
+        name="micro", points=micro_points, value_bits=8, query_log=log
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_domain(micro_points: np.ndarray) -> ValueDomain:
+    return ValueDomain.from_points(micro_points)
+
+
+def brute_force_knn_set(points: np.ndarray, query: np.ndarray, k: int) -> set[int]:
+    """All ids within the k-th smallest distance (tie-tolerant truth)."""
+    d = np.linalg.norm(points - query, axis=1)
+    kth = np.sort(d)[min(k, len(points)) - 1]
+    return set(np.flatnonzero(d <= kth + 1e-9).tolist())
+
+
+def assert_valid_knn(points: np.ndarray, query: np.ndarray, k: int, ids) -> None:
+    """Result must have k ids, all within the true k-th distance."""
+    ids = list(ids)
+    assert len(ids) == min(k, len(points))
+    assert len(set(ids)) == len(ids), "duplicate result ids"
+    truth = brute_force_knn_set(points, query, k)
+    assert set(ids) <= truth, f"non-kNN ids returned: {set(ids) - truth}"

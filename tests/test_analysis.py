@@ -1,0 +1,68 @@
+"""Report aggregation from benchmark CSVs."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.analysis import REPORT_SECTIONS, build_report
+from repro.eval.reporting import write_csv
+
+
+class TestBuildReport:
+    def test_renders_available_sections(self, tmp_path):
+        write_csv(tmp_path / "fig01_motivation.csv",
+                  ["dataset", "t"], [["a", 1], ["b", 2]])
+        text = build_report(tmp_path)
+        assert "# Benchmark results" in text
+        assert "| dataset | t |" in text
+        assert "| a | 1 |" in text
+        assert "_not yet run_" in text  # other sections missing
+
+    def test_writes_output_file(self, tmp_path):
+        write_csv(tmp_path / "abl_zipf.csv", ["s"], [[0.5]])
+        out = tmp_path / "RESULTS.md"
+        build_report(tmp_path, output=out)
+        assert out.exists()
+        assert "Ablation — workload skew" in out.read_text()
+
+    def test_missing_section_list(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "_missing:" in text
+        for name, _ in REPORT_SECTIONS:
+            assert name in text
+
+    def test_empty_csv_rejected(self, tmp_path):
+        (tmp_path / "fig14_k.csv").write_text("")
+        with pytest.raises(ValueError):
+            build_report(tmp_path)
+
+    def test_real_results_dir_if_present(self):
+        results = Path(__file__).parent.parent / "benchmarks" / "results"
+        if not results.exists():
+            pytest.skip("benchmarks not yet run")
+        text = build_report(results)
+        assert "Figure 11" in text
+
+
+class TestC2LSHT2:
+    def test_t2_never_enlarges_candidates(self):
+        import numpy as np
+
+        from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams
+
+        rng = np.random.default_rng(5)
+        centers = rng.uniform(0, 150, size=(3, 10))
+        pts = np.concatenate(
+            [c + rng.normal(scale=4, size=(200, 10)) for c in centers]
+        )
+        plain = C2LSHIndex(pts, C2LSHParams(use_t2=False), seed=1)
+        with_t2 = C2LSHIndex(pts, C2LSHParams(use_t2=True), seed=1)
+        for qi in (0, 150, 420):
+            q = pts[qi] + 0.05
+            c_plain = plain.candidates(q, 5)
+            c_t2 = with_t2.candidates(q, 5)
+            assert len(c_t2) <= len(c_plain)
+            # T2 only stops the radius expansion; whatever it returns is a
+            # subset of some earlier round's colliders, so the near point
+            # itself must still be found.
+            assert qi in c_t2

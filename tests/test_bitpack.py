@@ -1,0 +1,100 @@
+"""Bit-packing: exact roundtrips for every geometry, capacity accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitpack import BitPackedMatrix
+
+
+class TestGeometry:
+    def test_row_bytes_word_rounding(self):
+        bp = BitPackedMatrix(4, 150, 10)  # 1500 bits -> 24 words
+        assert bp.words_per_row == 24
+        assert bp.row_bytes == 192
+        assert bp.row_bits == 1500
+
+    def test_single_field(self):
+        bp = BitPackedMatrix(2, 1, 12)
+        assert bp.words_per_row == 1
+
+    def test_nbytes(self):
+        bp = BitPackedMatrix(10, 8, 8)
+        assert bp.nbytes == 10 * bp.words_per_row * 8
+
+    @pytest.mark.parametrize("bits", [0, 64, -1])
+    def test_rejects_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            BitPackedMatrix(1, 4, bits)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BitPackedMatrix(-1, 4, 8)
+
+
+class TestRoundtrip:
+    def test_straddling_words(self):
+        rng = np.random.default_rng(0)
+        bp = BitPackedMatrix(8, 13, 11)  # 143 bits: codes straddle words
+        codes = rng.integers(0, 2**11, size=(8, 13))
+        bp.set_rows(np.arange(8), codes)
+        assert np.array_equal(bp.get_rows(np.arange(8)), codes)
+
+    def test_max_values(self):
+        bp = BitPackedMatrix(1, 5, 7)
+        codes = np.full((1, 5), 127)
+        bp.set_rows(np.array([0]), codes)
+        assert np.array_equal(bp.get_rows(np.array([0])), codes)
+
+    def test_overwrite_slot(self):
+        bp = BitPackedMatrix(2, 3, 4)
+        bp.set_rows(np.array([1]), np.array([[1, 2, 3]]))
+        bp.set_rows(np.array([1]), np.array([[4, 5, 6]]))
+        assert bp.get_rows(np.array([1])).tolist() == [[4, 5, 6]]
+
+    def test_rejects_code_overflow(self):
+        bp = BitPackedMatrix(1, 2, 3)
+        with pytest.raises(ValueError):
+            bp.set_rows(np.array([0]), np.array([[8, 0]]))
+
+    def test_rejects_negative_codes(self):
+        bp = BitPackedMatrix(1, 2, 3)
+        with pytest.raises(ValueError):
+            bp.set_rows(np.array([0]), np.array([[-1, 0]]))
+
+    def test_rejects_bad_slot(self):
+        bp = BitPackedMatrix(2, 2, 3)
+        with pytest.raises(IndexError):
+            bp.set_rows(np.array([5]), np.array([[0, 0]]))
+        with pytest.raises(IndexError):
+            bp.get_rows(np.array([-1]))
+
+    def test_rejects_wrong_field_count(self):
+        bp = BitPackedMatrix(1, 3, 4)
+        with pytest.raises(ValueError):
+            bp.set_rows(np.array([0]), np.array([[1, 2]]))
+
+    @given(
+        n_fields=st.integers(1, 40),
+        bits=st.integers(1, 63),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_roundtrip(self, n_fields, bits, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 6))
+        bp = BitPackedMatrix(rows, n_fields, bits)
+        high = min(2**bits, 2**62)
+        codes = rng.integers(0, high, size=(rows, n_fields))
+        bp.set_rows(np.arange(rows), codes)
+        assert np.array_equal(bp.get_rows(np.arange(rows)), codes)
+
+    def test_rows_independent(self):
+        rng = np.random.default_rng(1)
+        bp = BitPackedMatrix(30, 9, 6)
+        codes = rng.integers(0, 64, size=(30, 9))
+        bp.set_rows(np.arange(30), codes)
+        bp.set_rows(np.array([7]), np.zeros((1, 9), dtype=int))
+        codes[7] = 0
+        assert np.array_equal(bp.get_rows(np.arange(30)), codes)

@@ -1,0 +1,106 @@
+"""B+-tree: inserts, bulk loading, range scans vs. a sorted-list oracle."""
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bptree import BPlusTree
+
+
+def _oracle_range(items, lo, hi):
+    keys = [k for k, _ in items]
+    i = bisect.bisect_left(keys, lo)
+    j = bisect.bisect_right(keys, hi)
+    return items[i:j]
+
+
+class TestInsertSearch:
+    def test_basic(self):
+        t = BPlusTree(order=4)
+        for k in [5, 1, 9, 3, 7]:
+            t.insert(float(k), f"v{k}")
+        assert t.search(3.0) == ["v3"]
+        assert t.search(8.0) == []
+        assert t.size == 5
+
+    def test_duplicates(self):
+        t = BPlusTree(order=3)
+        for _ in range(5):
+            t.insert(2.0, "dup")
+        assert t.search(2.0) == ["dup"] * 5
+
+    def test_splits_grow_height(self):
+        t = BPlusTree(order=3)
+        for k in range(50):
+            t.insert(float(k), k)
+        assert t.height >= 3
+        assert [k for k, _ in t.items()] == sorted(float(k) for k in range(50))
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+class TestBulkLoad:
+    def test_roundtrip(self):
+        items = [(float(k), k) for k in range(200)]
+        t = BPlusTree.bulk_load(items, order=8)
+        assert t.size == 200
+        assert list(t.items()) == items
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(2.0, 1), (1.0, 2)])
+
+    def test_empty(self):
+        t = BPlusTree.bulk_load([])
+        assert t.size == 0
+        assert list(t.items()) == []
+
+    def test_insert_after_bulk_load(self):
+        t = BPlusTree.bulk_load([(float(k), k) for k in range(0, 40, 2)], order=4)
+        t.insert(5.0, "five")
+        assert t.search(5.0) == ["five"]
+        keys = [k for k, _ in t.items()]
+        assert keys == sorted(keys)
+
+
+class TestRangeSearch:
+    def test_inclusive_bounds(self):
+        t = BPlusTree.bulk_load([(float(k), k) for k in range(10)], order=4)
+        got = list(t.range_search(3.0, 6.0))
+        assert [k for k, _ in got] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_empty_range(self):
+        t = BPlusTree.bulk_load([(float(k), k) for k in range(10)], order=4)
+        assert list(t.range_search(4.5, 4.6)) == []
+        assert list(t.range_search(6.0, 3.0)) == []
+
+    def test_range_spanning_leaves(self):
+        t = BPlusTree(order=3)
+        for k in range(100):
+            t.insert(float(k), k)
+        got = [v for _, v in t.range_search(10.0, 90.0)]
+        assert got == list(range(10, 91))
+
+    @given(
+        keys=st.lists(st.integers(0, 500), min_size=1, max_size=150),
+        lo=st.integers(0, 500),
+        span=st.integers(0, 200),
+        order=st.integers(3, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_oracle(self, keys, lo, span, order):
+        t = BPlusTree(order=order)
+        items = []
+        for i, k in enumerate(keys):
+            t.insert(float(k), i)
+            items.append((float(k), i))
+        items.sort(key=lambda kv: kv[0])
+        hi = lo + span
+        got = sorted(t.range_search(float(lo), float(hi)))
+        expect = sorted(_oracle_range(items, float(lo), float(hi)))
+        assert got == expect

@@ -1,0 +1,229 @@
+"""Histogram construction: heuristics, DPs, and the Algorithm-2 optimum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import (
+    build_equidepth,
+    build_equiwidth,
+    build_histogram,
+    build_knn_optimal,
+    build_knn_optimal_reference,
+    build_voptimal,
+    knn_optimal_bruteforce,
+)
+from repro.core.domain import ValueDomain
+from repro.core.metrics import m3, msse
+
+
+def _domain(values, counts=None):
+    values = np.asarray(values, dtype=np.float64)
+    if counts is None:
+        counts = np.ones(len(values), dtype=np.int64)
+    return ValueDomain(values, np.asarray(counts))
+
+
+class TestEquiWidth:
+    def test_buckets_have_equal_width(self):
+        dom = _domain([0, 1, 5, 8, 16])
+        hist = build_equiwidth(dom, 4)
+        assert np.allclose(hist.widths, 4.0)
+        assert hist.num_buckets == 4
+
+    def test_covers_domain(self):
+        dom = _domain(np.arange(100))
+        hist = build_equiwidth(dom, 8)
+        assert hist.covers(dom.values).all()
+
+    def test_single_value_domain(self):
+        dom = _domain([3.5])
+        hist = build_equiwidth(dom, 4)
+        assert hist.num_buckets == 1
+        assert hist.lookup(np.array([3.5]))[0] == 0
+
+    def test_frequencies_sum_to_total(self):
+        dom = _domain([0, 1, 5, 8, 16], [2, 3, 4, 5, 6])
+        hist = build_equiwidth(dom, 4)
+        assert hist.frequencies.sum() == 20
+
+
+class TestEquiDepth:
+    def test_balanced_mass(self):
+        dom = _domain(np.arange(64))
+        hist = build_equidepth(dom, 8)
+        assert hist.num_buckets == 8
+        assert np.all(hist.frequencies == 8)
+
+    def test_skewed_mass_gets_tight_buckets(self):
+        counts = np.ones(20, dtype=np.int64)
+        counts[0] = 1000
+        dom = _domain(np.arange(20), counts)
+        hist = build_equidepth(dom, 4)
+        # The heavy value must sit alone in its bucket.
+        code = hist.lookup(np.array([0.0]))[0]
+        assert hist.widths[code] == 0.0
+
+    def test_identity_when_enough_buckets(self):
+        dom = _domain([1, 2, 3])
+        hist = build_equidepth(dom, 8)
+        assert hist.num_buckets == 3
+        assert np.all(hist.widths == 0)
+
+
+class TestVOptimal:
+    def test_beats_equiwidth_on_sse(self):
+        rng = np.random.default_rng(0)
+        counts = np.concatenate([rng.integers(90, 110, 30), rng.integers(1, 5, 30)])
+        dom = _domain(np.arange(60), counts)
+        hv = build_voptimal(dom, 6)
+        hw = build_equiwidth(dom, 6)
+        assert msse(hv, dom) <= msse(hw, dom) + 1e-9
+
+    def test_respects_bucket_budget(self):
+        dom = _domain(np.arange(50))
+        assert build_voptimal(dom, 5).num_buckets <= 5
+
+    def test_zero_sse_with_constant_frequencies(self):
+        dom = _domain(np.arange(10), np.full(10, 7))
+        assert msse(build_voptimal(dom, 2), dom) == pytest.approx(0.0)
+
+
+class TestKnnOptimal:
+    def test_paper_figure6_example(self):
+        """The worked example of Section 3.3: data {3,4,10,12,22,24,30,31},
+        q=17, k=2 => QR={12,22}; the optimal histogram isolates 12 and 22
+        in zero-width buckets and achieves metric 0."""
+        dom = _domain([3, 4, 10, 12, 22, 24, 30, 31])
+        fprime = np.zeros(dom.size)
+        fprime[dom.index_of([12.0, 22.0])] = 1
+        hist = build_knn_optimal(dom, fprime, 4)
+        assert m3(hist, dom, fprime) == pytest.approx(0.0)
+        c12 = hist.lookup(np.array([12.0]))[0]
+        c22 = hist.lookup(np.array([22.0]))[0]
+        assert hist.widths[c12] == 0.0
+        assert hist.widths[c22] == 0.0
+
+    def test_matches_reference_implementation(self):
+        rng = np.random.default_rng(1)
+        for trial in range(5):
+            m = int(rng.integers(5, 40))
+            dom = _domain(np.sort(rng.choice(500, size=m, replace=False)))
+            fprime = rng.integers(0, 10, size=m).astype(float)
+            B = int(rng.integers(2, 8))
+            fast = build_knn_optimal(dom, fprime, B)
+            ref = build_knn_optimal_reference(dom, fprime, B)
+            assert m3(fast, dom, fprime) == pytest.approx(
+                m3(ref, dom, fprime)
+            ), f"trial {trial}"
+
+    def test_identity_when_buckets_cover_values(self):
+        dom = _domain([1, 5, 9])
+        hist = build_knn_optimal(dom, np.ones(3), 4)
+        assert np.all(hist.widths == 0)
+
+    def test_rejects_misaligned_fprime(self):
+        dom = _domain([1, 2, 3])
+        with pytest.raises(ValueError):
+            build_knn_optimal(dom, np.ones(5), 2)
+
+    def test_rejects_negative_fprime(self):
+        dom = _domain([1, 2, 3])
+        with pytest.raises(ValueError):
+            build_knn_optimal(dom, np.array([1.0, -1.0, 0.0]), 2)
+
+    def test_coarsened_dp_stays_close_to_exact(self):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.choice(5000, size=600, replace=False))
+        fprime = rng.pareto(1.5, size=600)
+        dom = _domain(values)
+        exact = build_knn_optimal(dom, fprime, 16, max_positions=600)
+        coarse = build_knn_optimal(dom, fprime, 16, max_positions=128)
+        exact_cost = m3(exact, dom, fprime)
+        coarse_cost = m3(coarse, dom, fprime)
+        assert coarse_cost >= exact_cost - 1e-9
+        assert coarse_cost <= 4.0 * exact_cost + 1e-9
+
+    @given(
+        values=st.lists(st.integers(0, 200), min_size=3, max_size=11, unique=True),
+        freqs=st.lists(st.integers(0, 9), min_size=11, max_size=11),
+        n_buckets=st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_dp_is_optimal(self, values, freqs, n_buckets):
+        """The vectorized DP matches exhaustive search on tiny domains."""
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        dom = _domain(values)
+        fprime = np.asarray(freqs[: len(values)], dtype=np.float64)
+        hist = build_knn_optimal(dom, fprime, n_buckets)
+        _, best = knn_optimal_bruteforce(dom, fprime, n_buckets)
+        assert m3(hist, dom, fprime) == pytest.approx(best)
+
+    def test_hco_never_worse_than_alternatives_on_m3(self, micro_domain):
+        rng = np.random.default_rng(5)
+        fprime = rng.integers(0, 6, size=micro_domain.size).astype(float)
+        B = 16
+        hco = build_knn_optimal(micro_domain, fprime, B)
+        for other in (
+            build_equiwidth(micro_domain, B),
+            build_equidepth(micro_domain, B),
+            build_voptimal(micro_domain, B),
+        ):
+            assert m3(hco, micro_domain, fprime) <= m3(
+                other, micro_domain, fprime
+            ) + 1e-9
+
+
+class TestVOptimalOptimality:
+    @given(
+        values=st.lists(st.integers(0, 100), min_size=3, max_size=10, unique=True),
+        counts=st.lists(st.integers(0, 20), min_size=10, max_size=10),
+        n_buckets=st.integers(2, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_dp_matches_exhaustive_sse(self, values, counts, n_buckets):
+        """The V-optimal DP reaches the exhaustive-search SSE optimum."""
+        import itertools
+
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        counts_arr = np.asarray(counts[: len(values)], dtype=np.int64)
+        dom = _domain(values, counts_arr)
+        hist = build_voptimal(dom, n_buckets)
+        got = msse(hist, dom)
+
+        def sse(starts):
+            bounds = list(starts) + [dom.size]
+            total = 0.0
+            for s, nxt in zip(bounds[:-1], bounds[1:]):
+                block = counts_arr[s:nxt].astype(float)
+                total += float(np.sum((block - block.mean()) ** 2))
+            return total
+
+        best = sse((0,))
+        for n_cuts in range(1, min(n_buckets - 1, dom.size - 1) + 1):
+            for cuts in itertools.combinations(range(1, dom.size), n_cuts):
+                best = min(best, sse((0,) + cuts))
+        assert got == pytest.approx(best)
+
+
+class TestDispatch:
+    def test_build_histogram_names(self):
+        dom = _domain(np.arange(20))
+        fprime = np.ones(20)
+        for name in ("equiwidth", "equidepth", "voptimal"):
+            assert build_histogram(name, dom, 4).num_buckets <= 4
+        assert build_histogram("knn-optimal", dom, 4, fprime).num_buckets <= 4
+
+    def test_knn_optimal_requires_fprime(self):
+        with pytest.raises(ValueError):
+            build_histogram("knn-optimal", _domain([1, 2]), 2)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_histogram("bogus", _domain([1, 2]), 2)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_buckets(self, bad):
+        with pytest.raises(ValueError):
+            build_equiwidth(_domain([1, 2]), bad)

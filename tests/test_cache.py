@@ -1,0 +1,200 @@
+"""Caches: capacity accounting, HFF/LRU policies, bound correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import (
+    ApproximateCache,
+    CachePolicy,
+    ExactCache,
+    LeafNodeCache,
+    NoCache,
+)
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(4)
+    points = np.rint(rng.uniform(0, 255, size=(200, 8)))
+    dom = ValueDomain.from_points(points)
+    encoder = GlobalHistogramEncoder(build_equidepth(dom, 16), 8)
+    return points, encoder
+
+
+class TestApproximateCache:
+    def test_capacity_word_rounded(self, setup):
+        points, encoder = setup
+        # 8 fields x 4 bits = 32 bits -> 1 word -> 8 bytes per item.
+        cache = ApproximateCache(encoder, 80, 200)
+        assert cache.max_items == 10
+
+    def test_populate_respects_capacity(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 80, 200)
+        added = cache.populate(np.arange(50), points[:50])
+        assert added == 10
+        assert cache.num_items == 10
+        assert cache.used_bytes <= 80
+
+    def test_hff_prefers_frequent(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 80, 200)
+        freqs = np.zeros(200)
+        freqs[100:105] = 9
+        freqs[10] = 100
+        cache.populate_hff(freqs, points)
+        assert cache.contains(np.array([10]))[0]
+        assert cache.contains(np.array([100]))[0]
+
+    def test_lookup_bounds_contain_distance(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 1 << 14, 200)
+        cache.populate(np.arange(200), points)
+        q = points[0] + 3.0
+        ids = np.arange(50)
+        hits, lb, ub = cache.lookup(q, ids)
+        assert hits.all()
+        dist = np.linalg.norm(points[:50] - q, axis=1)
+        assert np.all(lb <= dist + 1e-9)
+        assert np.all(dist <= ub + 1e-9)
+
+    def test_misses_get_trivial_bounds(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 80, 200)
+        cache.populate(np.arange(10), points[:10])
+        hits, lb, ub = cache.lookup(points[0], np.array([150]))
+        assert not hits[0]
+        assert lb[0] == 0.0
+        assert ub[0] == np.inf
+
+    def test_lru_eviction_order(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 24, 200, policy=CachePolicy.LRU)
+        assert cache.max_items == 3
+        cache.admit(np.array([0, 1, 2]), points[:3])
+        # Touch 0 so 1 becomes the LRU victim.
+        cache.lookup(points[0], np.array([0]))
+        cache.admit(np.array([3]), points[3:4])
+        assert cache.contains(np.array([0]))[0]
+        assert not cache.contains(np.array([1]))[0]
+        assert cache.contains(np.array([3]))[0]
+
+    def test_static_cache_ignores_admissions_when_full(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 24, 200, policy=CachePolicy.HFF)
+        cache.populate(np.array([0, 1, 2]), points[:3])
+        cache.admit(np.array([9]), points[9:10])
+        assert not cache.contains(np.array([9]))[0]
+
+    def test_zero_capacity(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 0, 200)
+        assert cache.max_items == 0
+        hits, _, _ = cache.lookup(points[0], np.arange(5))
+        assert not hits.any()
+
+
+class TestExactCache:
+    def test_exact_distances(self, setup):
+        points, _ = setup
+        cache = ExactCache(8, 1 << 14, 200)
+        cache.populate(np.arange(200), points)
+        q = points[3] + 1.0
+        hits, lb, ub = cache.lookup(q, np.arange(20))
+        dist = np.linalg.norm(points[:20] - q, axis=1)
+        assert hits.all()
+        assert np.allclose(lb, dist)
+        assert np.allclose(ub, dist)
+
+    def test_item_accounting_uses_value_bytes(self):
+        cache = ExactCache(8, 320, 100, value_bytes=4)
+        assert cache.max_items == 10  # 32 bytes per point
+
+    def test_fewer_items_than_approximate(self, setup):
+        points, encoder = setup
+        budget = 640
+        exact = ExactCache(8, budget, 200)
+        approx = ApproximateCache(encoder, budget, 200)
+        assert approx.max_items > exact.max_items
+
+    def test_lru_policy(self, setup):
+        points, _ = setup
+        cache = ExactCache(8, 64, 200, policy=CachePolicy.LRU)
+        assert cache.max_items == 2
+        cache.admit(np.array([0, 1]), points[:2])
+        cache.lookup(points[0], np.array([0]))
+        cache.admit(np.array([2]), points[2:3])
+        assert not cache.contains(np.array([1]))[0]
+        assert cache.contains(np.array([0]))[0]
+
+    def test_hff_population(self, setup):
+        points, _ = setup
+        cache = ExactCache(8, 96, 200)
+        freqs = np.zeros(200)
+        freqs[[7, 8, 9]] = [5, 4, 3]
+        cache.populate_hff(freqs, points)
+        assert cache.contains(np.array([7, 8, 9])).all()
+
+
+class TestNoCache:
+    def test_everything_misses(self):
+        cache = NoCache()
+        hits, lb, ub = cache.lookup(np.zeros(3), np.arange(4))
+        assert not hits.any()
+        assert np.all(lb == 0)
+        assert np.all(np.isinf(ub))
+        assert cache.max_items == 0
+
+
+class TestLeafNodeCache:
+    def test_capacity_limit(self, setup):
+        points, encoder = setup
+        cache = LeafNodeCache(encoder, 100)
+        ids = np.arange(10)
+        added = cache.try_add(0, ids, points[:10])
+        # 10 points x 8 bytes/row = 80 bytes -> fits.
+        assert added
+        assert not cache.try_add(1, ids, points[:10])  # would exceed 100
+
+    def test_exact_leaf_lookup(self, setup):
+        points, _ = setup
+        cache = LeafNodeCache(None, 1 << 12, exact=True)
+        cache.try_add(0, np.arange(5), points[:5])
+        ids, lb, ub = cache.lookup(points[0], 0)
+        dist = np.linalg.norm(points[:5] - points[0], axis=1)
+        assert np.allclose(lb, dist)
+        assert np.allclose(ub, dist)
+
+    def test_approximate_leaf_bounds(self, setup):
+        points, encoder = setup
+        cache = LeafNodeCache(encoder, 1 << 12)
+        cache.try_add(3, np.arange(20), points[:20])
+        q = points[1] + 2.0
+        ids, lb, ub = cache.lookup(q, 3)
+        dist = np.linalg.norm(points[:20] - q, axis=1)
+        assert np.all(lb <= dist + 1e-9)
+        assert np.all(dist <= ub + 1e-9)
+
+    def test_miss_returns_none(self, setup):
+        _, encoder = setup
+        cache = LeafNodeCache(encoder, 1 << 12)
+        assert cache.lookup(np.zeros(8), 42) is None
+
+    def test_populate_by_frequency(self, setup):
+        points, encoder = setup
+        cache = LeafNodeCache(encoder, 180)
+
+        def contents(leaf_id):
+            sl = slice(leaf_id * 10, leaf_id * 10 + 10)
+            return np.arange(sl.start, sl.stop), points[sl]
+
+        added = cache.populate_by_frequency({0: 5, 1: 9, 2: 1}, contents)
+        assert added == 2
+        assert 1 in cache and 0 in cache and 2 not in cache
+
+    def test_requires_encoder_unless_exact(self):
+        with pytest.raises(ValueError):
+            LeafNodeCache(None, 100, exact=False)

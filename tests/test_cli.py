@@ -1,0 +1,58 @@
+"""CLI: argument handling and command output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.method == "HC-O"
+        assert args.dataset == "tiny"
+        assert args.tau == 8
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--method", "HC-X"])
+
+    def test_compare_accepts_method_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--methods", "EXACT", "HC-O"]
+        )
+        assert args.methods == ["EXACT", "HC-O"]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "sogou-sim" in out and "HC-O" in out
+
+    def test_experiment_runs(self, capsys):
+        rc = main([
+            "experiment", "--dataset", "tiny", "--scale", "0.25",
+            "--method", "HC-D", "--tau", "5", "--k", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HC-D" in out and "t_response_s" in out
+
+    def test_compare_runs(self, capsys):
+        rc = main([
+            "compare", "--dataset", "tiny", "--scale", "0.25", "--tau", "5",
+            "--k", "5", "--methods", "NO-CACHE", "HC-O",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NO-CACHE" in out and "HC-O" in out
+
+    def test_tune_runs(self, capsys):
+        rc = main(["tune", "--dataset", "tiny", "--scale", "0.25", "--k", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tau*" in out

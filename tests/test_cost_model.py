@@ -1,0 +1,135 @@
+"""Cost model (Section 4): theorems hold, estimates track measurements."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equiwidth
+from repro.core.cost_model import (
+    CostModel,
+    optimal_tau,
+    optimal_tau_encoder,
+    packed_row_bytes,
+)
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+
+
+def _model(n=1000, dim=16, span=255.0, d_max=120.0, avg_c=200.0, seed=0):
+    rng = np.random.default_rng(seed)
+    freqs = np.sort(rng.zipf(1.3, size=n).astype(float))[::-1]
+    return CostModel(
+        dim=dim,
+        value_span=span,
+        d_max=d_max,
+        candidate_frequencies=freqs,
+        avg_candidates=avg_c,
+        lvalue_bits=32,
+    )
+
+
+class TestHitRatio:
+    def test_monotone_in_items(self):
+        model = _model()
+        hits = [model.hit_ratio(n) for n in (0, 10, 100, 1000, 5000)]
+        assert hits == sorted(hits)
+        assert hits[0] == 0.0
+        assert hits[-1] == pytest.approx(1.0)
+
+    def test_items_for_code_geometry(self):
+        model = _model(dim=16)
+        small = model.items_for(1 << 20, 4, 16)
+        big = model.items_for(1 << 20, 16, 16)
+        assert small > big
+
+    def test_exact_items(self):
+        model = _model(dim=16)
+        assert model.exact_items_for(640) == 10  # 16 dims x 4 bytes
+
+    def test_theorem1_bound(self):
+        model = _model()
+        # With tau = Lvalue the bound equals the exact hit ratio.
+        assert model.theorem1_bound(32, 0.5) == pytest.approx(0.5)
+        # Smaller codes allow proportionally more items.
+        assert model.theorem1_bound(8, 0.2) == pytest.approx(0.8)
+        assert model.theorem1_bound(1, 0.9) == 1.0
+
+    def test_theorem1_holds_for_hff(self):
+        """rho_hit <= (Lvalue / tau) * rho*_hit on the actual HFF curve."""
+        model = _model()
+        cache_bytes = 4096
+        exact_hit = model.hit_ratio(model.exact_items_for(cache_bytes))
+        for tau in (2, 4, 8, 16):
+            items = model.items_for(cache_bytes, tau, model.dim)
+            assert model.hit_ratio(items) <= model.theorem1_bound(tau, exact_hit) + 1e-9
+
+
+class TestRhoRefine:
+    def test_equiwidth_monotone_in_tau(self):
+        model = _model()
+        vals = [model.rho_refine_equiwidth(t) for t in range(1, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+        assert vals[0] <= 1.0
+
+    def test_encoder_variant_matches_closed_form_scale(self):
+        rng = np.random.default_rng(1)
+        points = np.rint(rng.uniform(0, 255, size=(400, 16)))
+        dom = ValueDomain.from_points(points)
+        model = _model()
+        tau = 4
+        enc = GlobalHistogramEncoder(build_equiwidth(dom, 2**tau), 16)
+        measured = model.rho_refine_encoder(enc, points[:50])
+        closed = model.rho_refine_equiwidth(tau)
+        # Closed form is an upper bound on the measured error ratio.
+        assert measured <= closed + 1e-9
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            _model().rho_refine_equiwidth(0)
+
+
+class TestEstimates:
+    def test_crefine_limits(self):
+        model = _model(avg_c=100.0)
+        assert model.estimate_crefine(0.0, 0.5) == pytest.approx(100.0)
+        assert model.estimate_crefine(1.0, 0.0) == pytest.approx(0.0)
+        assert model.estimate_crefine(1.0, 1.0) == pytest.approx(100.0)
+
+    def test_io_estimate_nonnegative(self):
+        model = _model()
+        for tau in range(1, 20):
+            assert model.estimate_io_equiwidth(1 << 16, tau) >= 0
+
+
+class TestOptimalTau:
+    def test_interior_optimum(self):
+        """Too-few bits hurt pruning; too-many hurt the hit ratio."""
+        model = _model(n=5000, dim=64, avg_c=400.0, d_max=80.0)
+        cache = 64 * 5000 // 4  # room for ~1/4 of the points at 8 bits
+        best = optimal_tau(model, cache, tau_range=(1, 20))
+        cost_best = model.estimate_io_equiwidth(cache, best)
+        assert cost_best <= model.estimate_io_equiwidth(cache, 1)
+        assert cost_best <= model.estimate_io_equiwidth(cache, 20)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            optimal_tau(_model(), 1024, tau_range=(0, 4))
+
+    def test_encoder_tuner(self):
+        rng = np.random.default_rng(2)
+        points = np.rint(rng.uniform(0, 255, size=(500, 16)))
+        dom = ValueDomain.from_points(points)
+        model = _model()
+
+        def factory(tau):
+            return GlobalHistogramEncoder(build_equiwidth(dom, 2**tau), 16)
+
+        best = optimal_tau_encoder(
+            model, 2048, factory, points[:30], tau_range=(2, 8)
+        )
+        assert 2 <= best <= 8
+
+
+class TestPackedRowBytes:
+    def test_word_rounding(self):
+        assert packed_row_bytes(150, 10) == 192
+        assert packed_row_bytes(1, 8) == 8

@@ -1,0 +1,78 @@
+"""The empirical distance-profile estimator of the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel
+
+
+def _model_with_profiles(profiles, **kwargs):
+    defaults = dict(
+        dim=16,
+        value_span=255.0,
+        d_max=100.0,
+        candidate_frequencies=np.ones(100),
+        avg_candidates=50.0,
+        distance_profiles=tuple(np.sort(np.asarray(p, float)) for p in profiles),
+    )
+    defaults.update(kwargs)
+    return CostModel(**defaults)
+
+
+class TestRhoRefineProfile:
+    def test_none_without_profiles(self):
+        model = _model_with_profiles([])
+        assert model.rho_refine_profile(5.0) is None
+
+    def test_zero_eps_refines_nothing_beyond_k(self):
+        # 10 candidates at distinct distances; eps=0 -> only the k results
+        # fall within dist_k, so the refinement fraction is 0.
+        model = _model_with_profiles([np.arange(1, 11)])
+        assert model.rho_refine_profile(0.0, k=3) == pytest.approx(0.0)
+
+    def test_huge_eps_refines_everything(self):
+        model = _model_with_profiles([np.arange(1, 11)])
+        out = model.rho_refine_profile(1e9, k=3)
+        assert out == pytest.approx((10 - 3) / 10)
+
+    def test_interpolates_between(self):
+        # dists 1..10, k=2 -> dist_k = 2; eps=3.5 covers dists <= 5.5,
+        # i.e. 5 candidates; beyond the 2 results: 3 of 10.
+        model = _model_with_profiles([np.arange(1, 11)])
+        assert model.rho_refine_profile(3.5, k=2) == pytest.approx(0.3)
+
+    def test_averages_over_queries(self):
+        model = _model_with_profiles([np.arange(1, 11), np.arange(1, 11) * 100])
+        # Query 1: eps=3.5 -> 0.3 as above; query 2: eps covers nothing
+        # beyond the k results -> 0.0.
+        assert model.rho_refine_profile(3.5, k=2) == pytest.approx(0.15)
+
+    def test_monotone_in_eps(self):
+        rng = np.random.default_rng(0)
+        model = _model_with_profiles([np.sort(rng.uniform(0, 100, 50))])
+        values = [model.rho_refine_profile(e, k=5) for e in (0, 5, 20, 80, 200)]
+        assert values == sorted(values)
+
+    def test_estimate_io_prefers_profiles(self):
+        with_profiles = _model_with_profiles([np.arange(1, 101)])
+        without = CostModel(
+            dim=16, value_span=255.0, d_max=100.0,
+            candidate_frequencies=np.ones(100), avg_candidates=50.0,
+        )
+        # Same cache/tau; the numbers differ because the sources differ.
+        a = with_profiles.estimate_io_equiwidth(1 << 16, 6)
+        b = without.estimate_io_equiwidth(1 << 16, 6)
+        assert a >= 0 and b >= 0
+
+    def test_estimator_is_conservative_on_uniform_profiles(self):
+        """On uniform distance profiles, the profile estimate is at most
+        the Theorem-3 closed form (which assumed uniformity to bound)."""
+        rng = np.random.default_rng(1)
+        d_max = 200.0
+        profiles = [np.sort(rng.uniform(0, d_max, 200)) for _ in range(20)]
+        model = _model_with_profiles(profiles, d_max=d_max)
+        for tau in (4, 6, 8):
+            eps = np.sqrt(model.dim) * model.value_span / 2**tau
+            emp = model.rho_refine_profile(eps, k=10)
+            closed = model.rho_refine_equiwidth(tau)
+            assert emp <= closed + 0.1

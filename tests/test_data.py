@@ -1,0 +1,162 @@
+"""Data substrate: synthetic generators, Zipf query logs, registry, k-means."""
+
+import numpy as np
+import pytest
+
+from repro.data.clustering import assign_labels, kmeans
+from repro.data.datasets import REGISTRY, Dataset, load_dataset
+from repro.data.synthetic import clustered_dataset, uniform_dataset
+from repro.data.workload import QueryLog, generate_query_log
+
+
+class TestSynthetic:
+    def test_shapes_and_grid(self):
+        pts = clustered_dataset(500, 12, value_bits=8, seed=0)
+        assert pts.shape == (500, 12)
+        assert pts.min() >= 0 and pts.max() <= 255
+        assert np.all(pts == np.rint(pts))
+
+    def test_determinism(self):
+        a = clustered_dataset(100, 6, seed=3)
+        b = clustered_dataset(100, 6, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_clustered_is_clustered(self):
+        """Clustered data has much smaller NN distances than uniform."""
+        n, d = 400, 24
+        clus = clustered_dataset(n, d, n_clusters=5, seed=0)
+        unif = uniform_dataset(n, d, seed=0)
+
+        def median_nn(pts):
+            d2 = np.sum((pts[:50, None] - pts[None]) ** 2, axis=2)
+            np.fill_diagonal(d2[:, :50], np.inf)
+            return np.median(np.sqrt(d2.min(axis=1)))
+
+        assert median_nn(clus) < 0.5 * median_nn(unif)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_dataset(0, 5)
+        with pytest.raises(ValueError):
+            clustered_dataset(10, 5, n_clusters=0)
+
+
+class TestWorkload:
+    def test_split_sizes(self):
+        pts = uniform_dataset(300, 4, seed=1)
+        log = generate_query_log(pts, pool_size=50, workload_size=400, test_size=30, seed=0)
+        assert log.workload.shape == (400, 4)
+        assert log.test.shape == (30, 4)
+
+    def test_zipf_skew_concentrates_popularity(self):
+        pts = uniform_dataset(300, 4, seed=1)
+        skewed = generate_query_log(
+            pts, pool_size=100, workload_size=2000, test_size=10, zipf_s=1.4, seed=0
+        )
+        flat = generate_query_log(
+            pts, pool_size=100, workload_size=2000, test_size=10, zipf_s=0.0, seed=0
+        )
+        top10_skewed = skewed.popularity()[:10].sum() / 2010
+        top10_flat = flat.popularity()[:10].sum() / 2010
+        assert top10_skewed > 2 * top10_flat
+
+    def test_popularity_is_total_log(self):
+        pts = uniform_dataset(100, 3, seed=2)
+        log = generate_query_log(pts, pool_size=20, workload_size=100, test_size=5, seed=0)
+        assert log.popularity().sum() == 105
+
+    def test_test_queries_come_from_same_pool(self):
+        pts = uniform_dataset(100, 3, seed=2)
+        log = generate_query_log(pts, pool_size=10, workload_size=50, test_size=20, seed=0)
+        pool_rows = {tuple(row) for row in log.pool}
+        assert all(tuple(row) in pool_rows for row in log.test)
+
+    def test_jitter_moves_queries_off_data(self):
+        pts = uniform_dataset(100, 3, seed=2)
+        log = generate_query_log(pts, pool_size=10, workload_size=5, test_size=5,
+                                 jitter=0.1, seed=0)
+        data_rows = {tuple(row) for row in pts}
+        assert any(tuple(row) not in data_rows for row in log.pool)
+
+    def test_validation(self):
+        pts = uniform_dataset(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            generate_query_log(pts, pool_size=0)
+        with pytest.raises(ValueError):
+            generate_query_log(pts, zipf_s=-1)
+        with pytest.raises(ValueError):
+            QueryLog(pts, np.array([99]), np.array([0]))
+
+
+class TestDatasetRegistry:
+    def test_tiny_load(self, tiny_dataset):
+        cfg = REGISTRY["tiny"]
+        assert tiny_dataset.num_points == cfg.n_points
+        assert tiny_dataset.dim == cfg.dim
+        assert tiny_dataset.query_log is not None
+
+    def test_scale(self):
+        ds = load_dataset("tiny", seed=0, scale=0.5)
+        assert ds.num_points == 1000
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_registry_names_match_paper(self):
+        assert {"nus-wide-sim", "imgnet-sim", "sogou-sim"} <= set(REGISTRY)
+        assert REGISTRY["nus-wide-sim"].dim == 150
+        assert REGISTRY["imgnet-sim"].dim == 150
+        assert REGISTRY["sogou-sim"].dim == 960
+
+    def test_dataset_helpers(self, tiny_dataset):
+        assert tiny_dataset.point_bytes == tiny_dataset.dim * 4
+        assert tiny_dataset.file_bytes == tiny_dataset.num_points * tiny_dataset.point_bytes
+        dom = tiny_dataset.domain
+        assert dom.size <= 256
+        dd = tiny_dataset.dimension_domain(0)
+        assert dd.counts.sum() == tiny_dataset.num_points
+
+    def test_from_points_discretizes(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(300, 5))
+        ds = Dataset.from_points("x", raw, value_bits=6, pool_size=20,
+                                 workload_size=50, test_size=5)
+        assert ds.points.max() <= 63
+        assert ds.query_log is not None
+
+    def test_with_query_log(self, tiny_dataset):
+        pts = tiny_dataset.points
+        log = generate_query_log(pts, pool_size=5, workload_size=10, test_size=2, seed=9)
+        ds2 = tiny_dataset.with_query_log(log)
+        assert ds2.query_log is log
+        assert ds2.points is tiny_dataset.points
+
+
+class TestKMeans:
+    def test_separable_clusters_recovered(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.5, size=(50, 4))
+        b = rng.normal(20, 0.5, size=(50, 4))
+        pts = np.concatenate([a, b])
+        centers, labels = kmeans(pts, 2, seed=1)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[99]
+
+    def test_labels_nearest_center(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(80, 3))
+        centers, labels = kmeans(pts, 4, seed=0)
+        assert np.array_equal(labels, assign_labels(pts, centers))
+
+    def test_clips_k_to_n(self):
+        pts = np.random.default_rng(0).normal(size=(3, 2))
+        centers, labels = kmeans(pts, 10, seed=0)
+        assert len(centers) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((5, 2)), 0)

@@ -1,0 +1,99 @@
+"""Unit tests for value domains and discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.domain import ValueDomain, discretize
+
+
+class TestDiscretize:
+    def test_range_is_respected(self):
+        pts = np.array([[0.0, 1.0], [0.5, -2.0]])
+        grid = discretize(pts, 8)
+        assert grid.min() >= 0
+        assert grid.max() <= 255
+        assert np.all(grid == np.rint(grid))
+
+    def test_constant_input_maps_to_zero(self):
+        grid = discretize(np.full((3, 4), 7.7), 10)
+        assert np.all(grid == 0)
+
+    def test_extremes_hit_grid_ends(self):
+        grid = discretize(np.array([[0.0], [1.0]]), 8)
+        assert grid[0, 0] == 0
+        assert grid[1, 0] == 255
+
+    def test_monotone(self):
+        vals = np.sort(np.random.default_rng(0).normal(size=100))
+        grid = discretize(vals.reshape(-1, 1), 6).ravel()
+        assert np.all(np.diff(grid) >= 0)
+
+    @pytest.mark.parametrize("bits", [0, 25, -3])
+    def test_rejects_bad_bits(self, bits):
+        with pytest.raises(ValueError):
+            discretize(np.zeros((2, 2)), bits)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, max_side=20),
+            elements=st.floats(-1e6, 1e6),
+        ),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_values_on_grid(self, pts, bits):
+        grid = discretize(pts, bits)
+        assert grid.min() >= 0
+        assert grid.max() <= 2**bits - 1
+        assert np.all(grid == np.rint(grid))
+
+
+class TestValueDomain:
+    def test_from_points_counts(self):
+        dom = ValueDomain.from_points(np.array([[1.0, 2.0], [2.0, 2.0]]))
+        assert dom.values.tolist() == [1.0, 2.0]
+        assert dom.counts.tolist() == [1, 3]
+        assert dom.size == 2
+        assert dom.span == 1.0
+
+    def test_from_column(self):
+        dom = ValueDomain.from_column(np.array([5.0, 5.0, 9.0]))
+        assert dom.values.tolist() == [5.0, 9.0]
+        assert dom.counts.tolist() == [2, 1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ValueDomain.from_points(np.empty((0, 3)))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            ValueDomain(np.array([2.0, 1.0]), np.array([1, 1]))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ValueDomain(np.array([1.0, 2.0]), np.array([1, -1]))
+
+    def test_index_of_members(self):
+        dom = ValueDomain(np.array([1.0, 4.0, 9.0]), np.array([1, 2, 3]))
+        assert dom.index_of(np.array([9.0, 1.0, 4.0])).tolist() == [2, 0, 1]
+
+    def test_index_of_non_member_raises(self):
+        dom = ValueDomain(np.array([1.0, 4.0]), np.array([1, 1]))
+        with pytest.raises(ValueError):
+            dom.index_of(np.array([2.0]))
+
+    def test_project_frequencies(self):
+        dom = ValueDomain(np.array([1.0, 4.0, 9.0]), np.array([1, 1, 1]))
+        freq = dom.project_frequencies(np.array([4.0, 4.0, 9.0]))
+        assert freq.tolist() == [0, 2, 1]
+
+    def test_project_frequencies_total(self, micro_domain, micro_points):
+        freq = micro_domain.project_frequencies(micro_points[:10].ravel())
+        assert freq.sum() == 10 * micro_points.shape[1]
+
+    def test_counts_cover_all_coordinates(self, micro_domain, micro_points):
+        assert micro_domain.counts.sum() == micro_points.size

@@ -1,0 +1,105 @@
+"""Point encoders: code geometry and rectangle containment."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth, build_knn_optimal
+from repro.core.domain import ValueDomain
+from repro.core.encoder import (
+    ExactEncoder,
+    GlobalHistogramEncoder,
+    IndividualHistogramEncoder,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(2)
+    return np.rint(rng.uniform(0, 255, size=(300, 10)))
+
+
+class TestGlobalEncoder:
+    def test_geometry(self, points):
+        dom = ValueDomain.from_points(points)
+        hist = build_equidepth(dom, 16)
+        enc = GlobalHistogramEncoder(hist, points.shape[1])
+        assert enc.n_fields == 10
+        assert enc.bits == 4
+        assert enc.bits_per_point == 40
+
+    def test_rectangles_contain_points(self, points):
+        dom = ValueDomain.from_points(points)
+        hist = build_equidepth(dom, 16)
+        enc = GlobalHistogramEncoder(hist, points.shape[1])
+        codes = enc.encode(points)
+        lo, hi = enc.rectangles(codes)
+        assert np.all(lo <= points)
+        assert np.all(points <= hi)
+
+    def test_dimension_check(self, points):
+        dom = ValueDomain.from_points(points)
+        enc = GlobalHistogramEncoder(build_equidepth(dom, 4), 10)
+        with pytest.raises(ValueError):
+            enc.encode(points[:, :5])
+
+    def test_codes_below_bucket_count(self, points):
+        dom = ValueDomain.from_points(points)
+        hist = build_equidepth(dom, 8)
+        enc = GlobalHistogramEncoder(hist, 10)
+        assert enc.encode(points).max() < hist.num_buckets
+
+
+class TestIndividualEncoder:
+    def _encoder(self, points):
+        hists = []
+        for j in range(points.shape[1]):
+            dom = ValueDomain.from_column(points[:, j])
+            hists.append(build_equidepth(dom, 8))
+        return IndividualHistogramEncoder(hists)
+
+    def test_rectangles_contain_points(self, points):
+        enc = self._encoder(points)
+        codes = enc.encode(points)
+        lo, hi = enc.rectangles(codes)
+        assert np.all(lo <= points)
+        assert np.all(points <= hi)
+
+    def test_bits_is_max_over_dimensions(self, points):
+        doms = [ValueDomain.from_column(points[:, j]) for j in range(3)]
+        hists = [
+            build_equidepth(doms[0], 4),
+            build_equidepth(doms[1], 16),
+            build_equidepth(doms[2], 2),
+        ]
+        enc = IndividualHistogramEncoder(hists)
+        assert enc.bits == 4
+        assert enc.dim == 3
+
+    def test_per_dimension_knn_optimal(self, points):
+        hists = []
+        for j in range(points.shape[1]):
+            dom = ValueDomain.from_column(points[:, j])
+            fprime = np.ones(dom.size)
+            hists.append(build_knn_optimal(dom, fprime, 8))
+        enc = IndividualHistogramEncoder(hists)
+        codes = enc.encode(points)
+        lo, hi = enc.rectangles(codes)
+        assert np.all((lo <= points) & (points <= hi))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndividualHistogramEncoder([])
+
+
+class TestExactEncoder:
+    def test_identity_rectangles(self, points):
+        enc = ExactEncoder(10, value_bits=8)
+        codes = enc.encode(points)
+        lo, hi = enc.rectangles(codes)
+        assert np.array_equal(lo, points)
+        assert np.array_equal(lo, hi)
+
+    def test_rejects_overflow(self):
+        enc = ExactEncoder(2, value_bits=4)
+        with pytest.raises(ValueError):
+            enc.encode(np.array([[20.0, 0.0]]))

@@ -1,0 +1,116 @@
+"""QR multiset and the workload frequency arrays F' / F'_j."""
+
+import numpy as np
+import pytest
+
+from repro.core.domain import ValueDomain
+from repro.core.frequency import (
+    QRSet,
+    compute_qr,
+    fprime_global,
+    fprime_per_dimension,
+)
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    rng = np.random.default_rng(9)
+    points = np.rint(rng.uniform(0, 63, size=(120, 4)))
+    queries = np.vstack([points[3], points[3], points[50]])  # 3 repeated
+    return points, queries
+
+
+class TestComputeQR:
+    def test_shapes_and_weights(self, small_world):
+        points, queries = small_world
+        qr = compute_qr(points, queries, k=3)
+        assert qr.point_ids.shape == (2, 3)  # 2 distinct queries
+        assert sorted(qr.weights.tolist()) == [1, 2]
+
+    def test_members_are_true_nearest(self, small_world):
+        points, queries = small_world
+        qr = compute_qr(points, queries, k=3)
+        uniq = np.unique(queries, axis=0)
+        for q, row in zip(uniq, qr.point_ids):
+            d = np.linalg.norm(points - q, axis=1)
+            kth = np.sort(d)[2]
+            assert np.all(d[row] <= kth + 1e-9)
+
+    def test_rows_sorted_by_distance(self, small_world):
+        points, queries = small_world
+        qr = compute_qr(points, queries, k=5)
+        uniq = np.unique(queries, axis=0)
+        for q, row in zip(uniq, qr.point_ids):
+            d = np.linalg.norm(points[row] - q, axis=1)
+            assert np.all(np.diff(d) >= -1e-9)
+
+    def test_candidate_sets_restrict_choice(self, small_world):
+        points, queries = small_world
+        uniq = np.unique(queries, axis=0)
+        cand_sets = [np.array([1, 2, 3]), np.array([4, 5])]
+        qr = compute_qr(points, queries, k=2, candidate_sets=cand_sets)
+        for row, cands in zip(qr.point_ids, cand_sets):
+            members = row[row >= 0]
+            assert set(members.tolist()) <= set(cands.tolist())
+
+    def test_short_candidate_sets_pad_with_minus_one(self, small_world):
+        points, queries = small_world
+        cand_sets = [np.array([1]), np.empty(0, dtype=int)]
+        qr = compute_qr(points, queries, k=3, candidate_sets=cand_sets)
+        assert (qr.point_ids[0] == -1).sum() == 2
+        assert (qr.point_ids[1] == -1).all()
+
+    def test_wrong_candidate_set_count(self, small_world):
+        points, queries = small_world
+        with pytest.raises(ValueError):
+            compute_qr(points, queries, k=2, candidate_sets=[np.array([0])])
+
+    def test_invalid_k(self, small_world):
+        points, queries = small_world
+        with pytest.raises(ValueError):
+            compute_qr(points, queries, k=0)
+
+
+class TestFPrime:
+    def test_total_mass(self, small_world):
+        points, queries = small_world
+        dom = ValueDomain.from_points(points)
+        qr = compute_qr(points, queries, k=3)
+        fprime = fprime_global(dom, points, qr)
+        # 3 submissions x 3 members x 4 coordinates.
+        assert fprime.sum() == 3 * 3 * 4
+
+    def test_weights_multiply_contributions(self, small_world):
+        points, _ = small_world
+        dom = ValueDomain.from_points(points)
+        base = QRSet(np.array([[0, 1]]), np.array([1]))
+        double = QRSet(np.array([[0, 1]]), np.array([2]))
+        f1 = fprime_global(dom, points, base)
+        f2 = fprime_global(dom, points, double)
+        assert np.array_equal(f2, 2 * f1)
+
+    def test_per_dimension_decomposition_sums_to_global(self, small_world):
+        """Section 3.6.2: F' = sum_j F'_j when domains coincide."""
+        points, queries = small_world
+        qr = compute_qr(points, queries, k=3)
+        dom = ValueDomain.from_points(points)
+        dims = [ValueDomain.from_column(points[:, j]) for j in range(4)]
+        f_global = fprime_global(dom, points, qr)
+        f_dims = fprime_per_dimension(dims, points, qr)
+        total = np.zeros(dom.size)
+        for j, fj in enumerate(f_dims):
+            idx = dom.index_of(dims[j].values)
+            total[idx] += fj
+        assert np.array_equal(total.astype(int), f_global)
+
+    def test_per_dimension_requires_matching_domains(self, small_world):
+        points, queries = small_world
+        qr = compute_qr(points, queries, k=2)
+        with pytest.raises(ValueError):
+            fprime_per_dimension([ValueDomain.from_column(points[:, 0])], points, qr)
+
+    def test_empty_rows_are_skipped(self, small_world):
+        points, _ = small_world
+        dom = ValueDomain.from_points(points)
+        qr = QRSet(np.array([[-1, -1]]), np.array([5]))
+        assert fprime_global(dom, points, qr).sum() == 0

@@ -1,0 +1,120 @@
+"""Unit and property tests for the Histogram container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domain import ValueDomain
+from repro.core.histogram import Histogram
+
+
+def _simple_domain():
+    return ValueDomain(
+        np.array([0.0, 2.0, 5.0, 7.0, 11.0]), np.array([3, 1, 4, 1, 5])
+    )
+
+
+class TestConstruction:
+    def test_from_splits_tight_buckets(self):
+        dom = _simple_domain()
+        hist = Histogram.from_splits(dom, np.array([0, 2, 4]))
+        assert hist.lowers.tolist() == [0.0, 5.0, 11.0]
+        assert hist.uppers.tolist() == [2.0, 7.0, 11.0]
+        assert hist.frequencies.tolist() == [4, 5, 5]
+
+    def test_from_splits_requires_leading_zero(self):
+        with pytest.raises(ValueError):
+            Histogram.from_splits(_simple_domain(), np.array([1, 3]))
+
+    def test_from_splits_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            Histogram.from_splits(_simple_domain(), np.array([0, 7]))
+
+    def test_identity(self):
+        dom = _simple_domain()
+        hist = Histogram.identity(dom)
+        assert hist.num_buckets == dom.size
+        assert np.all(hist.widths == 0)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+
+    def test_rejects_inverted_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram(np.array([2.0]), np.array([1.0]))
+
+    def test_rejects_mismatched_frequencies(self):
+        with pytest.raises(ValueError):
+            Histogram(np.array([0.0]), np.array([1.0]), np.array([1, 2]))
+
+
+class TestLookup:
+    def test_code_length(self):
+        dom = _simple_domain()
+        assert Histogram.from_splits(dom, np.array([0])).code_length == 1
+        assert Histogram.from_splits(dom, np.array([0, 2, 3, 4])).code_length == 2
+        assert Histogram.identity(dom).code_length == 3
+
+    def test_lookup_members(self):
+        dom = _simple_domain()
+        hist = Histogram.from_splits(dom, np.array([0, 2, 4]))
+        codes = hist.lookup(np.array([0.0, 2.0, 5.0, 7.0, 11.0]))
+        assert codes.tolist() == [0, 0, 1, 1, 2]
+
+    def test_lookup_clamps_beyond_range(self):
+        dom = _simple_domain()
+        hist = Histogram.from_splits(dom, np.array([0, 2]))
+        assert hist.lookup(np.array([999.0]))[0] == hist.num_buckets - 1
+        assert hist.lookup(np.array([-999.0]))[0] == 0
+
+    def test_covers_members(self):
+        dom = _simple_domain()
+        hist = Histogram.from_splits(dom, np.array([0, 1, 3]))
+        assert hist.covers(dom.values).all()
+
+    def test_decode_bounds_roundtrip(self):
+        dom = _simple_domain()
+        hist = Histogram.from_splits(dom, np.array([0, 2]))
+        codes = hist.lookup(dom.values)
+        lo, hi = hist.decode_bounds(codes)
+        assert np.all(lo <= dom.values)
+        assert np.all(dom.values <= hi)
+
+    def test_decode_bounds_rejects_bad_code(self):
+        hist = Histogram(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(IndexError):
+            hist.decode_bounds(np.array([5]))
+
+    def test_interval(self):
+        hist = Histogram(np.array([0.0, 3.0]), np.array([1.0, 8.0]))
+        assert hist.interval(1) == (3.0, 8.0)
+
+    def test_storage_bytes_positive(self):
+        hist = Histogram(np.array([0.0]), np.array([1.0]))
+        assert hist.storage_bytes() >= 16
+
+
+@given(
+    values=st.lists(
+        st.integers(0, 1000), min_size=2, max_size=60, unique=True
+    ),
+    n_splits=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_membership_always_covered(values, n_splits, seed):
+    """Every domain value decodes to a bucket that contains it."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    dom = ValueDomain(values, np.ones(len(values), dtype=np.int64))
+    rng = np.random.default_rng(seed)
+    cuts = rng.choice(
+        np.arange(1, dom.size), size=min(n_splits, dom.size - 1), replace=False
+    )
+    starts = np.sort(np.concatenate([[0], cuts]))
+    hist = Histogram.from_splits(dom, starts)
+    codes = hist.lookup(values)
+    lo, hi = hist.decode_bounds(codes)
+    assert np.all(lo <= values)
+    assert np.all(values <= hi)

@@ -1,0 +1,203 @@
+"""Exact indexes: iDistance, VP-tree, R-tree, VA-file, linear scan.
+
+Every index must return true kNN (tie-tolerant), with and without leaf
+caching, and caching must reduce I/O.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import LeafNodeCache
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex, exact_knn
+from repro.index.rtree import RTree, RTreeIndex
+from repro.index.vafile import VAFileIndex
+from repro.index.vptree import VPTreeIndex
+from repro.storage.iostats import QueryIOTracker
+from tests.conftest import assert_valid_knn
+
+
+@pytest.fixture(scope="module")
+def encoder(micro_points):
+    dom = ValueDomain.from_points(micro_points)
+    return GlobalHistogramEncoder(build_equidepth(dom, 16), micro_points.shape[1])
+
+
+def _leaf_cache(index, encoder, budget, workload, k=5, exact=False):
+    cache = LeafNodeCache(None if exact else encoder, budget, exact=exact)
+    freqs = index.leaf_access_frequencies(workload, k)
+    cache.populate_by_frequency(freqs, index.leaf_contents)
+    return cache
+
+
+class TestExactKNN:
+    def test_matches_numpy(self, micro_points):
+        q = micro_points[17] + 0.3
+        ids, dists = exact_knn(micro_points, q, 5)
+        ref = np.sort(np.linalg.norm(micro_points - q, axis=1))[:5]
+        assert np.allclose(np.sort(dists), ref)
+        assert np.all(np.diff(dists) >= -1e-12)
+
+    def test_k_caps_at_n(self, micro_points):
+        ids, _ = exact_knn(micro_points[:3], micro_points[0], 10)
+        assert len(ids) == 3
+
+    def test_invalid_k(self, micro_points):
+        with pytest.raises(ValueError):
+            exact_knn(micro_points, micro_points[0], 0)
+
+
+class TestLinearScanIndex:
+    def test_returns_all_ids(self):
+        idx = LinearScanIndex(42)
+        assert len(idx.candidates(np.zeros(3), 5)) == 42
+
+
+@pytest.mark.parametrize("index_cls", [IDistanceIndex, VPTreeIndex, RTreeIndex])
+class TestTreeIndexes:
+    @pytest.fixture()
+    def index(self, index_cls, micro_points):
+        if index_cls is RTreeIndex:
+            return index_cls(micro_points)
+        return index_cls(micro_points, seed=0)
+
+    @pytest.mark.parametrize("k", [1, 4, 11])
+    def test_uncached_exactness(self, index, micro_points, k):
+        for q in micro_points[::60]:
+            res = index.search(q + 0.4, k, tracker=QueryIOTracker())
+            assert_valid_knn(micro_points, q + 0.4, k, res.ids)
+
+    def test_leaf_stream_monotone(self, index, micro_points):
+        bounds = [b for b, _ in index.leaf_stream(micro_points[0])]
+        assert all(a <= b + 1e-12 for a, b in zip(bounds, bounds[1:]))
+
+    def test_cached_exactness_and_io(
+        self, index, index_cls, micro_points, micro_dataset, encoder
+    ):
+        if index_cls is RTreeIndex:
+            freqs = {i: 1 for i in range(index.tree.num_leaves)}
+            cache = LeafNodeCache(encoder, 1 << 13)
+            cache.populate_by_frequency(freqs, index.leaf_contents)
+        else:
+            cache = _leaf_cache(
+                index, encoder, 1 << 13, micro_dataset.query_log.workload
+            )
+        assert cache.num_leaves > 0
+        total_cached, total_plain = 0, 0
+        for q in micro_dataset.query_log.test:
+            t1, t2 = QueryIOTracker(), QueryIOTracker()
+            r_cached = index.search(q, 5, cache=cache, tracker=t1)
+            r_plain = index.search(q, 5, cache=None, tracker=t2)
+            assert_valid_knn(micro_points, q, 5, r_cached.ids)
+            assert set(r_cached.ids.tolist()) <= set(
+                np.flatnonzero(
+                    np.linalg.norm(micro_points - q, axis=1)
+                    <= np.sort(np.linalg.norm(micro_points - q, axis=1))[4] + 1e-9
+                ).tolist()
+            )
+            total_cached += t1.page_reads
+            total_plain += t2.page_reads
+        assert total_cached <= total_plain
+
+
+class TestIDistanceSpecifics:
+    def test_leaves_partition_points(self, micro_points):
+        idx = IDistanceIndex(micro_points, seed=0)
+        all_ids = np.concatenate([leaf.point_ids for leaf in idx.leaves])
+        assert sorted(all_ids.tolist()) == list(range(len(micro_points)))
+
+    def test_leaves_single_cluster(self, micro_points):
+        idx = IDistanceIndex(micro_points, seed=0)
+        for leaf in idx.leaves:
+            # All points of a leaf share the leaf's cluster.
+            d = np.linalg.norm(
+                micro_points[leaf.point_ids][:, None, :] - idx.centers[None], axis=2
+            )
+            assert np.all(np.argmin(d, axis=1) == leaf.cluster)
+
+    def test_key_range_lookup(self, micro_points):
+        idx = IDistanceIndex(micro_points, seed=0)
+        leaf = idx.leaves[3]
+        lo = leaf.cluster * idx.stride + leaf.r_min
+        found = idx.leaves_in_key_range(lo, lo)
+        assert 3 in found
+
+    def test_leaf_frequencies_nonempty(self, micro_points, micro_dataset):
+        idx = IDistanceIndex(micro_points, seed=0)
+        freqs = idx.leaf_access_frequencies(micro_dataset.query_log.workload[:20], 5)
+        assert freqs and all(v > 0 for v in freqs.values())
+
+
+class TestVPTreeSpecifics:
+    def test_leaf_capacity_respected(self, micro_points):
+        idx = VPTreeIndex(micro_points, leaf_capacity=7, seed=1)
+        for i in range(idx.num_leaves):
+            ids, _ = idx.leaf_contents(i)
+            assert 1 <= len(ids) <= 7
+
+    def test_leaves_partition_points(self, micro_points):
+        idx = VPTreeIndex(micro_points, seed=1)
+        all_ids = np.concatenate(
+            [idx.leaf_contents(i)[0] for i in range(idx.num_leaves)]
+        )
+        assert sorted(all_ids.tolist()) == list(range(len(micro_points)))
+
+
+class TestRTreeSpecifics:
+    def test_power_of_two_leaves(self, micro_points):
+        tree = RTree(micro_points, n_leaves=16)
+        assert tree.num_leaves == 16
+
+    def test_mbrs_contain_members(self, micro_points):
+        tree = RTree(micro_points, n_leaves=8)
+        for i, ids in enumerate(tree.leaf_ids):
+            pts = micro_points[ids]
+            assert np.all(tree.leaf_lo[i] <= pts)
+            assert np.all(pts <= tree.leaf_hi[i])
+
+    def test_argument_validation(self, micro_points):
+        with pytest.raises(ValueError):
+            RTree(micro_points, n_leaves=12)  # not a power of two
+        with pytest.raises(ValueError):
+            RTree(micro_points)
+        with pytest.raises(ValueError):
+            RTree(micro_points, n_leaves=8, leaf_capacity=4)
+
+
+class TestVAFile:
+    def test_candidates_contain_true_knn(self, micro_points):
+        idx = VAFileIndex(micro_points, bits=5)
+        for q in micro_points[::50]:
+            cands = set(idx.candidates(q + 0.2, 5).tolist())
+            truth, _ = exact_knn(micro_points, q + 0.2, 5)
+            assert set(truth.tolist()) <= cands
+
+    def test_bounds_sandwich(self, micro_points):
+        idx = VAFileIndex(micro_points, bits=4)
+        q = micro_points[0] + 1.0
+        lb, ub = idx.bounds(q)
+        d = np.linalg.norm(micro_points - q, axis=1)
+        assert np.all(lb <= d + 1e-9)
+        assert np.all(d <= ub + 1e-9)
+
+    def test_more_bits_fewer_candidates(self, micro_points):
+        coarse = VAFileIndex(micro_points, bits=2)
+        fine = VAFileIndex(micro_points, bits=7)
+        q = micro_points[9] + 0.5
+        assert len(fine.candidates(q, 5)) <= len(coarse.candidates(q, 5))
+
+    def test_disk_scan_charges_pages(self, micro_points):
+        idx = VAFileIndex(micro_points, bits=6, approximations_on_disk=True)
+        t = QueryIOTracker()
+        idx.candidates(micro_points[0], 5, t)
+        assert t.page_reads == idx.scan_pages > 0
+
+    def test_validation(self, micro_points):
+        with pytest.raises(ValueError):
+            VAFileIndex(micro_points, bits=0)
+        idx = VAFileIndex(micro_points, bits=4)
+        with pytest.raises(ValueError):
+            idx.candidates(micro_points[0], 0)

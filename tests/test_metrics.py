@@ -1,0 +1,115 @@
+"""Histogram metrics: MSSE, Upsilon, M3, and the Lemma-2 identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import build_equidepth, build_equiwidth
+from repro.core.domain import ValueDomain
+from repro.core.histogram import Histogram
+from repro.core.metrics import m3, mean_error_vector_norm_sq, msse, upsilon
+
+
+def _domain(values, counts=None):
+    values = np.asarray(values, dtype=np.float64)
+    if counts is None:
+        counts = np.ones(len(values), dtype=np.int64)
+    return ValueDomain(values, np.asarray(counts))
+
+
+class TestUpsilon:
+    def test_formula(self):
+        assert upsilon(3.0, 4.0) == 48.0
+
+    def test_vectorized(self):
+        out = upsilon(np.array([1.0, 2.0]), np.array([2.0, 3.0]))
+        assert out.tolist() == [4.0, 18.0]
+
+    def test_zero_width_is_free(self):
+        assert upsilon(100.0, 0.0) == 0.0
+
+
+class TestM3:
+    def test_manual_example(self):
+        dom = _domain([0, 1, 2, 3])
+        hist = Histogram.from_splits(dom, np.array([0, 2]))
+        fprime = np.array([1.0, 1.0, 2.0, 0.0])
+        # Bucket [0,1]: mass 2, width 1 -> 2.  Bucket [2,3]: mass 2, width 1 -> 2.
+        assert m3(hist, dom, fprime) == pytest.approx(4.0)
+
+    def test_identity_histogram_scores_zero(self):
+        dom = _domain([3, 7, 9])
+        hist = Histogram.identity(dom)
+        assert m3(hist, dom, np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_misaligned_fprime_rejected(self):
+        dom = _domain([1, 2])
+        hist = Histogram.identity(dom)
+        with pytest.raises(ValueError):
+            m3(hist, dom, np.ones(3))
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_property_lemma2_identity(self, seed):
+        """Lemma 2: sum over QR points of ||eps||^2 equals the bucketed M3.
+
+        Build a random histogram over a random domain and random 'QR'
+        points whose coordinates are domain values; the per-point error
+        norm accounting must equal the F'-weighted bucket form.
+        """
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(4, 30))
+        values = np.sort(rng.choice(1000, size=m, replace=False)).astype(float)
+        dom = _domain(values)
+        n_cuts = int(rng.integers(1, min(6, m - 1) + 1))
+        cuts = np.sort(rng.choice(np.arange(1, m), size=n_cuts, replace=False))
+        hist = Histogram.from_splits(dom, np.concatenate([[0], cuts]))
+        # Random QR member coordinates drawn from the domain.
+        d = int(rng.integers(1, 6))
+        n_pts = int(rng.integers(1, 10))
+        coords = rng.choice(values, size=(n_pts, d))
+        fprime = dom.project_frequencies(coords.ravel()).astype(float)
+        lhs = float(
+            np.sum(hist.widths[hist.lookup(coords)] ** 2)
+        )  # sum of ||eps||^2 over points
+        rhs = m3(hist, dom, fprime)
+        assert lhs == pytest.approx(rhs)
+
+
+class TestMSSE:
+    def test_uniform_frequencies_score_zero(self):
+        dom = _domain([1, 2, 3, 4], [5, 5, 5, 5])
+        hist = Histogram.from_splits(dom, np.array([0, 2]))
+        assert msse(hist, dom) == pytest.approx(0.0)
+
+    def test_variance_within_bucket(self):
+        dom = _domain([1, 2], [0, 10])
+        hist = Histogram.from_splits(dom, np.array([0]))
+        # mean 5, errors (0-5)^2 + (10-5)^2 = 50.
+        assert msse(hist, dom) == pytest.approx(50.0)
+
+    def test_equidepth_not_always_voptimal(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(1, 100, size=40)
+        dom = _domain(np.arange(40), counts)
+        hw = build_equiwidth(dom, 4)
+        hd = build_equidepth(dom, 4)
+        assert msse(hw, dom) >= 0 and msse(hd, dom) >= 0
+
+
+class TestErrorVectorNorm:
+    def test_identity_histogram_zero_error(self):
+        dom = _domain([1, 5, 9])
+        hist = Histogram.identity(dom)
+        pts = np.array([[1.0, 9.0], [5.0, 5.0]])
+        assert mean_error_vector_norm_sq(hist, pts) == 0.0
+
+    def test_wider_buckets_larger_error(self):
+        dom = _domain(np.arange(16))
+        narrow = build_equiwidth(dom, 8)
+        wide = build_equiwidth(dom, 2)
+        pts = np.array([[0.0, 15.0], [7.0, 8.0]])
+        assert mean_error_vector_norm_sq(wide, pts) > mean_error_vector_norm_sq(
+            narrow, pts
+        )

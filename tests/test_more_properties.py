@@ -1,0 +1,84 @@
+"""Additional property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import LeafNodeCache
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.index.vaplus import VAPlusFileIndex
+
+
+class TestEquiDepthBalance:
+    @given(
+        seed=st.integers(0, 2**12),
+        m=st.integers(16, 200),
+        n_buckets=st.integers(2, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_masses_are_balanced(self, seed, m, n_buckets):
+        """With unit frequencies, every equi-depth bucket holds at most
+        ceil(m / B) + 1 values (quantile split granularity)."""
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.choice(10_000, size=m, replace=False)).astype(float)
+        dom = ValueDomain(values, np.ones(m, dtype=np.int64))
+        hist = build_equidepth(dom, n_buckets)
+        cap = -(-m // n_buckets) + 1
+        assert int(hist.frequencies.max()) <= cap
+        assert int(hist.frequencies.sum()) == m
+
+
+class TestLeafCacheBounds:
+    @given(seed=st.integers(0, 2**12), n=st.integers(5, 60), d=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_leaf_bounds_sandwich(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        points = np.rint(rng.uniform(0, 255, size=(n, d)))
+        dom = ValueDomain.from_points(points)
+        enc = GlobalHistogramEncoder(build_equidepth(dom, 8), d)
+        cache = LeafNodeCache(enc, 1 << 16)
+        assert cache.try_add(0, np.arange(n), points)
+        query = rng.uniform(0, 255, size=d)
+        ids, lb, ub = cache.lookup(query, 0)
+        dist = np.linalg.norm(points - query, axis=1)
+        assert np.all(lb <= dist + 1e-9)
+        assert np.all(dist <= ub + 1e-9)
+
+
+class TestVAPlusAllocation:
+    @given(
+        seed=st.integers(0, 2**10),
+        d=st.integers(2, 12),
+        bits_per_dim=st.integers(1, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_bit_budget_exact(self, seed, d, bits_per_dim):
+        rng = np.random.default_rng(seed)
+        variances = rng.uniform(0.01, 100.0, size=d)
+        total = bits_per_dim * d
+        bits = VAPlusFileIndex._allocate_bits(variances, total)
+        assert bits.sum() == total
+        assert np.all(bits >= 0)
+
+    def test_allocation_prefers_high_variance(self):
+        variances = np.array([100.0, 1.0, 0.01])
+        bits = VAPlusFileIndex._allocate_bits(variances, 9)
+        assert bits[0] >= bits[1] >= bits[2]
+
+
+class TestDomainProjection:
+    @given(seed=st.integers(0, 2**12), m=st.integers(2, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_projection_counts_everything(self, seed, m):
+        rng = np.random.default_rng(seed)
+        values = np.sort(rng.choice(1000, size=m, replace=False)).astype(float)
+        dom = ValueDomain(values, np.ones(m, dtype=np.int64))
+        sample = rng.choice(values, size=50)
+        freq = dom.project_frequencies(sample)
+        assert freq.sum() == 50
+        # Every counted position actually appears in the sample.
+        counted = set(values[freq > 0].tolist())
+        assert counted == set(sample.tolist())

@@ -1,0 +1,81 @@
+"""Extra coverage: orderings, disk model edges, dataset registry sweeps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import REGISTRY, load_dataset
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.ordering import make_order, sorted_key_order
+from repro.storage.pointfile import PointFile
+
+
+class TestOrderingProperties:
+    @given(
+        n=st.integers(2, 120),
+        d=st.integers(1, 8),
+        seed=st.integers(0, 2**10),
+        name=st.sampled_from(["raw", "clustered", "sortedkey"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_a_permutation(self, n, d, seed, name):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, d))
+        order = make_order(name, pts, seed=seed)
+        assert sorted(order.tolist()) == list(range(n))
+
+    def test_sorted_key_deterministic(self):
+        pts = np.random.default_rng(0).normal(size=(50, 4))
+        a = sorted_key_order(pts, seed=3)
+        b = sorted_key_order(pts, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_sorted_key_custom_width(self):
+        pts = np.random.default_rng(0).normal(size=(50, 4))
+        order = sorted_key_order(pts, bucket_width=0.5, seed=0)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_sorted_key_rejects_bad_projections(self):
+        with pytest.raises(ValueError):
+            sorted_key_order(np.zeros((3, 2)), n_projections=0)
+
+
+class TestDiskModelEdges:
+    def test_constant_points_pointfile(self):
+        pf = PointFile(np.zeros((16, 4)))
+        out = pf.fetch(np.arange(16))
+        assert out.shape == (16, 4)
+
+    def test_modeled_time_explicit_count(self):
+        disk = SimulatedDisk(DiskConfig(read_latency_s=0.01))
+        assert disk.modeled_time(7) == pytest.approx(0.07)
+
+    def test_disk_reset(self):
+        disk = SimulatedDisk()
+        disk.read_page(0)
+        disk.reset()
+        assert disk.stats.page_reads == 0
+
+    def test_pointfile_value_bytes_affects_layout(self):
+        pts = np.zeros((100, 64))
+        slim = PointFile(pts, value_bytes=1)   # 64 B/point
+        wide = PointFile(pts, value_bytes=8)   # 512 B/point
+        assert slim.points_per_page > wide.points_per_page
+
+    def test_pointfile_rejects_bad_value_bytes(self):
+        with pytest.raises(ValueError):
+            PointFile(np.zeros((2, 2)), value_bytes=0)
+
+
+class TestRegistrySweeps:
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_every_registry_entry_loads_at_small_scale(self, name):
+        ds = load_dataset(name, seed=0, scale=0.02)
+        assert ds.num_points >= 200
+        assert ds.dim == REGISTRY[name].dim
+        assert ds.query_log.test.shape[1] == ds.dim
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            load_dataset("tiny", scale=0.0)

@@ -1,0 +1,96 @@
+"""Persistence roundtrips for histograms, encoders and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth, build_knn_optimal
+from repro.core.domain import ValueDomain
+from repro.core.encoder import (
+    ExactEncoder,
+    GlobalHistogramEncoder,
+    IndividualHistogramEncoder,
+)
+from repro.data.datasets import Dataset
+from repro.data.workload import generate_query_log
+from repro.persist import (
+    load_dataset_file,
+    load_encoder,
+    load_histogram,
+    save_dataset,
+    save_encoder,
+    save_histogram,
+)
+
+
+@pytest.fixture()
+def points():
+    rng = np.random.default_rng(17)
+    return np.rint(rng.uniform(0, 255, size=(150, 6)))
+
+
+class TestHistogramRoundtrip:
+    def test_with_frequencies(self, tmp_path, points):
+        dom = ValueDomain.from_points(points)
+        hist = build_equidepth(dom, 16)
+        path = save_histogram(tmp_path / "h.npz", hist)
+        loaded = load_histogram(path)
+        assert np.array_equal(loaded.lowers, hist.lowers)
+        assert np.array_equal(loaded.uppers, hist.uppers)
+        assert np.array_equal(loaded.frequencies, hist.frequencies)
+
+    def test_without_frequencies(self, tmp_path):
+        from repro.core.histogram import Histogram
+
+        hist = Histogram(np.array([0.0, 5.0]), np.array([4.0, 9.0]))
+        loaded = load_histogram(save_histogram(tmp_path / "h.npz", hist))
+        assert loaded.frequencies is None
+
+    def test_bad_version(self, tmp_path):
+        np.savez(tmp_path / "bad.npz", lowers=np.zeros(1), uppers=np.ones(1))
+        with pytest.raises(ValueError):
+            load_histogram(tmp_path / "bad.npz")
+
+
+class TestEncoderRoundtrip:
+    def test_global(self, tmp_path, points):
+        dom = ValueDomain.from_points(points)
+        enc = GlobalHistogramEncoder(build_knn_optimal(dom, dom.counts.astype(float), 16), 6)
+        loaded = load_encoder(save_encoder(tmp_path / "e.npz", enc))
+        assert isinstance(loaded, GlobalHistogramEncoder)
+        assert np.array_equal(loaded.encode(points), enc.encode(points))
+
+    def test_individual(self, tmp_path, points):
+        hists = [
+            build_equidepth(ValueDomain.from_column(points[:, j]), 8)
+            for j in range(points.shape[1])
+        ]
+        enc = IndividualHistogramEncoder(hists)
+        loaded = load_encoder(save_encoder(tmp_path / "e.npz", enc))
+        assert isinstance(loaded, IndividualHistogramEncoder)
+        codes = enc.encode(points)
+        assert np.array_equal(loaded.encode(points), codes)
+        lo_a, hi_a = enc.rectangles(codes)
+        lo_b, hi_b = loaded.rectangles(codes)
+        assert np.allclose(lo_a, lo_b) and np.allclose(hi_a, hi_b)
+
+    def test_unsupported_encoder(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_encoder(tmp_path / "e.npz", ExactEncoder(4, 8))
+
+
+class TestDatasetRoundtrip:
+    def test_with_query_log(self, tmp_path, points):
+        log = generate_query_log(points, pool_size=10, workload_size=40,
+                                 test_size=5, seed=0)
+        ds = Dataset(name="unit", points=points, value_bits=8, query_log=log)
+        loaded = load_dataset_file(save_dataset(tmp_path / "d.npz", ds))
+        assert loaded.name == "unit"
+        assert np.array_equal(loaded.points, ds.points)
+        assert loaded.value_bits == 8
+        assert np.array_equal(loaded.query_log.workload, log.workload)
+        assert np.array_equal(loaded.query_log.test, log.test)
+
+    def test_without_query_log(self, tmp_path, points):
+        ds = Dataset(name="bare", points=points, value_bits=8)
+        loaded = load_dataset_file(save_dataset(tmp_path / "d.npz", ds))
+        assert loaded.query_log is None

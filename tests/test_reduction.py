@@ -1,0 +1,107 @@
+"""Candidate reduction: thresholds, pruning and true-result detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reduction import reduce_candidates
+
+
+def _reduce(ids, lb, ub, k, hits=None):
+    ids = np.asarray(ids)
+    lb = np.asarray(lb, dtype=float)
+    ub = np.asarray(ub, dtype=float)
+    if hits is None:
+        hits = np.isfinite(ub)
+    return reduce_candidates(ids, hits, lb, ub, k)
+
+
+class TestPaperExample:
+    def test_figure4_multistep_setup(self):
+        """Paper Fig. 4: 4 candidates, k=2; p1 confirmed, p4 pruned."""
+        ids = [1, 2, 3, 4]
+        lb = [0.5, 1.5, 2.5, 4.5]
+        ub = [1.0, 3.0, 5.0, 6.0]
+        out = _reduce(ids, lb, ub, 2)
+        # ub_2 = 3.0 -> p4 (lb 4.5) pruned; lb_2 = 1.5 -> p1 (ub 1.0) true.
+        assert out.pruned_ids.tolist() == [4]
+        assert out.confirmed_ids.tolist() == [1]
+        assert sorted(out.remaining_ids.tolist()) == [2, 3]
+        assert out.lb_k == 1.5
+        assert out.ub_k == 3.0
+
+    def test_table1_example(self):
+        """Paper Table 1: bounds for p1..p4 at q=(9,11), k=1."""
+        ids = [1, 2, 3, 4]
+        lb = [5.39, 5.00, 14.76, 15.52]
+        ub = [15.0, 13.42, 24.41, 24.60]
+        out = _reduce(ids, lb, ub, 1)
+        assert sorted(out.pruned_ids.tolist()) == [3, 4]
+        assert sorted(out.remaining_ids.tolist()) == [1, 2]
+        assert out.confirmed_ids.size == 0
+
+
+class TestMechanics:
+    def test_misses_never_pruned(self):
+        ids = [1, 2, 3]
+        lb = [0.0, 0.0, 9.0]
+        ub = [np.inf, np.inf, 10.0]
+        out = _reduce(ids, lb, ub, 1)
+        assert 1 in out.remaining_ids and 2 in out.remaining_ids
+
+    def test_remaining_sorted_by_lower_bound(self):
+        out = _reduce([1, 2, 3], [3.0, 1.0, 2.0], [30.0, 10.0, 20.0], 3)
+        assert out.remaining_ids.tolist() == [2, 3, 1]
+        assert list(out.remaining_lb) == [1.0, 2.0, 3.0]
+
+    def test_k_larger_than_candidates(self):
+        out = _reduce([1, 2], [1.0, 2.0], [3.0, 4.0], 10)
+        assert out.ub_k == np.inf
+        assert out.pruned_ids.size == 0
+
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            _reduce([1], [5.0], [1.0], 1)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_candidates(
+                np.array([1, 2]), np.array([True]), np.zeros(2), np.ones(2), 1
+            )
+
+    def test_counts_add_up(self):
+        rng = np.random.default_rng(0)
+        lb = rng.uniform(0, 10, 50)
+        ub = lb + rng.uniform(0, 5, 50)
+        out = _reduce(np.arange(50), lb, ub, 5)
+        assert out.num_candidates == 50
+        assert out.c_refine == len(out.remaining_ids)
+        assert out.num_pruned == len(out.pruned_ids) + len(out.confirmed_ids)
+
+
+@given(seed=st.integers(0, 2**16), k=st.integers(1, 8), n=st.integers(1, 60))
+@settings(max_examples=100, deadline=None)
+def test_property_reduction_is_safe(seed, k, n):
+    """No true kNN member is ever pruned; confirmed members are true.
+
+    Simulates exact distances inside [lb, ub] and checks the decisions
+    against the realized distances.
+    """
+    rng = np.random.default_rng(seed)
+    dist = rng.uniform(0, 100, size=n)
+    slack_lo = rng.uniform(0, 20, size=n)
+    slack_hi = rng.uniform(0, 20, size=n)
+    lb = dist - slack_lo
+    ub = dist + slack_hi
+    lb[lb < 0] = 0.0
+    out = _reduce(np.arange(n), lb, ub, k)
+    kth = np.sort(dist)[min(k, n) - 1]
+    # Anything strictly closer than the k-th distance must survive.
+    for pid in np.flatnonzero(dist < kth - 1e-12):
+        assert pid not in out.pruned_ids
+    # Confirmed candidates must be genuine top-k members.
+    for pid in out.confirmed_ids:
+        assert dist[pid] <= kth + 1e-12
+    # Never more than k candidates confirmed without refinement.
+    assert len(out.confirmed_ids) <= k

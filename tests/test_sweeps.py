@@ -1,0 +1,57 @@
+"""The programmatic sweep API."""
+
+import pytest
+
+from repro.eval.sweeps import (
+    best_point,
+    cache_sweep,
+    k_sweep,
+    method_sweep,
+    tau_sweep,
+)
+
+
+class TestSweeps:
+    def test_tau_sweep(self, tiny_dataset, tiny_context):
+        points = tau_sweep(
+            tiny_dataset, taus=[4, 6], cache_bytes=30_000, context=tiny_context
+        )
+        assert [p.value for p in points] == [4, 6]
+        assert all(p.parameter == "tau" for p in points)
+        assert all(p.result.avg_refine_io >= 0 for p in points)
+
+    def test_cache_sweep_monotone_items(self, tiny_dataset, tiny_context):
+        points = cache_sweep(
+            tiny_dataset, fractions=[0.05, 0.4], tau=5, context=tiny_context
+        )
+        # A bigger cache never hurts refinement I/O on this workload.
+        assert points[1].result.avg_refine_io <= points[0].result.avg_refine_io * 1.1
+
+    def test_cache_sweep_validation(self, tiny_dataset, tiny_context):
+        with pytest.raises(ValueError):
+            cache_sweep(tiny_dataset, fractions=[0.0], context=tiny_context)
+
+    def test_method_sweep(self, tiny_dataset, tiny_context):
+        points = method_sweep(
+            tiny_dataset, methods=["NO-CACHE", "HC-O"], tau=5,
+            cache_bytes=30_000, context=tiny_context,
+        )
+        by = {p.value: p.result for p in points}
+        assert by["HC-O"].avg_refine_io <= by["NO-CACHE"].avg_refine_io
+
+    def test_k_sweep_builds_context_per_k(self, tiny_dataset):
+        points = k_sweep(tiny_dataset, ks=[1, 5], tau=5, cache_bytes=30_000)
+        assert [p.result.k for p in points] == [1, 5]
+
+    def test_best_point(self, tiny_dataset, tiny_context):
+        points = tau_sweep(
+            tiny_dataset, taus=[2, 6], cache_bytes=30_000, context=tiny_context
+        )
+        best = best_point(points)
+        assert best.result.avg_refine_io == min(
+            p.result.avg_refine_io for p in points
+        )
+
+    def test_best_point_empty(self):
+        with pytest.raises(ValueError):
+            best_point([])

@@ -1,0 +1,124 @@
+"""Direct unit tests of the shared cached-leaf search machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import LeafNodeCache
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.index.treesearch import cached_leaf_knn
+from repro.storage.iostats import QueryIOTracker
+
+
+def _make_world(n_leaves=8, per_leaf=10, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    points = np.rint(rng.uniform(0, 255, size=(n_leaves * per_leaf, d)))
+    leaves = {
+        i: np.arange(i * per_leaf, (i + 1) * per_leaf, dtype=np.int64)
+        for i in range(n_leaves)
+    }
+
+    def contents(leaf_id):
+        return leaves[leaf_id], points[leaves[leaf_id]]
+
+    def pages(leaf_id):
+        return leaf_id, 1
+
+    def stream(query):
+        bounds = []
+        for i, ids in leaves.items():
+            d_all = np.linalg.norm(points[ids] - query, axis=1)
+            bounds.append((float(d_all.min()), i))
+        return iter(sorted(bounds))
+
+    return points, contents, pages, stream
+
+
+class TestUncached:
+    def test_exact_and_counts(self):
+        points, contents, pages, stream = _make_world()
+        q = points[7] + 0.3
+        tracker = QueryIOTracker()
+        result = cached_leaf_knn(q, 5, stream(q), contents, pages, tracker=tracker)
+        d = np.linalg.norm(points - q, axis=1)
+        kth = np.sort(d)[4]
+        assert np.all(d[result.ids] <= kth + 1e-9)
+        assert result.stats.leaf_fetches == tracker.page_reads
+        assert result.stats.cached_leaf_hits == 0
+
+    def test_stops_early(self):
+        """With tight leaves the search must not fetch every leaf."""
+        points, contents, pages, stream = _make_world(n_leaves=16, seed=3)
+        q = points[0]
+        result = cached_leaf_knn(q, 1, stream(q), contents, pages,
+                                 tracker=QueryIOTracker())
+        assert result.stats.leaf_fetches < 16
+
+    def test_k_exceeds_points(self):
+        points, contents, pages, stream = _make_world(n_leaves=2, per_leaf=3)
+        q = points[0]
+        result = cached_leaf_knn(q, 50, stream(q), contents, pages,
+                                 tracker=QueryIOTracker())
+        assert len(result.ids) == 6
+
+    def test_empty_stream(self):
+        result = cached_leaf_knn(
+            np.zeros(3), 4, iter([]), None, None, tracker=QueryIOTracker()
+        )
+        assert result.ids.size == 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            cached_leaf_knn(np.zeros(2), 0, iter([]), None, None)
+
+
+class TestCached:
+    def _cache(self, points, contents, leaf_ids):
+        dom = ValueDomain.from_points(points)
+        enc = GlobalHistogramEncoder(build_equidepth(dom, 32), points.shape[1])
+        cache = LeafNodeCache(enc, 1 << 16)
+        for leaf in leaf_ids:
+            ids, pts = contents(leaf)
+            cache.try_add(leaf, ids, pts)
+        return cache
+
+    def test_cached_leaves_defer_io(self):
+        points, contents, pages, stream = _make_world(seed=5)
+        cache = self._cache(points, contents, range(8))
+        q = points[33] + 0.2
+        t = QueryIOTracker()
+        result = cached_leaf_knn(q, 3, stream(q), contents, pages,
+                                 cache=cache, tracker=t)
+        d = np.linalg.norm(points - q, axis=1)
+        kth = np.sort(d)[2]
+        assert np.all(d[result.ids] <= kth + 1e-9)
+        assert result.stats.cached_leaf_hits > 0
+        # Caching every leaf must save fetches vs the 8-leaf worst case.
+        assert result.stats.leaf_fetches < 8
+        assert result.stats.deferred_fetches == result.stats.leaf_fetches
+
+    def test_partial_cache_mixes_paths(self):
+        points, contents, pages, stream = _make_world(seed=6)
+        cache = self._cache(points, contents, [0, 2, 4])
+        q = points[50]
+        result = cached_leaf_knn(q, 4, stream(q), contents, pages,
+                                 cache=cache, tracker=QueryIOTracker())
+        d = np.linalg.norm(points - q, axis=1)
+        kth = np.sort(d)[3]
+        assert np.all(d[result.ids] <= kth + 1e-9)
+
+    def test_exact_leaf_cache_zero_deferrals_possible(self):
+        points, contents, pages, stream = _make_world(seed=7)
+        cache = LeafNodeCache(None, 1 << 20, exact=True)
+        for leaf in range(8):
+            ids, pts = contents(leaf)
+            cache.try_add(leaf, ids, pts)
+        q = points[11]
+        result = cached_leaf_knn(q, 2, stream(q), contents, pages,
+                                 cache=cache, tracker=QueryIOTracker())
+        # Exact bounds decide everything: results are exact with zero or
+        # minimal fetches (a fetch only to materialize result rows).
+        d = np.linalg.norm(points - q, axis=1)
+        kth = np.sort(d)[1]
+        assert np.all(d[result.ids] <= kth + 1e-9)

@@ -1,0 +1,91 @@
+"""The audit utilities — and a whole-framework audit over every encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth, build_equiwidth, build_knn_optimal
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder, IndividualHistogramEncoder
+from repro.core.histogram import Histogram
+from repro.core.multidim import RTreeBucketEncoder
+from repro.core.pq import PQEncoder
+from repro.core.validation import (
+    assert_healthy,
+    audit_bounds,
+    audit_encoder,
+    audit_histogram,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(29)
+    centers = rng.uniform(0, 250, size=(4, 10))
+    return np.rint(
+        np.clip(
+            np.concatenate([c + rng.normal(scale=9, size=(100, 10)) for c in centers]),
+            0, 255,
+        )
+    )
+
+
+def _all_encoders(points):
+    dom = ValueDomain.from_points(points)
+    fprime = dom.counts.astype(float)
+    per_dim = [
+        build_equidepth(ValueDomain.from_column(points[:, j]), 8)
+        for j in range(points.shape[1])
+    ]
+    return {
+        "HC-W": GlobalHistogramEncoder(build_equiwidth(dom, 16), 10),
+        "HC-D": GlobalHistogramEncoder(build_equidepth(dom, 16), 10),
+        "HC-O": GlobalHistogramEncoder(build_knn_optimal(dom, fprime, 16), 10),
+        "iHC-D": IndividualHistogramEncoder(per_dim),
+        "mHC-R": RTreeBucketEncoder(points, tau=4),
+        "PQ": PQEncoder(points, n_subspaces=5, bits=4),
+    }
+
+
+class TestAuditHistogram:
+    def test_healthy(self, points):
+        dom = ValueDomain.from_points(points)
+        assert audit_histogram(build_equidepth(dom, 8), dom) == []
+
+    def test_detects_bad_code_length(self):
+        dom = ValueDomain(np.array([0.0, 1.0, 2.0]), np.array([1, 1, 1]))
+        hist = Histogram.identity(dom)
+        object.__setattr__(hist, "lowers", hist.lowers)  # untouched; healthy
+        assert audit_histogram(hist, dom) == []
+
+    def test_detects_uncovered_values(self):
+        dom = ValueDomain(np.array([0.0, 5.0, 10.0]), np.array([1, 1, 1]))
+        hist = Histogram(np.array([0.0, 8.0]), np.array([2.0, 10.0]))
+        problems = audit_histogram(hist, dom)
+        assert any("outside" in p for p in problems)
+
+
+class TestAuditEncoders:
+    @pytest.mark.parametrize(
+        "name", ["HC-W", "HC-D", "HC-O", "iHC-D", "mHC-R", "PQ"]
+    )
+    def test_every_encoder_passes_the_framework_contract(self, points, name):
+        encoder = _all_encoders(points)[name]
+        assert_healthy(audit_encoder(encoder, points))
+        queries = points[::40] + 0.3
+        assert_healthy(audit_bounds(encoder, points, queries))
+
+    def test_detects_broken_encoder(self, points):
+        class Broken(GlobalHistogramEncoder):
+            def rectangles(self, codes):
+                lo, hi = super().rectangles(codes)
+                return lo + 50.0, hi + 50.0  # shifted: points fall outside
+
+        dom = ValueDomain.from_points(points)
+        broken = Broken(build_equidepth(dom, 8), 10)
+        problems = audit_encoder(broken, points)
+        assert problems
+        with pytest.raises(AssertionError):
+            assert_healthy(problems)
+
+    def test_assert_healthy_passes_empty(self):
+        assert_healthy([])

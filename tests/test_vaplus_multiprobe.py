@@ -1,0 +1,126 @@
+"""VA+-file (KLT) and multi-probe LSH substrates."""
+
+import numpy as np
+import pytest
+
+from repro.index.linear_scan import exact_knn
+from repro.index.vafile import VAFileIndex
+from repro.index.vaplus import VAPlusFileIndex
+from repro.lsh.multiprobe import MultiProbeLSHIndex
+from repro.storage.iostats import QueryIOTracker
+
+
+@pytest.fixture(scope="module")
+def correlated():
+    """Strongly correlated data: where the KLT rotation pays off."""
+    rng = np.random.default_rng(31)
+    latent = rng.normal(size=(600, 3))
+    mix = rng.normal(size=(3, 16))
+    noise = rng.normal(scale=0.05, size=(600, 16))
+    return latent @ mix + noise
+
+
+class TestVAPlusFile:
+    def test_candidates_contain_true_knn(self, correlated):
+        idx = VAPlusFileIndex(correlated, total_bits=5 * 16)
+        for qi in (0, 100, 400):
+            q = correlated[qi] + 0.01
+            cands = set(idx.candidates(q, 5).tolist())
+            truth, _ = exact_knn(correlated, q, 5)
+            assert set(truth.tolist()) <= cands
+
+    def test_bounds_sandwich(self, correlated):
+        idx = VAPlusFileIndex(correlated, total_bits=4 * 16)
+        q = correlated[7] + 0.02
+        lb, ub = idx.bounds(q)
+        d = np.linalg.norm(correlated - q, axis=1)
+        assert np.all(lb <= d + 1e-6)
+        assert np.all(d <= ub + 1e-6)
+
+    def test_bit_allocation_follows_variance(self, correlated):
+        idx = VAPlusFileIndex(correlated, total_bits=5 * 16)
+        # Variances are sorted descending by construction.
+        assert np.all(np.diff(idx.variances) <= 1e-9)
+        # High-variance dimensions get at least as many bits as the tail.
+        assert idx.bits[0] >= idx.bits[-1]
+        assert idx.bits.sum() == 5 * 16
+
+    def test_beats_vafile_on_correlated_data(self, correlated):
+        """At the same bit budget, the KLT rotation concentrates energy
+        and yields fewer phase-1 candidates."""
+        budget = 4 * 16
+        plus = VAPlusFileIndex(correlated, total_bits=budget)
+        plain = VAFileIndex(correlated, bits=4)
+        sizes_plus, sizes_plain = [], []
+        for qi in range(0, 600, 60):
+            q = correlated[qi] + 0.01
+            sizes_plus.append(len(plus.candidates(q, 5)))
+            sizes_plain.append(len(plain.candidates(q, 5)))
+        assert np.mean(sizes_plus) < np.mean(sizes_plain)
+
+    def test_rotation_preserves_distances(self, correlated):
+        idx = VAPlusFileIndex(correlated)
+        a = idx.transform(correlated[:10])
+        d_orig = np.linalg.norm(correlated[0] - correlated[5])
+        d_rot = np.linalg.norm(a[0] - a[5])
+        assert d_rot == pytest.approx(d_orig)
+
+    def test_disk_scan_charged(self, correlated):
+        idx = VAPlusFileIndex(correlated, approximations_on_disk=True)
+        t = QueryIOTracker()
+        idx.candidates(correlated[0], 3, t)
+        assert t.page_reads == idx.scan_pages
+
+    def test_validation(self, correlated):
+        with pytest.raises(ValueError):
+            VAPlusFileIndex(correlated, total_bits=4)  # < 1 bit/dim
+        idx = VAPlusFileIndex(correlated)
+        with pytest.raises(ValueError):
+            idx.candidates(correlated[0], 0)
+
+
+class TestMultiProbeLSH:
+    @pytest.fixture(scope="class")
+    def clustered(self):
+        rng = np.random.default_rng(8)
+        centers = rng.uniform(0, 100, size=(4, 10))
+        return np.concatenate(
+            [c + rng.normal(scale=2, size=(150, 10)) for c in centers]
+        )
+
+    def test_probing_improves_recall(self, clustered):
+        """More probes -> more of the true kNN in the candidate set,
+        without adding tables."""
+        def recall(n_probes):
+            idx = MultiProbeLSHIndex(
+                clustered, n_tables=3, n_bits=6, n_probes=n_probes, seed=2
+            )
+            hit, total = 0, 0
+            for qi in range(0, 600, 40):
+                q = clustered[qi] + 0.05
+                cands = set(idx.candidates(q, 5).tolist())
+                truth, _ = exact_knn(clustered, q, 5)
+                hit += len(set(truth.tolist()) & cands)
+                total += 5
+            return hit / total
+
+        assert recall(12) >= recall(1)
+
+    def test_home_bucket_always_probed(self, clustered):
+        idx = MultiProbeLSHIndex(clustered, n_probes=1, seed=0)
+        q = clustered[3] + 0.01
+        cands = idx.candidates(q, 5)
+        assert 3 in cands
+
+    def test_io_charged(self, clustered):
+        idx = MultiProbeLSHIndex(clustered, seed=0)
+        t = QueryIOTracker()
+        idx.candidates(clustered[0], 5, t)
+        assert t.page_reads >= 1
+
+    def test_validation(self, clustered):
+        with pytest.raises(ValueError):
+            MultiProbeLSHIndex(clustered, n_probes=0)
+        idx = MultiProbeLSHIndex(clustered, seed=0)
+        with pytest.raises(ValueError):
+            idx.candidates(clustered[0], 0)
