@@ -17,7 +17,7 @@ import os
 from pathlib import Path
 
 from repro.data.datasets import Dataset, load_dataset
-from repro.eval.methods import WorkloadContext
+from repro.eval.methods import WorkloadContext, build_caching_pipeline
 from repro.eval.reporting import format_table, write_csv
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -76,6 +76,36 @@ def get_context(
 
 def cache_bytes_for(dataset: Dataset, fraction: float = DEFAULT_CACHE_FRACTION) -> int:
     return int(dataset.file_bytes * fraction)
+
+
+def get_engine(
+    name: str,
+    method: str = "HC-O",
+    index_name: str = "c2lsh",
+    k: int = DEFAULT_K,
+    tau: int = DEFAULT_TAU,
+    cache_fraction: float = DEFAULT_CACHE_FRACTION,
+    seed: int = 0,
+):
+    """A ready ``QueryEngine`` for benchmark modules.
+
+    Returns ``(dataset, engine)`` — the engine behind the standard caching
+    pipeline for ``method`` over the named dataset, sharing the module's
+    dataset/context caches.
+    """
+    dataset = get_dataset(name, seed=seed)
+    context = get_context(name, index_name=index_name, k=k, seed=seed)
+    pipeline = build_caching_pipeline(
+        dataset,
+        method=method,
+        tau=tau,
+        cache_bytes=cache_bytes_for(dataset, cache_fraction),
+        index_name=index_name,
+        k=k,
+        seed=seed,
+        context=context,
+    )
+    return dataset, pipeline.engine
 
 
 def emit(name: str, title: str, headers, rows) -> str:

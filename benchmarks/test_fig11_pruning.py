@@ -36,6 +36,7 @@ def run_experiment():
             tau=DEFAULT_TAU,
             cache_bytes=cache_bytes_for(dataset),
             k=DEFAULT_K,
+            keep_per_query=True,
         ).run(context=context)
         # Remaining candidates after spending b fetches: the multi-step
         # phase resolves candidates one fetch at a time, so the curve

@@ -7,10 +7,21 @@ tracking performance regressions of the numpy kernels (bound
 computation, bit unpacking, reduction).
 """
 
+import json
+import time
+
 import numpy as np
 import pytest
 
-from common import DEFAULT_K, DEFAULT_TAU, cache_bytes_for, get_context, get_dataset
+from common import (
+    DEFAULT_K,
+    DEFAULT_TAU,
+    RESULTS_DIR,
+    cache_bytes_for,
+    get_context,
+    get_dataset,
+    get_engine,
+)
 from repro.eval.methods import build_caching_pipeline
 
 DATASET = "nus-wide-sim"
@@ -53,3 +64,54 @@ def test_cache_lookup_kernel(benchmark, pipelines):
 
     hits, lb, ub = benchmark(cache.lookup, query, ids)
     assert np.all(lb <= ub + 1e-9)
+
+
+def run_engine_comparison():
+    """Per-query vs batched engine execution on a Phase-2-bound workload.
+
+    A linear candidate generator with a full-file cache makes every query
+    decode the whole cached code store — the exact cost ``search_many``
+    amortizes across the batch (one decode, broadcasted bounds).
+    """
+    dataset, engine = get_engine(
+        DATASET, method="HC-O", index_name="linear", cache_fraction=1.0
+    )
+    queries = dataset.query_log.test
+    engine.search(queries[0], DEFAULT_K)  # warm both code paths
+    engine.search_many(queries[:2], DEFAULT_K)
+
+    started = time.perf_counter()
+    per_query = [engine.search(q, DEFAULT_K) for q in queries]
+    t_seq = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = engine.search_many(queries, DEFAULT_K)
+    t_batch = time.perf_counter() - started
+
+    for a, b in zip(per_query, batched):
+        assert np.array_equal(a.ids, b.ids)
+        assert a.stats == b.stats
+    return {
+        "dataset": DATASET,
+        "num_queries": len(queries),
+        "k": DEFAULT_K,
+        "per_query": {"wall_time_s": t_seq, "queries_per_s": len(queries) / t_seq},
+        "batched": {"wall_time_s": t_batch, "queries_per_s": len(queries) / t_batch},
+        "speedup": t_seq / t_batch,
+    }
+
+
+def test_engine_batched_throughput(benchmark):
+    """Batched ``search_many`` must beat the per-query loop by >= 2x."""
+    payload = benchmark.pedantic(run_engine_comparison, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_engine.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(
+        f"\nengine throughput: per-query "
+        f"{payload['per_query']['queries_per_s']:.1f} q/s, batched "
+        f"{payload['batched']['queries_per_s']:.1f} q/s "
+        f"({payload['speedup']:.1f}x)"
+    )
+    assert payload["speedup"] >= 2.0

@@ -33,6 +33,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="cache size in KB (0 = 30%% of the file)")
     parser.add_argument("--index", default="c2lsh",
                         choices=("c2lsh", "e2lsh", "multiprobe", "sklsh", "vafile", "vaplus", "linear"))
+    parser.add_argument("--batched", action="store_true",
+                        help="run the test queries through the engine's "
+                             "batched hot path (identical results/I/O)")
 
 
 def _resolve_cache(args, dataset) -> int:
@@ -78,7 +81,7 @@ def cmd_experiment(args) -> int:
     result = Experiment(
         dataset, method=args.method, k=args.k, tau=args.tau,
         cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
-        seed=args.seed,
+        seed=args.seed, batched=args.batched,
     ).run(context=context)
     print(format_table(_RESULT_HEADERS, _result_rows([result]),
                        title=f"{args.dataset} / {args.method}"))
@@ -98,6 +101,7 @@ def cmd_compare(args) -> int:
             Experiment(
                 dataset, method=method, k=args.k, tau=args.tau,
                 cache_bytes=cache_bytes, index_name=args.index, seed=args.seed,
+                batched=args.batched,
             ).run(context=context)
         )
     print(format_table(

@@ -45,6 +45,52 @@ def rectangle_bounds(
     return lb, ub
 
 
+def batch_rectangle_bounds(
+    queries: np.ndarray, lowers: np.ndarray, uppers: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``rectangle_bounds`` for a query batch against one rectangle set.
+
+    Performs the exact operation sequence of :func:`rectangle_bounds` per
+    query — results are bitwise identical — but reuses two ``(m, d)``
+    scratch buffers across the whole batch instead of allocating ~7
+    temporaries per query, which dominates the kernel's cost at large
+    candidate counts.
+
+    Returns:
+        ``(lb, ub)`` arrays of shape ``(Q, m)``.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    lowers = np.atleast_2d(np.asarray(lowers, dtype=np.float64))
+    uppers = np.atleast_2d(np.asarray(uppers, dtype=np.float64))
+    if lowers.shape != uppers.shape or lowers.shape[-1] != queries.shape[-1]:
+        raise ValueError("queries, lowers and uppers must agree on dimension")
+    n_queries, (m, _) = len(queries), lowers.shape
+    lb = np.empty((n_queries, m), dtype=np.float64)
+    ub = np.empty((n_queries, m), dtype=np.float64)
+    scratch_a = np.empty_like(lowers)
+    scratch_b = np.empty_like(lowers)
+    for i, query in enumerate(queries):
+        # lb: (max(lo - q, 0) + max(q - hi, 0))^2 summed over dims.
+        np.subtract(lowers, query, out=scratch_a)
+        np.maximum(scratch_a, 0.0, out=scratch_a)
+        np.subtract(query, uppers, out=scratch_b)
+        np.maximum(scratch_b, 0.0, out=scratch_b)
+        np.add(scratch_a, scratch_b, out=scratch_a)
+        np.multiply(scratch_a, scratch_a, out=scratch_a)
+        np.sum(scratch_a, axis=-1, out=lb[i])
+        np.sqrt(lb[i], out=lb[i])
+        # ub: max(|q - lo|, |q - hi|)^2 summed over dims.
+        np.subtract(query, lowers, out=scratch_a)
+        np.abs(scratch_a, out=scratch_a)
+        np.subtract(query, uppers, out=scratch_b)
+        np.abs(scratch_b, out=scratch_b)
+        np.maximum(scratch_a, scratch_b, out=scratch_a)
+        np.multiply(scratch_a, scratch_a, out=scratch_a)
+        np.sum(scratch_a, axis=-1, out=ub[i])
+        np.sqrt(ub[i], out=ub[i])
+    return lb, ub
+
+
 def error_vector_norms(lowers: np.ndarray, uppers: np.ndarray) -> np.ndarray:
     """``||eps(c)||`` per rectangle (Def. 10): norm of interval widths."""
     widths = np.atleast_2d(np.asarray(uppers) - np.asarray(lowers))

@@ -25,7 +25,11 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.bitpack import BitPackedMatrix
-from repro.core.bounds import exact_distances, rectangle_bounds
+from repro.core.bounds import (
+    batch_rectangle_bounds,
+    exact_distances,
+    rectangle_bounds,
+)
 from repro.core.encoder import PointEncoder
 
 
@@ -61,6 +65,25 @@ class PointCache:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Bounds for candidates: ``(hit_mask, lb, ub)`` aligned with ids."""
         raise NotImplementedError
+
+    def lookup_batch(
+        self, queries: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bounds for one id set against a whole query batch.
+
+        Returns ``(hit_mask, lb, ub)`` with ``hit_mask`` of shape ``(m,)``
+        and ``lb``/``ub`` of shape ``(len(queries), m)``.  The generic
+        fallback loops per query; vectorized caches override it to decode
+        each cached entry exactly once for the batch.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids = _normalize_ids(ids)
+        lb = np.zeros((len(queries), len(ids)), dtype=np.float64)
+        ub = np.full((len(queries), len(ids)), np.inf, dtype=np.float64)
+        hits = self.contains(ids)
+        for i, query in enumerate(queries):
+            _, lb[i], ub[i] = self.lookup(query, ids)
+        return hits, lb, ub
 
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         """Offer freshly fetched points (no-op for static policies)."""
@@ -207,6 +230,27 @@ class ApproximateCache(PointCache):
                     self._lru.move_to_end(pid)
         return hits, lb, ub
 
+    def lookup_batch(
+        self, queries: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched bounds: decode each cached code once for all queries."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids = _normalize_ids(ids)
+        slots = self._slot_of[ids]
+        hits = slots >= 0
+        lb = np.zeros((len(queries), len(ids)), dtype=np.float64)
+        ub = np.full((len(queries), len(ids)), np.inf, dtype=np.float64)
+        if np.any(hits):
+            # Decode once for the whole batch; the batch kernel keeps its
+            # temporaries (m, d) instead of (Q, m, d).
+            codes = self._store.get_rows(slots[hits])
+            lo, hi = self.encoder.rectangles(codes)
+            lb[:, hits], ub[:, hits] = batch_rectangle_bounds(queries, lo, hi)
+            if self.policy is CachePolicy.LRU:
+                for pid in ids[hits].tolist():
+                    self._lru.move_to_end(pid)
+        return hits, lb, ub
+
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         if self.policy is not CachePolicy.LRU or self._max_items == 0:
             return
@@ -327,6 +371,29 @@ class ExactCache(PointCache):
                     self._lru.move_to_end(pid)
         return hits, lb, ub
 
+    def lookup_batch(
+        self, queries: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched exact distances: gather cached vectors once."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids = _normalize_ids(ids)
+        slots = self._slot_of[ids]
+        hits = slots >= 0
+        lb = np.zeros((len(queries), len(ids)), dtype=np.float64)
+        ub = np.full((len(queries), len(ids)), np.inf, dtype=np.float64)
+        if np.any(hits):
+            # Gather once for the whole batch; per-query distances keep
+            # the temporaries (m, d) instead of (Q, m, d).
+            cached = self._data[slots[hits]]
+            for i, query in enumerate(queries):
+                dist = exact_distances(query, cached)
+                lb[i, hits] = dist
+                ub[i, hits] = dist
+            if self.policy is CachePolicy.LRU:
+                for pid in ids[hits].tolist():
+                    self._lru.move_to_end(pid)
+        return hits, lb, ub
+
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         if self.policy is not CachePolicy.LRU or self._max_items == 0:
             return
@@ -360,6 +427,17 @@ class NoCache(PointCache):
             np.zeros(len(ids), dtype=bool),
             np.zeros(len(ids), dtype=np.float64),
             np.full(len(ids), np.inf, dtype=np.float64),
+        )
+
+    def lookup_batch(
+        self, queries: np.ndarray, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        ids = _normalize_ids(ids)
+        return (
+            np.zeros(len(ids), dtype=bool),
+            np.zeros((len(queries), len(ids)), dtype=np.float64),
+            np.full((len(queries), len(ids)), np.inf, dtype=np.float64),
         )
 
 

@@ -1,7 +1,8 @@
 """Algorithm 1: kNN search with a histogram-based cache.
 
-``CachedKNNSearch`` glues the three phases together for candidate-set
-indexes (LSH methods):
+``CachedKNNSearch`` is the historical entry point for candidate-set
+indexes (LSH methods); it is now a thin API-compatible wrapper over the
+unified :class:`repro.engine.QueryEngine`, which runs the three phases:
 
 1. **candidate generation** — ask the index ``I`` for ``C(q)`` (incurs the
    index's own I/O),
@@ -10,79 +11,23 @@ indexes (LSH methods):
 3. **candidate refinement** — optimal multi-step kNN over the survivors
    (fetches points from the data file).
 
-Tree-based indexes interleave generation and refinement, so they implement
-their own cached search (paper Section 3.6.1) — see ``repro.index``.
+Tree-based indexes interleave generation and refinement (paper
+Section 3.6.1); the engine drives them through the same interface via
+``QueryEngine.for_tree`` — see ``repro.index`` and ``repro.engine``.
+
+``QueryStats`` and ``SearchResult`` are re-exported from
+``repro.engine.stats`` (the unified records covering both paths).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.cache import PointCache
-from repro.core.multistep import multistep_knn
-from repro.core.reduction import reduce_candidates
-from repro.storage.iostats import QueryIOTracker
+from repro.engine.stats import QueryStats, SearchResult
 from repro.storage.pointfile import PointFile
 
-
-@dataclass(frozen=True)
-class QueryStats:
-    """Per-query accounting used by every experiment in the paper.
-
-    Attributes:
-        num_candidates: ``|C(q)|`` from the index.
-        cache_hits: candidates found in the cache.
-        pruned: candidates eliminated by early pruning.
-        confirmed: candidates detected as true results without I/O.
-        c_refine: candidates entering the refinement phase (Eqn. 1).
-        refined_fetches: points actually fetched by multi-step refinement.
-        refine_page_reads: disk pages read during refinement.
-        gen_page_reads: disk pages read during candidate generation.
-    """
-
-    num_candidates: int
-    cache_hits: int
-    pruned: int
-    confirmed: int
-    c_refine: int
-    refined_fetches: int
-    refine_page_reads: int
-    gen_page_reads: int
-
-    @property
-    def hit_ratio(self) -> float:
-        """``rho_hit``: cache hits over candidates."""
-        if self.num_candidates == 0:
-            return 0.0
-        return self.cache_hits / self.num_candidates
-
-    @property
-    def prune_ratio(self) -> float:
-        """``rho_prune``: pruned-or-confirmed hits over cache hits."""
-        if self.cache_hits == 0:
-            return 0.0
-        return (self.pruned + self.confirmed) / self.cache_hits
-
-    @property
-    def page_reads(self) -> int:
-        return self.refine_page_reads + self.gen_page_reads
-
-
-@dataclass(frozen=True)
-class SearchResult:
-    """kNN answer plus accounting.
-
-    ``ids`` are the result identifiers (the paper returns ids only);
-    ``distances`` hold exact distances except for Phase-2-confirmed results,
-    where a guaranteed upper bound is reported (``exact_mask`` tells which).
-    """
-
-    ids: np.ndarray
-    distances: np.ndarray
-    exact_mask: np.ndarray
-    stats: QueryStats
+__all__ = ["CachedKNNSearch", "QueryStats", "SearchResult"]
 
 
 class CachedKNNSearch:
@@ -94,6 +39,12 @@ class CachedKNNSearch:
         point_file: the disk-resident dataset ``P``.
         cache: any ``PointCache`` (``NoCache`` reproduces the uncached
             baseline).
+        eager_miss_fetch: footnote 6 of the paper: fetch cache misses
+            *before* reduction so their exact distances tighten
+            ``lb_k``/``ub_k``.  Misses are fetched eventually anyway (their
+            lower bound is 0), so this costs no extra I/O — but it only
+            helps at intermediate hit ratios: with few hits there is
+            little to prune, with many hits the bounds are tight already.
     """
 
     def __init__(
@@ -103,103 +54,24 @@ class CachedKNNSearch:
         cache: PointCache,
         eager_miss_fetch: bool = False,
     ) -> None:
+        # Imported here, not at module level: ``repro.core`` is imported
+        # by the engine's own dependencies, so a module-level import of
+        # ``repro.engine.engine`` would be circular when ``repro.engine``
+        # is the first package imported.
+        from repro.engine.engine import QueryEngine
+
         self.index = index
         self.point_file = point_file
         self.cache = cache
-        #: Footnote 6 of the paper: fetch cache misses *before* reduction
-        #: so their exact distances tighten lb_k/ub_k.  Misses are fetched
-        #: eventually anyway (their lower bound is 0), so this costs no
-        #: extra I/O — but it only helps at intermediate hit ratios: with
-        #: few hits there is little to prune, with many hits the bounds
-        #: are tight already.
         self.eager_miss_fetch = eager_miss_fetch
+        self.engine = QueryEngine.for_index(
+            index, point_file, cache, eager_miss_fetch=eager_miss_fetch
+        )
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         """Answer a kNN query; results match the index's uncached answer."""
-        if k <= 0:
-            raise ValueError("k must be positive")
-        query = np.asarray(query, dtype=np.float64)
+        return self.engine.search(query, k)
 
-        # Phase 1: candidate generation (index I/O).
-        gen_tracker = QueryIOTracker()
-        candidate_ids = np.asarray(
-            self.index.candidates(query, k, gen_tracker), dtype=np.int64
-        )
-        if candidate_ids.size == 0:
-            empty = np.empty(0)
-            stats = QueryStats(0, 0, 0, 0, 0, 0, 0, gen_tracker.page_reads)
-            return SearchResult(
-                empty.astype(np.int64), empty, empty.astype(bool), stats
-            )
-
-        # Phase 2: candidate reduction (no I/O unless eager_miss_fetch).
-        hits, lb, ub = self.cache.lookup(query, candidate_ids)
-        eager_tracker: QueryIOTracker | None = None
-        if self.eager_miss_fetch and not hits.all():
-            from repro.core.bounds import exact_distances
-
-            eager_tracker = QueryIOTracker()
-            miss_ids = candidate_ids[~hits]
-            points = self.point_file.fetch(miss_ids, eager_tracker)
-            dist = exact_distances(query, points)
-            lb = lb.copy()
-            ub = ub.copy()
-            lb[~hits] = dist
-            ub[~hits] = dist
-        outcome = reduce_candidates(candidate_ids, hits, lb, ub, k)
-
-        # Algorithm 1 line 14: when Phase 2 already confirmed k results,
-        # refinement is skipped entirely (|R| >= k).  Eager miss fetches
-        # (if any) continue into the same tracker so shared pages are
-        # never double-charged.
-        refine_tracker = eager_tracker or QueryIOTracker()
-        if len(outcome.confirmed_ids) >= k:
-            order = np.lexsort((outcome.confirmed_ids, outcome.confirmed_ub))[:k]
-            stats = QueryStats(
-                num_candidates=len(candidate_ids),
-                cache_hits=outcome.num_hits,
-                pruned=len(outcome.pruned_ids),
-                confirmed=len(outcome.confirmed_ids),
-                c_refine=outcome.c_refine,
-                refined_fetches=0,
-                refine_page_reads=refine_tracker.page_reads,
-                gen_page_reads=gen_tracker.page_reads,
-            )
-            return SearchResult(
-                ids=outcome.confirmed_ids[order],
-                distances=outcome.confirmed_ub[order],
-                exact_mask=np.zeros(len(order), dtype=bool),
-                stats=stats,
-            )
-
-        # Phase 3: multi-step refinement (data-file I/O).
-        refinement = multistep_knn(
-            query,
-            outcome.remaining_ids,
-            outcome.remaining_lb,
-            k,
-            fetcher=self.point_file.fetch,
-            confirmed_ids=outcome.confirmed_ids,
-            confirmed_ubs=outcome.confirmed_ub,
-            tracker=refine_tracker,
-        )
-        if refinement.num_fetched:
-            self.cache.admit(
-                refinement.fetched_ids, self.point_file.points[refinement.fetched_ids]
-            )
-        stats = QueryStats(
-            num_candidates=len(candidate_ids),
-            cache_hits=outcome.num_hits,
-            pruned=len(outcome.pruned_ids),
-            confirmed=len(outcome.confirmed_ids),
-            c_refine=outcome.c_refine,
-            refined_fetches=refinement.num_fetched,
-            refine_page_reads=refine_tracker.page_reads,
-            gen_page_reads=gen_tracker.page_reads,
-        )
-        return SearchResult(
-            ids=refinement.ids,
-            distances=refinement.distances,
-            exact_mask=refinement.exact_mask,
-            stats=stats,
-        )
+    def search_many(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Answer a query batch through the engine's batched hot path."""
+        return self.engine.search_many(queries, k)

@@ -1,0 +1,43 @@
+"""The unified query engine: one cached-search pipeline for all indexes.
+
+``QueryEngine`` runs the paper's Algorithm 1 as three explicit phases
+(generate → reduce → refine) over a ``CandidateSource`` — candidate-set
+indexes (LSH family, VA-files, linear scan) and tree indexes
+(Section 3.6.1 leaf streaming) behind one interface — with a per-query
+``ExecutionContext`` carrying I/O trackers, phase timers and pluggable
+instrumentation hooks.  ``search_many`` is the batched hot path: one
+cache probe for the union of candidates across the batch, each cached
+code decoded exactly once, bounds computed as broadcasted NumPy
+operations — with results and I/O counts identical to the per-query
+path.
+"""
+
+from repro.engine.context import ExecutionContext, PhaseHook, TimingHook
+from repro.engine.engine import QueryEngine
+from repro.engine.phases import GeneratePhase, ReducePhase, RefinePhase
+from repro.engine.sources import (
+    CandidateSetSource,
+    CandidateSource,
+    TreeLeafSource,
+    as_source,
+    dedupe_ids,
+)
+from repro.engine.stats import QueryStats, SearchResult, unify_tree_stats
+
+__all__ = [
+    "CandidateSetSource",
+    "CandidateSource",
+    "ExecutionContext",
+    "GeneratePhase",
+    "PhaseHook",
+    "QueryEngine",
+    "QueryStats",
+    "ReducePhase",
+    "RefinePhase",
+    "SearchResult",
+    "TimingHook",
+    "TreeLeafSource",
+    "as_source",
+    "dedupe_ids",
+    "unify_tree_stats",
+]

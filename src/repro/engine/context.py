@@ -1,0 +1,96 @@
+"""Per-query execution state: I/O trackers, timers, instrumentation hooks.
+
+Before the engine existed, every layer of the pipeline threaded a
+``QueryIOTracker`` by hand (and the tree path used a second, incompatible
+convention).  ``ExecutionContext`` bundles the per-query state once:
+
+* two I/O trackers — candidate generation and refinement are charged
+  separately, matching the paper's ``Tgen`` / ``Trefine`` split;
+* wall-clock timings per phase (``generate`` / ``reduce`` / ``refine``);
+* pluggable :class:`PhaseHook` instrumentation fired around each phase.
+
+A fresh context is created per query (page reads deduplicate within one
+query only, per the paper's I/O model); hooks may be shared across
+queries to aggregate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.storage.iostats import QueryIOTracker
+
+
+class PhaseHook:
+    """Instrumentation callback around engine phases.
+
+    Subclass and override either method; both default to no-ops.  Hooks
+    must not mutate the query or its candidate arrays — they observe.
+    """
+
+    def on_phase_start(self, phase: str, ctx: "ExecutionContext") -> None:
+        """Called before a phase body runs."""
+
+    def on_phase_end(
+        self, phase: str, ctx: "ExecutionContext", elapsed_s: float
+    ) -> None:
+        """Called after a phase body finished (``elapsed_s`` wall time)."""
+
+
+class TimingHook(PhaseHook):
+    """Accumulates total wall time per phase across queries."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def on_phase_end(
+        self, phase: str, ctx: "ExecutionContext", elapsed_s: float
+    ) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + elapsed_s
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+
+class ExecutionContext:
+    """Everything one query's trip through the engine needs to carry.
+
+    Args:
+        hooks: instrumentation hooks fired around each phase.
+        gen_tracker / refine_tracker: pre-made I/O trackers (fresh ones
+            are created when omitted — the normal case).
+    """
+
+    def __init__(
+        self,
+        hooks: Sequence[PhaseHook] = (),
+        gen_tracker: QueryIOTracker | None = None,
+        refine_tracker: QueryIOTracker | None = None,
+    ) -> None:
+        self.hooks = tuple(hooks)
+        self.gen_tracker = gen_tracker or QueryIOTracker()
+        self.refine_tracker = refine_tracker or QueryIOTracker()
+        self.timings: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase body and fire the hooks around it."""
+        for hook in self.hooks:
+            hook.on_phase_start(name, self)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            for hook in self.hooks:
+                hook.on_phase_end(name, self, elapsed)
+
+    @property
+    def gen_page_reads(self) -> int:
+        return self.gen_tracker.page_reads
+
+    @property
+    def refine_page_reads(self) -> int:
+        return self.refine_tracker.page_reads

@@ -1,0 +1,239 @@
+"""``QueryEngine``: one cached-search pipeline for every index family.
+
+The engine owns the three Algorithm-1 phases (generate → reduce →
+refine) over a :class:`~repro.engine.sources.CandidateSource` and runs
+them per query (:meth:`QueryEngine.search`) or vectorized over a query
+batch (:meth:`QueryEngine.search_many`).
+
+The batched hot path exploits that the paper's Phase 2 is embarrassingly
+batchable: cached codes decode to the *same* rectangles for every query,
+so the engine probes the cache once for the union of candidate ids
+across the batch, decodes each cached code exactly once, and computes
+the ``rectangle_bounds`` for all (query, candidate) pairs as one
+broadcasted NumPy operation.  Phases 1 and 3 stay per-query (candidate
+generation and the optimal multi-step stopping rule are inherently
+sequential), so results *and I/O counts* are identical to the per-query
+path — a property test enforces this for every index type.
+
+Dynamic (LRU) caches mutate on every lookup and admission, making query
+order observable; for them ``search_many`` degrades to the sequential
+loop so batching never changes behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache import CachePolicy, LeafNodeCache, NoCache, PointCache
+from repro.engine.context import ExecutionContext, PhaseHook
+from repro.engine.phases import GeneratePhase, ReducePhase, RefinePhase
+from repro.engine.sources import TreeLeafSource, as_source
+from repro.engine.stats import QueryStats, SearchResult
+from repro.storage.pointfile import PointFile
+
+
+class QueryEngine:
+    """The unified cached-search pipeline.
+
+    Args:
+        source: a :class:`CandidateSource` adapter or a raw index (wrapped
+            automatically — tree indexes get a :class:`TreeLeafSource`).
+        point_file: the disk-resident dataset ``P`` (required for
+            candidate-set sources; unused by tree sources, whose leaves
+            carry their own pages).
+        cache: any ``PointCache`` (``NoCache`` reproduces the uncached
+            baseline).  Ignored by tree sources — pass the leaf cache to
+            the source instead.
+        eager_miss_fetch: footnote 6 of the paper — fetch cache misses
+            *before* reduction so exact distances tighten ``lb_k``/``ub_k``.
+        hooks: instrumentation hooks fired around every phase of every
+            query (see :class:`~repro.engine.context.PhaseHook`).
+    """
+
+    def __init__(
+        self,
+        source,
+        point_file: PointFile | None = None,
+        cache: PointCache | None = None,
+        eager_miss_fetch: bool = False,
+        hooks: Sequence[PhaseHook] = (),
+    ) -> None:
+        self.source = as_source(source)
+        self.point_file = point_file
+        self.cache = cache if cache is not None else NoCache()
+        self.eager_miss_fetch = eager_miss_fetch
+        self.hooks = tuple(hooks)
+        if not self.source.is_tree:
+            if point_file is None:
+                raise ValueError("candidate-set sources need a point file")
+            self.generate = GeneratePhase(self.source)
+            self.reduce = ReducePhase(
+                self.cache, point_file, eager_miss_fetch=eager_miss_fetch
+            )
+            self.refine = RefinePhase(self.cache, point_file)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_index(
+        cls,
+        index,
+        point_file: PointFile,
+        cache: PointCache | None = None,
+        eager_miss_fetch: bool = False,
+        hooks: Sequence[PhaseHook] = (),
+    ) -> "QueryEngine":
+        """Engine over a candidate-set index (LSH, VA-file, linear scan)."""
+        return cls(
+            index,
+            point_file=point_file,
+            cache=cache,
+            eager_miss_fetch=eager_miss_fetch,
+            hooks=hooks,
+        )
+
+    @classmethod
+    def for_tree(
+        cls,
+        index,
+        leaf_cache: LeafNodeCache | None = None,
+        hooks: Sequence[PhaseHook] = (),
+    ) -> "QueryEngine":
+        """Engine over a tree index with the Section-3.6.1 leaf cache."""
+        return cls(TreeLeafSource(index, leaf_cache), hooks=hooks)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_tree(self) -> bool:
+        return self.source.is_tree
+
+    def make_context(self) -> ExecutionContext:
+        """A fresh per-query context carrying this engine's hooks."""
+        return ExecutionContext(hooks=self.hooks)
+
+    def search(
+        self, query: np.ndarray, k: int, ctx: ExecutionContext | None = None
+    ) -> SearchResult:
+        """Answer one kNN query; results match the index's uncached answer."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=np.float64)
+        ctx = ctx or self.make_context()
+        if self.source.is_tree:
+            return self.source.search(query, k, ctx)
+        with ctx.phase("generate"):
+            candidate_ids = self.generate.run(query, k, ctx)
+        if candidate_ids.size == 0:
+            return self._empty_result(ctx)
+        return self._reduce_and_refine(query, candidate_ids, k, ctx, None)
+
+    def search_many(
+        self, queries: np.ndarray, k: int, chunk_size: int = 256
+    ) -> list[SearchResult]:
+        """Answer a query batch; the cache is probed once per chunk.
+
+        Returns one :class:`SearchResult` per query, element-wise identical
+        (ids, distances and I/O counts) to ``[search(q, k) for q in
+        queries]``.  Tree sources and dynamic (LRU) caches fall back to
+        that sequential loop — their per-query state mutations make
+        execution order observable.
+
+        Args:
+            chunk_size: queries per batched cache probe; bounds the
+                ``(chunk, |union of candidates|)`` bound matrices.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(queries) == 0:
+            return []
+        if self.source.is_tree or not self._batchable_cache():
+            return [self.search(query, k) for query in queries]
+        results: list[SearchResult] = []
+        for start in range(0, len(queries), chunk_size):
+            results.extend(self._search_chunk(queries[start : start + chunk_size], k))
+        return results
+
+    def _search_chunk(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        contexts = [self.make_context() for _ in range(len(queries))]
+        candidate_sets: list[np.ndarray] = []
+        for query, ctx in zip(queries, contexts):
+            with ctx.phase("generate"):
+                candidate_sets.append(self.generate.run(query, k, ctx))
+
+        nonempty = [ids for ids in candidate_sets if ids.size]
+        union = (
+            np.unique(np.concatenate(nonempty))
+            if nonempty
+            else np.empty(0, dtype=np.int64)
+        )
+        if union.size:
+            batch_ctx = self.make_context()
+            with batch_ctx.phase("batch_probe"):
+                union_hits, lb_matrix, ub_matrix = self.cache.lookup_batch(
+                    queries, union
+                )
+
+        results: list[SearchResult] = []
+        for i, (query, candidate_ids, ctx) in enumerate(
+            zip(queries, candidate_sets, contexts)
+        ):
+            if candidate_ids.size == 0:
+                results.append(self._empty_result(ctx))
+                continue
+            positions = np.searchsorted(union, candidate_ids)
+            bounds = (
+                union_hits[positions],
+                lb_matrix[i, positions],
+                ub_matrix[i, positions],
+            )
+            results.append(
+                self._reduce_and_refine(query, candidate_ids, k, ctx, bounds)
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _batchable_cache(self) -> bool:
+        """Static caches answer a batch probe without observable mutation."""
+        return getattr(self.cache, "policy", None) is not CachePolicy.LRU
+
+    def _reduce_and_refine(
+        self,
+        query: np.ndarray,
+        candidate_ids: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        bounds,
+    ) -> SearchResult:
+        with ctx.phase("reduce"):
+            outcome = self.reduce.run(query, candidate_ids, k, ctx, bounds=bounds)
+        with ctx.phase("refine"):
+            ids, distances, exact_mask, fetched = self.refine.run(
+                query, outcome, k, ctx
+            )
+        stats = QueryStats(
+            num_candidates=len(candidate_ids),
+            cache_hits=outcome.num_hits,
+            pruned=len(outcome.pruned_ids),
+            confirmed=len(outcome.confirmed_ids),
+            c_refine=outcome.c_refine,
+            refined_fetches=fetched,
+            refine_page_reads=ctx.refine_page_reads,
+            gen_page_reads=ctx.gen_page_reads,
+        )
+        return SearchResult(
+            ids=ids, distances=distances, exact_mask=exact_mask, stats=stats
+        )
+
+    def _empty_result(self, ctx: ExecutionContext) -> SearchResult:
+        stats = QueryStats(0, 0, 0, 0, 0, 0, 0, ctx.gen_page_reads)
+        empty = np.empty(0)
+        return SearchResult(
+            ids=empty.astype(np.int64),
+            distances=empty,
+            exact_mask=empty.astype(bool),
+            stats=stats,
+        )

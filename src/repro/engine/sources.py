@@ -1,0 +1,140 @@
+"""Candidate sources: one interface over LSH generators and tree indexes.
+
+The paper runs Algorithm 1 over *candidate-set* indexes (LSH family,
+VA-files, linear scan) and a leaf-streaming adaptation over *tree*
+indexes (Section 3.6.1).  The engine sees both through
+:class:`CandidateSource`:
+
+* :class:`CandidateSetSource` wraps any object with
+  ``candidates(query, k, tracker) -> ids`` and deduplicates the returned
+  ids (LSH generators may emit duplicates across tables, which would
+  inflate ``num_candidates`` and every hit-ratio statistic downstream);
+* :class:`TreeLeafSource` wraps a tree index exposing ``leaf_stream`` /
+  ``leaf_contents`` / ``leaf_pages`` and answers queries through the
+  shared mindist-ordered cached-leaf search, reporting unified stats.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.cache import LeafNodeCache
+from repro.engine.context import ExecutionContext
+from repro.engine.stats import SearchResult, unify_tree_stats
+from repro.index.treesearch import cached_leaf_knn
+
+
+def dedupe_ids(ids: np.ndarray) -> np.ndarray:
+    """Drop duplicate candidate ids, keeping first-occurrence order.
+
+    Candidate generators define a meaningful order (e.g. C2LSH returns
+    descending collision counts), so a sorted ``np.unique`` would change
+    fetch order among equal lower bounds; first-occurrence order keeps
+    the per-query pipeline byte-identical for generators that already
+    deduplicate.
+    """
+    ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+    if ids.size <= 1:
+        return ids
+    _, first = np.unique(ids, return_index=True)
+    if len(first) == len(ids):
+        return ids
+    return ids[np.sort(first)]
+
+
+@runtime_checkable
+class CandidateSource(Protocol):
+    """What the engine needs from a candidate-generation backend."""
+
+    def generate(
+        self, query: np.ndarray, k: int, ctx: ExecutionContext
+    ) -> np.ndarray:
+        """Deduplicated candidate ids for one query (charges gen I/O)."""
+        ...
+
+
+class CandidateSetSource:
+    """Adapter over candidate-set indexes (LSH, VA-file, linear scan).
+
+    Args:
+        index: object exposing ``candidates(query, k, tracker) -> ids``.
+    """
+
+    is_tree = False
+
+    def __init__(self, index) -> None:
+        self.index = index
+
+    def generate(
+        self, query: np.ndarray, k: int, ctx: ExecutionContext
+    ) -> np.ndarray:
+        return dedupe_ids(self.index.candidates(query, k, ctx.gen_tracker))
+
+
+class TreeLeafSource:
+    """Adapter over tree indexes with paged leaves (Section 3.6.1).
+
+    Generation and refinement interleave inside the mindist-ordered leaf
+    stream, so this source answers whole queries instead of emitting a
+    candidate set; the engine delegates to :meth:`search`.
+
+    Args:
+        index: tree index exposing ``leaf_stream(query)``,
+            ``leaf_contents(leaf_id)`` and ``leaf_pages(leaf_id)``.
+        leaf_cache: optional leaf-node cache consulted before disk reads.
+    """
+
+    is_tree = True
+
+    def __init__(self, index, leaf_cache: LeafNodeCache | None = None) -> None:
+        self.index = index
+        self.leaf_cache = leaf_cache
+
+    def generate(
+        self, query: np.ndarray, k: int, ctx: ExecutionContext
+    ) -> np.ndarray:
+        raise NotImplementedError(
+            "tree sources interleave generation and refinement; "
+            "use TreeLeafSource.search"
+        )
+
+    def search(
+        self, query: np.ndarray, k: int, ctx: ExecutionContext
+    ) -> SearchResult:
+        """Exact kNN through the shared cached-leaf search."""
+        with ctx.phase("refine"):
+            tree_result = cached_leaf_knn(
+                query,
+                k,
+                self.index.leaf_stream(query),
+                self.index.leaf_contents,
+                self.index.leaf_pages,
+                cache=self.leaf_cache,
+                tracker=ctx.refine_tracker,
+            )
+        return SearchResult(
+            ids=tree_result.ids,
+            distances=tree_result.distances,
+            exact_mask=np.ones(len(tree_result.ids), dtype=bool),
+            stats=unify_tree_stats(tree_result.stats),
+        )
+
+
+def as_source(index, leaf_cache: LeafNodeCache | None = None):
+    """Wrap a raw index in the matching source adapter.
+
+    Tree indexes are recognized by their leaf-streaming interface;
+    everything else must expose ``candidates``.
+    """
+    if isinstance(index, (CandidateSetSource, TreeLeafSource)):
+        return index
+    if hasattr(index, "leaf_stream") and hasattr(index, "leaf_contents"):
+        return TreeLeafSource(index, leaf_cache)
+    if hasattr(index, "candidates"):
+        return CandidateSetSource(index)
+    raise TypeError(
+        f"{type(index).__name__} is neither a candidate-set index "
+        "(needs .candidates) nor a tree index (needs .leaf_stream)"
+    )

@@ -55,6 +55,7 @@ from repro.core.histogram import Histogram
 from repro.core.multidim import RTreeBucketEncoder
 from repro.core.search import CachedKNNSearch, SearchResult
 from repro.data.datasets import Dataset
+from repro.engine.engine import QueryEngine
 from repro.index.idistance import IDistanceIndex
 from repro.index.linear_scan import LinearScanIndex
 from repro.index.mtree import MTreeIndex
@@ -312,6 +313,8 @@ class CachingPipeline:
 
     ``search`` answers queries through Algorithm 1 and records per-query
     statistics; results are identical to the uncached index's answers.
+    ``search_many`` routes a query batch through the engine's batched hot
+    path (one cache probe for the union of candidates).
     """
 
     context: WorkloadContext
@@ -320,8 +323,18 @@ class CachingPipeline:
     tau: int | None
     searcher: CachedKNNSearch
 
+    @property
+    def engine(self) -> QueryEngine:
+        """The unified query engine behind this pipeline."""
+        return self.searcher.engine
+
     def search(self, query: np.ndarray, k: int | None = None) -> SearchResult:
         return self.searcher.search(query, k or self.context.k)
+
+    def search_many(
+        self, queries: np.ndarray, k: int | None = None
+    ) -> list[SearchResult]:
+        return self.searcher.search_many(queries, k or self.context.k)
 
     @property
     def read_latency_s(self) -> float:
@@ -415,14 +428,32 @@ def build_caching_pipeline(
 # ----------------------------------------------------------------------
 @dataclass
 class TreePipeline:
-    """A tree index plus a leaf-node cache (EXACT or approximate)."""
+    """A tree index plus a leaf-node cache (EXACT or approximate).
+
+    Queries run through the unified engine's tree source; ``search``
+    returns the unified ``SearchResult`` whose stats carry the tree
+    counters (``leaf_fetches``, ``cached_leaf_hits``, ...) as optional
+    fields.
+    """
 
     index: object
     cache: LeafNodeCache | None
     method: str
     read_latency_s: float = 5e-3
+    engine: QueryEngine | None = None
 
-    def search(self, query: np.ndarray, k: int) -> TreeSearchResult:
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = QueryEngine.for_tree(self.index, self.cache)
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        return self.engine.search(query, k)
+
+    def search_many(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        return self.engine.search_many(queries, k)
+
+    def search_raw(self, query: np.ndarray, k: int) -> TreeSearchResult:
+        """The legacy tree-native result (``TreeQueryStats`` record)."""
         tracker = QueryIOTracker()
         return self.index.search(query, k, cache=self.cache, tracker=tracker)
 

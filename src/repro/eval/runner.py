@@ -26,7 +26,12 @@ from repro.eval.methods import WorkloadContext, build_caching_pipeline
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Aggregated metrics of one (method, parameters) configuration."""
+    """Aggregated metrics of one (method, parameters) configuration.
+
+    ``per_query`` is empty unless the experiment was run with
+    ``keep_per_query=True`` (retaining one record per query grows without
+    bound on large sweeps).
+    """
 
     method: str
     tau: int
@@ -73,6 +78,13 @@ class Experiment:
     ordering: str = "raw"
     policy: CachePolicy = CachePolicy.HFF
     seed: int = 0
+    #: Execute the test queries through the engine's batched hot path
+    #: (identical results and I/O counts; different wall time).
+    batched: bool = False
+    #: Retain every per-query ``QueryStats`` on the result.  Off by
+    #: default: large sweeps would otherwise accumulate one record per
+    #: query per configuration without bound.
+    keep_per_query: bool = False
 
     def run(
         self,
@@ -102,10 +114,11 @@ class Experiment:
                 raise ValueError("no queries given and dataset has no query log")
             queries = self.dataset.query_log.test
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        stats: list[QueryStats] = []
         started = time.perf_counter()
-        for query in queries:
-            stats.append(pipeline.search(query, self.k).stats)
+        if self.batched:
+            stats = [r.stats for r in pipeline.search_many(queries, self.k)]
+        else:
+            stats = [pipeline.search(query, self.k).stats for query in queries]
         wall = time.perf_counter() - started
         return summarize(
             stats,
@@ -116,6 +129,7 @@ class Experiment:
             read_latency_s=pipeline.read_latency_s,
             seq_read_latency_s=pipeline.seq_read_latency_s,
             wall_time_s=wall,
+            keep_per_query=self.keep_per_query,
         )
 
 
@@ -128,8 +142,15 @@ def summarize(
     read_latency_s: float,
     seq_read_latency_s: float = 0.0,
     wall_time_s: float = 0.0,
+    keep_per_query: bool = False,
 ) -> ExperimentResult:
-    """Aggregate per-query stats into an ``ExperimentResult``."""
+    """Aggregate per-query stats into an ``ExperimentResult``.
+
+    Args:
+        keep_per_query: retain the individual ``QueryStats`` records on
+            the result (off by default — they grow without bound on
+            large sweeps).
+    """
     if not stats:
         raise ValueError("no query statistics to summarize")
     refine_io = float(np.mean([s.refine_page_reads for s in stats]))
@@ -150,7 +171,7 @@ def summarize(
         gen_time_s=gen_io * seq_read_latency_s,
         response_time_s=refine_io * read_latency_s + gen_io * seq_read_latency_s,
         wall_time_s=wall_time_s,
-        per_query=tuple(stats),
+        per_query=tuple(stats) if keep_per_query else (),
     )
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cache import PointCache
-from repro.extensions.ranges import range_search
+from repro.extensions.ranges import range_search, range_search_many
 from repro.storage.pointfile import PointFile
 
 NOISE = -1
@@ -71,13 +71,15 @@ def dbscan(
     decided = 0
     cluster = 0
 
-    def region(i: int) -> np.ndarray:
+    def tally(result) -> np.ndarray:
         nonlocal page_reads, region_queries, decided
-        result = range_search(points[i], eps, all_ids, cache, point_file)
         page_reads += result.page_reads
         region_queries += 1
         decided += result.confirmed_without_io + result.pruned_without_io
         return result.ids
+
+    def region(i: int) -> np.ndarray:
+        return tally(range_search(points[i], eps, all_ids, cache, point_file))
 
     for seed in range(n):
         if visited[seed]:
@@ -89,16 +91,30 @@ def dbscan(
         labels[seed] = cluster
         queue = deque(int(x) for x in neighbors if x != seed)
         while queue:
-            j = queue.popleft()
-            if labels[j] == NOISE:
-                labels[j] = cluster
-            if visited[j]:
-                continue
-            visited[j] = True
-            expansion = region(j)
-            if len(expansion) >= min_pts:
-                labels[j] = cluster
-                queue.extend(int(x) for x in expansion if not visited[x])
+            # Drain the whole frontier, then issue its region queries as
+            # one batch (the cache is probed once for all of them).  The
+            # labeling below is exactly the sequential pop logic: BFS
+            # reachability is order-invariant, and border points keep
+            # whichever cluster visited them first either way.
+            frontier: list[int] = []
+            while queue:
+                j = queue.popleft()
+                if labels[j] == NOISE:
+                    labels[j] = cluster
+                if visited[j]:
+                    continue
+                visited[j] = True
+                frontier.append(j)
+            if not frontier:
+                break
+            expansions = range_search_many(
+                points[frontier], eps, all_ids, cache, point_file
+            )
+            for j, result in zip(frontier, expansions):
+                expansion = tally(result)
+                if len(expansion) >= min_pts:
+                    labels[j] = cluster
+                    queue.extend(int(x) for x in expansion if not visited[x])
         cluster += 1
     return DBSCANResult(
         labels=labels,

@@ -63,8 +63,9 @@ def knn_join(
     stats: list[QueryStats] = []
     refine_reads = 0
     gen_reads = 0
-    for i, query in enumerate(queries):
-        result = searcher.search(query, k)
+    # The join *is* a query batch: the engine probes the cache once for
+    # the union of candidates and decodes each cached code exactly once.
+    for i, result in enumerate(searcher.search_many(queries, k)):
         found = min(len(result.ids), k)
         ids[i, :found] = result.ids[:found]
         dists[i, :found] = result.distances[:found]

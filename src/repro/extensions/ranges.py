@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bounds import exact_distances
-from repro.core.cache import PointCache
+from repro.core.cache import CachePolicy, PointCache
 from repro.storage.iostats import QueryIOTracker
 from repro.storage.pointfile import PointFile
 
@@ -65,8 +65,57 @@ def range_search(
     query = np.asarray(query, dtype=np.float64)
     candidate_ids = np.atleast_1d(np.asarray(candidate_ids, dtype=np.int64))
     if candidate_ids.size == 0:
-        return RangeResult(np.empty(0, dtype=np.int64), 0, 0, 0, 0)
+        return _EMPTY
     hits, lb, ub = cache.lookup(query, candidate_ids)
+    return _resolve(query, eps, candidate_ids, lb, ub, point_file)
+
+
+def range_search_many(
+    queries: np.ndarray,
+    eps: float,
+    candidate_ids: np.ndarray,
+    cache: PointCache,
+    point_file: PointFile,
+) -> list[RangeResult]:
+    """Answer a batch of range queries sharing one candidate superset.
+
+    The cache is probed once for the whole batch (each cached code is
+    decoded exactly once); every query's fetch I/O is tracked separately,
+    so each :class:`RangeResult` is identical to what ``range_search``
+    returns for that query alone.  Dynamic (LRU) caches mutate on lookup,
+    making query order observable, so they fall back to the sequential
+    per-query loop.
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    candidate_ids = np.atleast_1d(np.asarray(candidate_ids, dtype=np.int64))
+    if getattr(cache, "policy", None) is CachePolicy.LRU:
+        return [
+            range_search(query, eps, candidate_ids, cache, point_file)
+            for query in queries
+        ]
+    if candidate_ids.size == 0:
+        return [_EMPTY] * len(queries)
+    hits, lb, ub = cache.lookup_batch(queries, candidate_ids)
+    return [
+        _resolve(query, eps, candidate_ids, lb[i], ub[i], point_file)
+        for i, query in enumerate(queries)
+    ]
+
+
+_EMPTY = RangeResult(np.empty(0, dtype=np.int64), 0, 0, 0, 0)
+
+
+def _resolve(
+    query: np.ndarray,
+    eps: float,
+    candidate_ids: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+    point_file: PointFile,
+) -> RangeResult:
+    """Decide membership from bounds; fetch only the straddling interval."""
     inside = ub <= eps
     outside = lb > eps
     undecided = ~inside & ~outside

@@ -85,3 +85,26 @@ class TestExperimentPlumbing:
             dataset, method="NO-CACHE", cache_bytes=0
         ).run()
         assert result.wall_time_s > 0
+
+    def test_per_query_dropped_by_default(self, dataset):
+        result = Experiment(
+            dataset, method="HC-D", tau=4, cache_bytes=10_000
+        ).run()
+        assert result.per_query == ()
+
+    def test_per_query_retained_on_request(self, dataset):
+        result = Experiment(
+            dataset, method="HC-D", tau=4, cache_bytes=10_000,
+            keep_per_query=True,
+        ).run()
+        assert len(result.per_query) == result.num_queries
+
+    def test_batched_matches_per_query_metrics(self, dataset):
+        kwargs = dict(method="HC-O", tau=4, cache_bytes=10_000)
+        seq = Experiment(dataset, **kwargs, keep_per_query=True).run()
+        bat = Experiment(
+            dataset, **kwargs, keep_per_query=True, batched=True
+        ).run()
+        assert bat.per_query == seq.per_query
+        assert bat.avg_refine_io == seq.avg_refine_io
+        assert bat.hit_ratio == seq.hit_ratio
