@@ -86,12 +86,14 @@ def get_engine(
     tau: int = DEFAULT_TAU,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
     seed: int = 0,
+    metrics=None,
 ):
     """A ready ``QueryEngine`` for benchmark modules.
 
     Returns ``(dataset, engine)`` — the engine behind the standard caching
     pipeline for ``method`` over the named dataset, sharing the module's
-    dataset/context caches.
+    dataset/context caches.  Pass a ``MetricsRegistry`` as ``metrics`` to
+    aggregate the run's telemetry (see :func:`dump_metrics`).
     """
     dataset = get_dataset(name, seed=seed)
     context = get_context(name, index_name=index_name, k=k, seed=seed)
@@ -104,8 +106,25 @@ def get_engine(
         k=k,
         seed=seed,
         context=context,
+        metrics=metrics,
     )
     return dataset, pipeline.engine
+
+
+def dump_metrics(name: str, registry, engine=None) -> Path:
+    """Persist a registry snapshot to ``benchmarks/results/<name>.json``.
+
+    When the engine is given, its cache telemetry is published into the
+    registry first so the dump carries hit/eviction/occupancy counters.
+    """
+    from repro.obs.reporter import publish_cache_metrics
+
+    if engine is not None and engine.cache is not None:
+        publish_cache_metrics(engine.cache, registry)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    registry.to_json(path)
+    return path
 
 
 def emit(name: str, title: str, headers, rows) -> str:

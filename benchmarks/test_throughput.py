@@ -18,11 +18,13 @@ from common import (
     DEFAULT_TAU,
     RESULTS_DIR,
     cache_bytes_for,
+    dump_metrics,
     get_context,
     get_dataset,
     get_engine,
 )
 from repro.eval.methods import build_caching_pipeline
+from repro.obs.registry import MetricsRegistry
 
 DATASET = "nus-wide-sim"
 
@@ -99,6 +101,25 @@ def run_engine_comparison():
         "batched": {"wall_time_s": t_batch, "queries_per_s": len(queries) / t_batch},
         "speedup": t_seq / t_batch,
     }
+
+
+def test_metrics_instrumented_run(benchmark):
+    """Engine run with the obs registry attached; persists the snapshot.
+
+    Also the suite's metrics artifact: the dump lands in
+    ``benchmarks/results/BENCH_metrics.metrics.json`` (uploaded by CI).
+    """
+    registry = MetricsRegistry()
+    dataset, engine = get_engine(DATASET, method="HC-O", metrics=registry)
+    queries = dataset.query_log.test
+
+    results = benchmark.pedantic(
+        lambda: engine.search_many(queries, DEFAULT_K), rounds=1, iterations=1
+    )
+    assert len(results) == len(queries)
+    assert registry.value("engine_queries_total") == len(queries)
+    path = dump_metrics("BENCH_metrics", registry, engine=engine)
+    print(f"\nmetrics snapshot written to {path}")
 
 
 def test_engine_batched_throughput(benchmark):

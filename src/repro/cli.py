@@ -13,13 +13,17 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.core.cost_model import optimal_tau
 from repro.data.datasets import REGISTRY, load_dataset
 from repro.eval.methods import METHOD_NAMES, WorkloadContext
 from repro.eval.reporting import format_table
 from repro.eval.runner import Experiment
+from repro.obs.registry import MetricsRegistry
+from repro.obs.reporter import MetricsReporter
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -36,12 +40,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batched", action="store_true",
                         help="run the test queries through the engine's "
                              "batched hot path (identical results/I/O)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect engine/cache telemetry (repro.obs) "
+                             "and print the snapshot after the results")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics snapshot as JSON "
+                             "(implies --metrics)")
+    parser.add_argument("--metrics-format", choices=("table", "prom"),
+                        default="table",
+                        help="printed metrics format: human table or "
+                             "Prometheus text exposition")
 
 
 def _resolve_cache(args, dataset) -> int:
     if args.cache_kb > 0:
         return args.cache_kb * 1024
     return int(dataset.file_bytes * 0.3)
+
+
+def _metrics_registry(args) -> MetricsRegistry | None:
+    """A fresh registry when --metrics / --metrics-out was requested."""
+    if args.metrics or args.metrics_out:
+        return MetricsRegistry()
+    return None
+
+
+def _emit_metrics(args, registry: MetricsRegistry, payload: dict) -> None:
+    """Print the snapshot and (optionally) dump the JSON payload."""
+    print()
+    MetricsReporter(registry, fmt=args.metrics_format).report()
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"metrics written to {args.metrics_out}")
 
 
 def _result_rows(results):
@@ -78,13 +110,17 @@ def cmd_experiment(args) -> int:
     context = WorkloadContext.prepare(
         dataset, index_name=args.index, k=args.k, seed=args.seed
     )
+    registry = _metrics_registry(args)
     result = Experiment(
         dataset, method=args.method, k=args.k, tau=args.tau,
         cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
         seed=args.seed, batched=args.batched,
+        metrics=registry if registry is not None else False,
     ).run(context=context)
     print(format_table(_RESULT_HEADERS, _result_rows([result]),
                        title=f"{args.dataset} / {args.method}"))
+    if registry is not None:
+        _emit_metrics(args, registry, result.metrics)
     return 0
 
 
@@ -95,19 +131,41 @@ def cmd_compare(args) -> int:
         dataset, index_name=args.index, k=args.k, seed=args.seed
     )
     cache_bytes = _resolve_cache(args, dataset)
+    want_metrics = args.metrics or args.metrics_out
     results = []
+    registries: dict[str, MetricsRegistry] = {}
     for method in args.methods:
+        # One registry per method: engine totals and cache gauges from
+        # different configurations must not mix.
+        if want_metrics:
+            registries[method] = MetricsRegistry()
         results.append(
             Experiment(
                 dataset, method=method, k=args.k, tau=args.tau,
                 cache_bytes=cache_bytes, index_name=args.index, seed=args.seed,
                 batched=args.batched,
+                metrics=registries.get(method, False),
             ).run(context=context)
         )
     print(format_table(
         _RESULT_HEADERS, _result_rows(results),
         title=f"{args.dataset}, cache {cache_bytes >> 10} KB, k={args.k}",
     ))
+    if want_metrics:
+        for method, result in zip(args.methods, results):
+            print(f"\n--- metrics: {method} ---")
+            MetricsReporter(registries[method], fmt=args.metrics_format).report()
+        if args.metrics_out:
+            payload = {
+                "methods": {
+                    method: result.metrics
+                    for method, result in zip(args.methods, results)
+                }
+            }
+            Path(args.metrics_out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"metrics written to {args.metrics_out}")
     return 0
 
 

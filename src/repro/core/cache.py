@@ -31,6 +31,7 @@ from repro.core.bounds import (
     rectangle_bounds,
 )
 from repro.core.encoder import PointEncoder
+from repro.obs.telemetry import CacheTelemetry
 
 
 class CachePolicy(enum.Enum):
@@ -44,10 +45,13 @@ class PointCache:
     """Interface shared by exact and approximate point caches.
 
     Lookups are aligned with Algorithm 1's initialization: a missing
-    candidate gets ``lb = 0`` and ``ub = +inf``.
+    candidate gets ``lb = 0`` and ``ub = +inf``.  Every cache carries an
+    always-on :class:`~repro.obs.telemetry.CacheTelemetry` counting
+    lookups, hits, admissions and evictions (purely observational).
     """
 
     capacity_bytes: int
+    telemetry: CacheTelemetry
 
     @property
     def max_items(self) -> int:
@@ -93,6 +97,25 @@ def _normalize_ids(ids: np.ndarray) -> np.ndarray:
     return np.atleast_1d(np.asarray(ids, dtype=np.int64))
 
 
+def _populate_take(slot_of: np.ndarray, ids: np.ndarray, free_slots: int) -> int:
+    """Longest prefix of ``ids`` whose *new* distinct ids fit in free slots.
+
+    Updates of already-cached ids (and repeats within ``ids``) need no
+    slot, so only the first occurrence of each uncached id is charged
+    against capacity — a full static cache still accepts pure updates.
+    """
+    new = slot_of[ids] < 0
+    if not new.any():
+        return len(ids)
+    first = np.zeros(len(ids), dtype=bool)
+    first[np.unique(ids, return_index=True)[1]] = True
+    cum_new = np.cumsum(new & first)
+    over = cum_new > free_slots
+    if not over.any():
+        return len(ids)
+    return int(np.argmax(over))
+
+
 class ApproximateCache(PointCache):
     """Bit-packed cache of encoded points.
 
@@ -127,6 +150,7 @@ class ApproximateCache(PointCache):
         self._id_of_slot = np.full(self._max_items, -1, dtype=np.int64)
         self._free: list[int] = list(range(self._max_items - 1, -1, -1))
         self._lru: OrderedDict[int, int] = OrderedDict()
+        self.telemetry = CacheTelemetry()
 
     # ------------------------------------------------------------------
     @property
@@ -149,28 +173,37 @@ class ApproximateCache(PointCache):
         if self._slot_of[point_id] >= 0:
             slot = int(self._slot_of[point_id])
             self._store.set_rows(np.asarray([slot]), codes_row[None, :])
+            self.telemetry.updates += 1
         else:
             if not self._free:
                 if self.policy is not CachePolicy.LRU:
+                    self.telemetry.rejections += 1
                     return  # static cache full
                 evict_id, evict_slot = self._lru.popitem(last=False)
                 self._slot_of[evict_id] = -1
                 self._free.append(evict_slot)
+                self.telemetry.evictions += 1
             slot = self._free.pop()
             self._slot_of[point_id] = slot
             self._id_of_slot[slot] = point_id
             self._store.set_rows(np.asarray([slot]), codes_row[None, :])
+            self.telemetry.admissions += 1
         if self.policy is CachePolicy.LRU:
             self._lru[point_id] = int(self._slot_of[point_id])
             self._lru.move_to_end(point_id)
 
     def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
-        """Bulk-load entries (in priority order); returns how many fit."""
+        """Bulk-load entries (in priority order); returns how many fit.
+
+        Only genuinely *new* ids are charged against the free slots:
+        updates of already-cached ids need no capacity, so they are
+        accepted (and re-encoded) even when the cache is full.
+        """
         ids = _normalize_ids(ids)
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(ids) != len(points):
             raise ValueError("ids and points must align")
-        take = min(len(ids), len(self._free))
+        take = _populate_take(self._slot_of, ids, len(self._free))
         if take == 0:
             return 0
         ids = ids[:take]
@@ -190,6 +223,7 @@ class ApproximateCache(PointCache):
         self._slot_of[ids] = slots
         self._id_of_slot[slots] = ids
         self._store.set_rows(slots, codes)
+        self.telemetry.admissions += take
         return take
 
     def populate_hff(self, frequencies: np.ndarray, points: np.ndarray) -> int:
@@ -219,6 +253,7 @@ class ApproximateCache(PointCache):
         ids = _normalize_ids(ids)
         slots = self._slot_of[ids]
         hits = slots >= 0
+        self.telemetry.record_lookup(len(ids), hits.sum())
         lb = np.zeros(len(ids), dtype=np.float64)
         ub = np.full(len(ids), np.inf, dtype=np.float64)
         if np.any(hits):
@@ -238,6 +273,7 @@ class ApproximateCache(PointCache):
         ids = _normalize_ids(ids)
         slots = self._slot_of[ids]
         hits = slots >= 0
+        self.telemetry.record_lookup(len(ids), hits.sum())
         lb = np.zeros((len(queries), len(ids)), dtype=np.float64)
         ub = np.full((len(queries), len(ids)), np.inf, dtype=np.float64)
         if np.any(hits):
@@ -253,6 +289,7 @@ class ApproximateCache(PointCache):
 
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         if self.policy is not CachePolicy.LRU or self._max_items == 0:
+            self.telemetry.rejections += len(_normalize_ids(ids))
             return
         ids = _normalize_ids(ids)
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
@@ -289,6 +326,7 @@ class ExactCache(PointCache):
         self._slot_of = np.full(n_points, -1, dtype=np.int64)
         self._free: list[int] = list(range(self._max_items - 1, -1, -1))
         self._lru: OrderedDict[int, int] = OrderedDict()
+        self.telemetry = CacheTelemetry()
 
     @property
     def max_items(self) -> int:
@@ -308,24 +346,29 @@ class ExactCache(PointCache):
     def _insert(self, point_id: int, point: np.ndarray) -> None:
         if self._slot_of[point_id] >= 0:
             self._data[self._slot_of[point_id]] = point
+            self.telemetry.updates += 1
         else:
             if not self._free:
                 if self.policy is not CachePolicy.LRU:
+                    self.telemetry.rejections += 1
                     return
                 evict_id, evict_slot = self._lru.popitem(last=False)
                 self._slot_of[evict_id] = -1
                 self._free.append(evict_slot)
+                self.telemetry.evictions += 1
             slot = self._free.pop()
             self._slot_of[point_id] = slot
             self._data[slot] = point
+            self.telemetry.admissions += 1
         if self.policy is CachePolicy.LRU:
             self._lru[point_id] = int(self._slot_of[point_id])
             self._lru.move_to_end(point_id)
 
     def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
+        """Bulk-load entries; only genuinely new ids consume capacity."""
         ids = _normalize_ids(ids)
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
-        take = min(len(ids), len(self._free))
+        take = _populate_take(self._slot_of, ids, len(self._free))
         if take == 0:
             return 0
         ids = ids[:take]
@@ -342,6 +385,7 @@ class ExactCache(PointCache):
         )
         self._slot_of[ids] = slots
         self._data[slots] = points[:take]
+        self.telemetry.admissions += take
         return take
 
     def populate_hff(self, frequencies: np.ndarray, points: np.ndarray) -> int:
@@ -360,6 +404,7 @@ class ExactCache(PointCache):
         ids = _normalize_ids(ids)
         slots = self._slot_of[ids]
         hits = slots >= 0
+        self.telemetry.record_lookup(len(ids), hits.sum())
         lb = np.zeros(len(ids), dtype=np.float64)
         ub = np.full(len(ids), np.inf, dtype=np.float64)
         if np.any(hits):
@@ -379,6 +424,7 @@ class ExactCache(PointCache):
         ids = _normalize_ids(ids)
         slots = self._slot_of[ids]
         hits = slots >= 0
+        self.telemetry.record_lookup(len(ids), hits.sum())
         lb = np.zeros((len(queries), len(ids)), dtype=np.float64)
         ub = np.full((len(queries), len(ids)), np.inf, dtype=np.float64)
         if np.any(hits):
@@ -396,6 +442,7 @@ class ExactCache(PointCache):
 
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         if self.policy is not CachePolicy.LRU or self._max_items == 0:
+            self.telemetry.rejections += len(_normalize_ids(ids))
             return
         ids = _normalize_ids(ids)
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
@@ -407,6 +454,9 @@ class NoCache(PointCache):
     """The NO-CACHE baseline: every candidate goes to refinement."""
 
     capacity_bytes = 0
+
+    def __init__(self) -> None:
+        self.telemetry = CacheTelemetry()
 
     @property
     def max_items(self) -> int:
@@ -423,6 +473,7 @@ class NoCache(PointCache):
         self, query: np.ndarray, ids: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         ids = _normalize_ids(ids)
+        self.telemetry.record_lookup(len(ids), 0)
         return (
             np.zeros(len(ids), dtype=bool),
             np.zeros(len(ids), dtype=np.float64),
@@ -434,6 +485,7 @@ class NoCache(PointCache):
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         ids = _normalize_ids(ids)
+        self.telemetry.record_lookup(len(ids), 0)
         return (
             np.zeros(len(ids), dtype=bool),
             np.zeros((len(queries), len(ids)), dtype=np.float64),
@@ -465,7 +517,9 @@ class LeafNodeCache:
         self.exact = exact
         self.value_bytes = value_bytes
         self.used_bytes = 0
-        self._entries: dict[int, tuple[np.ndarray, object]] = {}
+        #: leaf id -> (point_ids, payload, entry cost in bytes).
+        self._entries: dict[int, tuple[np.ndarray, object, int]] = {}
+        self.telemetry = CacheTelemetry()
 
     def _entry_bytes(self, n_points: int, dim: int) -> int:
         if self.exact:
@@ -474,19 +528,31 @@ class LeafNodeCache:
         return n_points * probe.row_bytes
 
     def try_add(self, leaf_id: int, point_ids: np.ndarray, points: np.ndarray) -> bool:
-        """Add a leaf if it fits; returns True when cached."""
+        """Add a leaf if it fits; returns True when cached.
+
+        Re-adding an already-cached leaf replaces its entry: the old
+        entry's cost is released before the budget check, so replacement
+        never double-charges ``used_bytes``.
+        """
         point_ids = _normalize_ids(point_ids)
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         cost = self._entry_bytes(len(points), points.shape[1])
-        if self.used_bytes + cost > self.capacity_bytes:
+        old = self._entries.get(leaf_id)
+        old_cost = old[2] if old is not None else 0
+        if self.used_bytes - old_cost + cost > self.capacity_bytes:
+            self.telemetry.rejections += 1
             return False
         payload: object
         if self.exact:
             payload = points.copy()
         else:
             payload = self.encoder.encode(points)
-        self._entries[leaf_id] = (point_ids.copy(), payload)
-        self.used_bytes += cost
+        self._entries[leaf_id] = (point_ids.copy(), payload, cost)
+        self.used_bytes += cost - old_cost
+        if old is None:
+            self.telemetry.admissions += 1
+        else:
+            self.telemetry.updates += 1
         return True
 
     def populate_by_frequency(
@@ -530,9 +596,10 @@ class LeafNodeCache:
         Returns None on a miss.
         """
         entry = self._entries.get(leaf_id)
+        self.telemetry.record_lookup(1, 0 if entry is None else 1)
         if entry is None:
             return None
-        point_ids, payload = entry
+        point_ids, payload, _ = entry
         if self.exact:
             dist = exact_distances(query, payload)
             return point_ids, dist, dist.copy()

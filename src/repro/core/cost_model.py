@@ -66,8 +66,10 @@ class CostModel:
         freqs = np.asarray(self.candidate_frequencies, dtype=np.float64)
         if freqs.ndim != 1 or len(freqs) == 0:
             raise ValueError("candidate_frequencies must be a 1-D array")
-        if self.dim <= 0 or self.d_max <= 0 or self.value_span < 0:
+        if self.dim <= 0 or self.d_max <= 0:
             raise ValueError("dim and d_max must be positive")
+        if self.value_span < 0:
+            raise ValueError("value_span must be non-negative")
         order = np.sort(freqs)[::-1]
         total = order.sum()
         cum = np.cumsum(order) / total if total > 0 else np.zeros_like(order)
@@ -151,7 +153,10 @@ class CostModel:
             kk = min(k, n)
             dist_k = dists[kk - 1]
             within = float(np.searchsorted(dists, dist_k + eps_norm, "right"))
-            ratios.append(min((within - kk) / n, 1.0) if n else 0.0)
+            # Ties at dist_k can make ``within`` count fewer than ``kk``
+            # candidates (searchsorted's cut may fall inside the tie run),
+            # so clamp the beyond-the-results fraction at 0.
+            ratios.append(min(max((within - kk) / n, 0.0), 1.0))
         if not ratios:
             return None
         return float(np.mean(ratios))

@@ -45,6 +45,8 @@ class CachedKNNSearch:
             lower bound is 0), so this costs no extra I/O — but it only
             helps at intermediate hit ratios: with few hits there is
             little to prune, with many hits the bounds are tight already.
+        metrics: optional ``MetricsRegistry`` aggregating phase timings
+            and per-query stats (see ``repro.obs``); observational only.
     """
 
     def __init__(
@@ -53,6 +55,7 @@ class CachedKNNSearch:
         point_file: PointFile,
         cache: PointCache,
         eager_miss_fetch: bool = False,
+        metrics=None,
     ) -> None:
         # Imported here, not at module level: ``repro.core`` is imported
         # by the engine's own dependencies, so a module-level import of
@@ -64,8 +67,10 @@ class CachedKNNSearch:
         self.point_file = point_file
         self.cache = cache
         self.eager_miss_fetch = eager_miss_fetch
+        self.metrics = metrics
         self.engine = QueryEngine.for_index(
-            index, point_file, cache, eager_miss_fetch=eager_miss_fetch
+            index, point_file, cache, eager_miss_fetch=eager_miss_fetch,
+            metrics=metrics,
         )
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:

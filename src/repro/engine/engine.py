@@ -50,6 +50,12 @@ class QueryEngine:
             *before* reduction so exact distances tighten ``lb_k``/``ub_k``.
         hooks: instrumentation hooks fired around every phase of every
             query (see :class:`~repro.engine.context.PhaseHook`).
+        metrics: optional :class:`~repro.obs.registry.MetricsRegistry`.
+            When given, a :class:`~repro.obs.hooks.MetricsHook` is
+            attached that aggregates per-phase wall time, ``Tgen`` /
+            ``Trefine`` page reads and every query's ``QueryStats`` into
+            the registry.  Purely observational: results and I/O counts
+            are unchanged.
     """
 
     def __init__(
@@ -59,11 +65,21 @@ class QueryEngine:
         cache: PointCache | None = None,
         eager_miss_fetch: bool = False,
         hooks: Sequence[PhaseHook] = (),
+        metrics=None,
     ) -> None:
         self.source = as_source(source)
         self.point_file = point_file
         self.cache = cache if cache is not None else NoCache()
         self.eager_miss_fetch = eager_miss_fetch
+        self.metrics = metrics
+        self._metrics_hook = None
+        if metrics is not None:
+            # Local import: repro.obs.hooks imports the engine package,
+            # so a module-level import would be circular.
+            from repro.obs.hooks import MetricsHook
+
+            self._metrics_hook = MetricsHook(metrics)
+            hooks = tuple(hooks) + (self._metrics_hook,)
         self.hooks = tuple(hooks)
         if not self.source.is_tree:
             if point_file is None:
@@ -83,6 +99,7 @@ class QueryEngine:
         cache: PointCache | None = None,
         eager_miss_fetch: bool = False,
         hooks: Sequence[PhaseHook] = (),
+        metrics=None,
     ) -> "QueryEngine":
         """Engine over a candidate-set index (LSH, VA-file, linear scan)."""
         return cls(
@@ -91,6 +108,7 @@ class QueryEngine:
             cache=cache,
             eager_miss_fetch=eager_miss_fetch,
             hooks=hooks,
+            metrics=metrics,
         )
 
     @classmethod
@@ -99,9 +117,10 @@ class QueryEngine:
         index,
         leaf_cache: LeafNodeCache | None = None,
         hooks: Sequence[PhaseHook] = (),
+        metrics=None,
     ) -> "QueryEngine":
         """Engine over a tree index with the Section-3.6.1 leaf cache."""
-        return cls(TreeLeafSource(index, leaf_cache), hooks=hooks)
+        return cls(TreeLeafSource(index, leaf_cache), hooks=hooks, metrics=metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -121,7 +140,9 @@ class QueryEngine:
         query = np.asarray(query, dtype=np.float64)
         ctx = ctx or self.make_context()
         if self.source.is_tree:
-            return self.source.search(query, k, ctx)
+            result = self.source.search(query, k, ctx)
+            self._observe(result.stats)
+            return result
         with ctx.phase("generate"):
             candidate_ids = self.generate.run(query, k, ctx)
         if candidate_ids.size == 0:
@@ -171,10 +192,20 @@ class QueryEngine:
             else np.empty(0, dtype=np.int64)
         )
         if union.size:
+            # The probe context carries the engine's hooks, so the
+            # ``batch_probe`` phase lands in the metrics like any other;
+            # its wall time is also attributed evenly to the chunk's
+            # per-query contexts (the per-query path pays the cache
+            # lookup inside ``reduce``, batched queries pay it here).
             batch_ctx = self.make_context()
             with batch_ctx.phase("batch_probe"):
                 union_hits, lb_matrix, ub_matrix = self.cache.lookup_batch(
                     queries, union
+                )
+            share = batch_ctx.timings["batch_probe"] / len(queries)
+            for ctx in contexts:
+                ctx.timings["batch_probe"] = (
+                    ctx.timings.get("batch_probe", 0.0) + share
                 )
 
         results: list[SearchResult] = []
@@ -224,12 +255,14 @@ class QueryEngine:
             refine_page_reads=ctx.refine_page_reads,
             gen_page_reads=ctx.gen_page_reads,
         )
+        self._observe(stats)
         return SearchResult(
             ids=ids, distances=distances, exact_mask=exact_mask, stats=stats
         )
 
     def _empty_result(self, ctx: ExecutionContext) -> SearchResult:
         stats = QueryStats(0, 0, 0, 0, 0, 0, 0, ctx.gen_page_reads)
+        self._observe(stats)
         empty = np.empty(0)
         return SearchResult(
             ids=empty.astype(np.int64),
@@ -237,3 +270,8 @@ class QueryEngine:
             exact_mask=empty.astype(bool),
             stats=stats,
         )
+
+    def _observe(self, stats: QueryStats) -> None:
+        """Fold one finished query into the metrics registry (if any)."""
+        if self._metrics_hook is not None:
+            self._metrics_hook.observe_query(stats)

@@ -404,11 +404,14 @@ def build_caching_pipeline(
     policy: CachePolicy = CachePolicy.HFF,
     seed: int = 0,
     context: WorkloadContext | None = None,
+    metrics=None,
 ) -> CachingPipeline:
     """One-call assembly of a complete cached-search configuration.
 
     Pass a pre-built ``context`` to reuse the index and workload scans
-    across methods (recommended in benchmarks).
+    across methods (recommended in benchmarks).  ``metrics`` is an
+    optional ``MetricsRegistry`` (see ``repro.obs``) the engine will
+    aggregate phase timings and per-query stats into.
     """
     if method not in METHOD_NAMES:
         raise ValueError(f"unknown method {method!r}; choices: {METHOD_NAMES}")
@@ -417,7 +420,9 @@ def build_caching_pipeline(
             dataset, index_name=index_name, ordering=ordering, k=k, seed=seed
         )
     cache = make_cache(context, method, tau=tau, cache_bytes=cache_bytes, policy=policy)
-    searcher = CachedKNNSearch(context.index, context.point_file, cache)
+    searcher = CachedKNNSearch(
+        context.index, context.point_file, cache, metrics=metrics
+    )
     return CachingPipeline(
         context=context, cache=cache, method=method, tau=tau, searcher=searcher
     )
@@ -441,10 +446,13 @@ class TreePipeline:
     method: str
     read_latency_s: float = 5e-3
     engine: QueryEngine | None = None
+    metrics: object = None
 
     def __post_init__(self) -> None:
         if self.engine is None:
-            self.engine = QueryEngine.for_tree(self.index, self.cache)
+            self.engine = QueryEngine.for_tree(
+                self.index, self.cache, metrics=self.metrics
+            )
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         return self.engine.search(query, k)
@@ -467,6 +475,7 @@ def build_tree_pipeline(
     k: int = 10,
     seed: int = 0,
     context: WorkloadContext | None = None,
+    metrics=None,
 ) -> TreePipeline:
     """Assemble a tree index with the Section-3.6.1 leaf cache.
 
@@ -485,7 +494,7 @@ def build_tree_pipeline(
             f"unknown tree index {index_name!r}; choices: {TREE_INDEX_NAMES}"
         )
     if method == "NO-CACHE":
-        return TreePipeline(index=index, cache=None, method=method)
+        return TreePipeline(index=index, cache=None, method=method, metrics=metrics)
     if method == "EXACT":
         cache = LeafNodeCache(
             None, cache_bytes, exact=True, value_bytes=dataset.value_bytes
@@ -500,4 +509,4 @@ def build_tree_pipeline(
     if dataset.query_log is not None:
         freqs = index.leaf_access_frequencies(dataset.query_log.workload, k)
         cache.populate_by_frequency(freqs, index.leaf_contents)
-    return TreePipeline(index=index, cache=cache, method=method)
+    return TreePipeline(index=index, cache=cache, method=method, metrics=metrics)

@@ -11,17 +11,19 @@ Measured quantities per configuration (all averaged over ``Qtest``):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.bounds import rectangle_bounds
-from repro.core.cache import CachePolicy
+from repro.core.cache import ApproximateCache, CachePolicy
 from repro.core.encoder import PointEncoder
 from repro.core.reduction import reduce_candidates
 from repro.core.search import QueryStats
 from repro.data.datasets import Dataset
 from repro.eval.methods import WorkloadContext, build_caching_pipeline
+from repro.obs.registry import MetricsRegistry
+from repro.obs.reporter import observed_vs_predicted, publish_cache_metrics
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,9 @@ class ExperimentResult:
     response_time_s: float
     wall_time_s: float
     per_query: tuple[QueryStats, ...] = field(repr=False, default=())
+    #: JSON-able metrics snapshot (None unless run with ``metrics=True``):
+    #: the registry dump plus an ``observed_vs_predicted`` drift entry.
+    metrics: dict | None = field(repr=False, default=None)
 
     @property
     def avg_io(self) -> float:
@@ -85,6 +90,12 @@ class Experiment:
     #: default: large sweeps would otherwise accumulate one record per
     #: query per configuration without bound.
     keep_per_query: bool = False
+    #: Aggregate the run into a metrics registry (``repro.obs``): phase
+    #: latency histograms, ``Tgen``/``Trefine`` totals, cache telemetry
+    #: and the cost-model drift view.  Pass an existing
+    #: ``MetricsRegistry`` to accumulate across experiments, or ``True``
+    #: for a fresh one.  The snapshot lands on ``result.metrics``.
+    metrics: bool | MetricsRegistry = False
 
     def run(
         self,
@@ -97,6 +108,13 @@ class Experiment:
             queries: query points (defaults to the dataset's ``Qtest``).
             context: pre-built workload context to share across methods.
         """
+        registry: MetricsRegistry | None = None
+        if self.metrics:
+            registry = (
+                self.metrics
+                if isinstance(self.metrics, MetricsRegistry)
+                else MetricsRegistry()
+            )
         pipeline = build_caching_pipeline(
             self.dataset,
             method=self.method,
@@ -108,6 +126,7 @@ class Experiment:
             policy=self.policy,
             seed=self.seed,
             context=context,
+            metrics=registry,
         )
         if queries is None:
             if self.dataset.query_log is None:
@@ -120,7 +139,7 @@ class Experiment:
         else:
             stats = [pipeline.search(query, self.k).stats for query in queries]
         wall = time.perf_counter() - started
-        return summarize(
+        result = summarize(
             stats,
             method=self.method,
             tau=self.tau,
@@ -131,6 +150,32 @@ class Experiment:
             wall_time_s=wall,
             keep_per_query=self.keep_per_query,
         )
+        if registry is not None:
+            result = replace(
+                result, metrics=self._finalize_metrics(registry, pipeline)
+            )
+        return result
+
+    def _finalize_metrics(self, registry: MetricsRegistry, pipeline) -> dict:
+        """Publish cache telemetry + drift view; return the snapshot."""
+        publish_cache_metrics(pipeline.cache, registry)
+        encoder = (
+            pipeline.cache.encoder
+            if isinstance(pipeline.cache, ApproximateCache)
+            else None
+        )
+        drift = observed_vs_predicted(
+            registry,
+            pipeline.context.cost_model(),
+            cache=pipeline.cache,
+            tau=self.tau if encoder is not None else None,
+            encoder=encoder,
+            qr_points=pipeline.context.qr_points if encoder is not None else None,
+            k=self.k,
+        )
+        payload = registry.snapshot()
+        payload["observed_vs_predicted"] = drift
+        return payload
 
 
 def summarize(

@@ -1,0 +1,57 @@
+"""Observability: metrics registry, cache telemetry, engine hooks.
+
+The paper's whole argument is quantitative — hit ratio ``rho_hit``,
+refinement ratio ``rho_refine``, ``Tgen``/``Trefine`` page reads
+(Section 4) — so the engine exposes them as a lightweight metrics
+subsystem: a :class:`MetricsRegistry` of counters, gauges and
+fixed-bucket latency histograms, an engine :class:`MetricsHook` that
+aggregates per-phase wall time and per-query stats, always-on
+:class:`CacheTelemetry` on every cache, and a reporter that renders
+human tables, Prometheus text exposition or JSON dumps — plus an
+observed-vs-predicted view of the cost model (drift monitoring).
+
+``registry`` and ``telemetry`` are dependency-free; ``hooks`` and
+``reporter`` sit above the engine and cost model and are re-exported
+lazily so ``repro.core.cache`` can import the telemetry struct without
+creating an import cycle.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    FixedHistogram,
+    Gauge,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import CacheTelemetry
+
+__all__ = [
+    "CacheTelemetry",
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "FixedHistogram",
+    "Gauge",
+    "MetricsHook",
+    "MetricsRegistry",
+    "MetricsReporter",
+    "observed_vs_predicted",
+    "publish_cache_metrics",
+]
+
+_LAZY = {
+    "MetricsHook": ("repro.obs.hooks", "MetricsHook"),
+    "MetricsReporter": ("repro.obs.reporter", "MetricsReporter"),
+    "observed_vs_predicted": ("repro.obs.reporter", "observed_vs_predicted"),
+    "publish_cache_metrics": ("repro.obs.reporter", "publish_cache_metrics"),
+}
+
+
+def __getattr__(name: str):
+    """PEP-562 lazy exports for the modules that import the engine."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,365 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, mirroring the Prometheus data model the
+exposition format targets:
+
+* :class:`Counter` — monotonically increasing total (queries served,
+  cache hits, ``Tgen``/``Trefine`` page reads);
+* :class:`Gauge` — a value that goes up and down (cache occupancy
+  bytes, live ``rho_hit``);
+* :class:`FixedHistogram` — fixed-bucket distribution with cumulative
+  sum/count (per-phase latencies); bucket bounds are chosen at creation
+  so observation is an O(log #buckets) ``searchsorted``.
+
+A :class:`MetricsRegistry` names instruments (optionally with labels),
+creates them on first use, snapshots them to plain JSON-able dicts,
+merges snapshots from other registries (e.g. per-worker registries in a
+sharded deployment) and renders either a human-readable table or the
+Prometheus text exposition format.  Pure stdlib + NumPy — the subsystem
+adds no dependencies and never touches the search path's data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+#: Default latency buckets (seconds): 1 us .. 10 s, roughly 1-2-5 spaced.
+DEFAULT_TIME_BUCKETS = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        """Overwrite with an externally tracked running total.
+
+        Publishers that mirror an always-on telemetry struct (e.g. cache
+        hit counts) re-set the total at snapshot time instead of
+        replaying increments.
+        """
+        self.value = float(total)
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can go up and down (occupancy, live ratios)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.value = 0.0
+        self._updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._updates += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self._updates += 1
+
+    def merge(self, other: "Gauge") -> None:
+        # The merged-in registry is the fresher view: its value wins when
+        # it was ever set (merging an untouched gauge keeps ours).
+        if other._updates:
+            self.value = other.value
+            self._updates += other._updates
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.labels,
+            "value": self.value,
+        }
+
+
+class FixedHistogram:
+    """Fixed-bucket histogram with cumulative count and sum.
+
+    ``bounds`` are inclusive upper edges of the finite buckets; one
+    overflow bucket (``+inf``) is implicit, so ``counts`` has
+    ``len(bounds) + 1`` cells.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds=DEFAULT_TIME_BUCKETS,
+        help: str = "",
+        labels: dict | None = None,
+    ):
+        bounds = np.asarray(bounds, dtype=np.float64)
+        if bounds.ndim != 1 or len(bounds) == 0:
+            raise ValueError("bounds must be a non-empty 1-D sequence")
+        if np.any(np.diff(bounds) <= 0):
+            raise ValueError("bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.bounds = bounds
+        self.counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def observe(self, value: float) -> None:
+        self.counts[int(np.searchsorted(self.bounds, value, side="left"))] += 1
+        self.sum += value
+
+    def observe_many(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.bounds, values, side="left")
+        np.add.at(self.counts, idx, 1)
+        self.sum += float(values.sum())
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile, interpolated within the hit bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        total = self.count
+        if total == 0:
+            return math.nan
+        target = q * total
+        cum = np.cumsum(self.counts)
+        bucket = int(np.searchsorted(cum, target, side="left"))
+        if bucket >= len(self.bounds):
+            return float(self.bounds[-1])  # overflow: best finite estimate
+        lo = 0.0 if bucket == 0 else float(self.bounds[bucket - 1])
+        hi = float(self.bounds[bucket])
+        prev = 0 if bucket == 0 else int(cum[bucket - 1])
+        inside = int(self.counts[bucket])
+        if inside == 0:
+            return hi
+        return lo + (hi - lo) * (target - prev) / inside
+
+    @property
+    def mean(self) -> float:
+        total = self.count
+        return self.sum / total if total else math.nan
+
+    def merge(self, other: "FixedHistogram") -> None:
+        if not np.array_equal(self.bounds, other.bounds):
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        self.counts += other.counts
+        self.sum += other.sum
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": self.labels,
+            "bounds": self.bounds.tolist(),
+            "counts": self.counts.tolist(),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    One registry aggregates a whole workload run; instruments are keyed
+    by ``(name, labels)`` so e.g. ``phase_seconds`` fans out per phase.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, help=help, labels=labels, **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, bounds=DEFAULT_TIME_BUCKETS, help: str = "", **labels
+    ) -> FixedHistogram:
+        return self._get(FixedHistogram, name, help, labels, bounds=bounds)
+
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __bool__(self) -> bool:
+        # ``__len__`` would make an *empty* registry falsy — but callers
+        # use ``if metrics:`` to mean "was a sink provided", so an empty
+        # registry must still be truthy.
+        return True
+
+    def get(self, name: str, **labels):
+        """The instrument registered under (name, labels), or None."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def value(self, name: str, **labels) -> float:
+        """Convenience: the scalar value of a counter/gauge (0 if absent)."""
+        inst = self.get(name, **labels)
+        return float(inst.value) if inst is not None else 0.0
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters/histograms add, gauges win)."""
+        for key, inst in other._instruments.items():
+            mine = self._instruments.get(key)
+            if mine is None:
+                # Re-create rather than alias so later mutation of
+                # ``other`` never leaks into this registry.
+                if isinstance(inst, FixedHistogram):
+                    mine = FixedHistogram(
+                        inst.name, bounds=inst.bounds, help=inst.help,
+                        labels=inst.labels,
+                    )
+                else:
+                    mine = type(inst)(inst.name, help=inst.help, labels=inst.labels)
+                self._instruments[key] = mine
+            mine.merge(inst)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain JSON-able dump of every instrument."""
+        return {"metrics": [inst.snapshot() for inst in self._instruments.values()]}
+
+    def to_json(self, path: str | Path | None = None, **extra) -> str:
+        """Serialize the snapshot (plus any extra top-level keys)."""
+        payload = self.snapshot()
+        payload.update(extra)
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+        return text
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (one scrape's worth)."""
+        lines: list[str] = []
+        seen_meta: set[str] = set()
+        for inst in self._instruments.values():
+            if inst.name not in seen_meta:
+                seen_meta.add(inst.name)
+                if inst.help:
+                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+            if isinstance(inst, FixedHistogram):
+                cum = 0
+                for bound, cnt in zip(inst.bounds, inst.counts[:-1]):
+                    cum += int(cnt)
+                    labels = dict(inst.labels, le=f"{bound:g}")
+                    lines.append(
+                        f"{inst.name}_bucket{_labels_text(labels)} {cum}"
+                    )
+                labels = dict(inst.labels, le="+Inf")
+                lines.append(
+                    f"{inst.name}_bucket{_labels_text(labels)} {inst.count}"
+                )
+                lines.append(
+                    f"{inst.name}_sum{_labels_text(inst.labels)} {inst.sum:g}"
+                )
+                lines.append(
+                    f"{inst.name}_count{_labels_text(inst.labels)} {inst.count}"
+                )
+            else:
+                lines.append(
+                    f"{inst.name}{_labels_text(inst.labels)} {inst.value:g}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_table(self) -> str:
+        """Human-readable summary table (scalars + histogram digests)."""
+        rows = []
+        for inst in self._instruments.values():
+            label = _labels_text(inst.labels)
+            if isinstance(inst, FixedHistogram):
+                rows.append(
+                    [
+                        inst.name + label,
+                        inst.kind,
+                        f"n={inst.count} mean={inst.mean:.3g} "
+                        f"p50={inst.quantile(0.5):.3g} "
+                        f"p99={inst.quantile(0.99):.3g}",
+                    ]
+                )
+            else:
+                rows.append([inst.name + label, inst.kind, f"{inst.value:g}"])
+        rows.sort(key=lambda r: r[0])
+        headers = ("metric", "kind", "value")
+        widths = [
+            max([len(h)] + [len(r[i]) for r in rows])
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Snapshot rendering, cache publication and cost-model drift.
+
+Three pieces on top of the registry:
+
+* :func:`publish_cache_metrics` mirrors a cache's always-on
+  :class:`~repro.obs.telemetry.CacheTelemetry` (plus occupancy) into a
+  registry at snapshot time;
+* :func:`observed_vs_predicted` compares the measured aggregate
+  ``rho_hit`` / ``rho_refine`` against the
+  :class:`~repro.core.cost_model.CostModel` estimates (Theorems 1-3),
+  turning the paper's cost model into a drift monitor for long-running
+  workloads;
+* :class:`MetricsReporter` bundles a registry with its render targets —
+  human table, Prometheus text exposition, JSON dump — and can be used
+  as the periodic sink of a :class:`~repro.obs.hooks.MetricsHook`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.cost_model import CostModel
+from repro.obs.registry import MetricsRegistry
+
+
+def publish_cache_metrics(
+    cache, registry: MetricsRegistry, prefix: str = "cache"
+) -> None:
+    """Mirror a cache's telemetry and occupancy into ``registry``.
+
+    Safe to call repeatedly (totals are re-set, not re-added).  Works for
+    any object exposing a ``telemetry`` attribute; occupancy gauges are
+    filled from whichever of ``used_bytes`` / ``capacity_bytes`` /
+    ``num_items`` / ``max_items`` / ``num_leaves`` the cache exposes.
+    """
+    telemetry = getattr(cache, "telemetry", None)
+    if telemetry is not None:
+        for name, value in telemetry.snapshot().items():
+            if name == "rho_hit":
+                registry.gauge(
+                    f"{prefix}_rho_hit", help="Live cache hit ratio"
+                ).set(value)
+            else:
+                registry.counter(
+                    f"{prefix}_{name}_total", help=f"Cache {name}"
+                ).set_total(value)
+    for attr, metric, help_text in (
+        ("used_bytes", "occupancy_bytes", "Bytes of cached entries"),
+        ("capacity_bytes", "capacity_bytes", "Configured cache budget CS"),
+        ("num_items", "items", "Entries currently cached"),
+        ("max_items", "max_items", "Entry capacity"),
+        ("num_leaves", "leaves", "Leaves currently cached"),
+    ):
+        value = getattr(cache, attr, None)
+        if value is not None:
+            registry.gauge(f"{prefix}_{metric}", help=help_text).set(value)
+
+
+def observed_vs_predicted(
+    registry: MetricsRegistry,
+    model: CostModel,
+    cache=None,
+    tau: int | None = None,
+    encoder=None,
+    qr_points=None,
+    k: int = 10,
+) -> dict:
+    """Measured ``rho_hit``/``rho_refine`` vs the cost model's estimates.
+
+    Observed values come from the registry's engine totals (filled by
+    :class:`~repro.obs.hooks.MetricsHook`); predictions use Theorem 1's
+    HFF hit-ratio estimate for the cache's item capacity and, for
+    ``rho_refine``, the best information available — the measured
+    encoder error over ``qr_points`` (Theorem 2), the empirical distance
+    profiles, or Theorem 3's equi-width closed form for ``tau``.
+
+    Returns a dict with observed/predicted/drift per ratio; prediction
+    entries are None when the inputs to estimate them are missing.
+    """
+    candidates = registry.value("engine_candidates_total")
+    hits = registry.value("engine_cache_hits_total")
+    settled = registry.value("engine_pruned_total") + registry.value(
+        "engine_confirmed_total"
+    )
+    observed_hit = hits / candidates if candidates else 0.0
+    observed_refine = 1.0 - settled / hits if hits else 0.0
+
+    predicted_hit = None
+    max_items = getattr(cache, "max_items", None)
+    if max_items is not None:
+        predicted_hit = model.hit_ratio(int(max_items))
+
+    predicted_refine = None
+    if encoder is not None and qr_points is not None and len(qr_points):
+        predicted_refine = model.rho_refine_encoder(encoder, qr_points)
+    elif tau is not None:
+        import numpy as np
+
+        eps_norm = np.sqrt(model.dim) * model.value_span / float(2**tau)
+        predicted_refine = model.rho_refine_profile(eps_norm, k=k)
+        if predicted_refine is None:
+            predicted_refine = model.rho_refine_equiwidth(tau)
+
+    out = {
+        "rho_hit": {
+            "observed": observed_hit,
+            "predicted": predicted_hit,
+            "drift": None
+            if predicted_hit is None
+            else observed_hit - predicted_hit,
+        },
+        "rho_refine": {
+            "observed": observed_refine,
+            "predicted": predicted_refine,
+            "drift": None
+            if predicted_refine is None
+            else observed_refine - predicted_refine,
+        },
+    }
+    for name, entry in out.items():
+        registry.gauge(
+            "costmodel_observed", help="Measured workload ratio", ratio=name
+        ).set(entry["observed"])
+        if entry["predicted"] is not None:
+            registry.gauge(
+                "costmodel_predicted",
+                help="Cost-model estimate (Theorems 1-3)",
+                ratio=name,
+            ).set(entry["predicted"])
+            registry.gauge(
+                "costmodel_drift",
+                help="observed - predicted",
+                ratio=name,
+            ).set(entry["drift"])
+    return out
+
+
+class MetricsReporter:
+    """Render/dump a registry; usable as a MetricsHook periodic sink.
+
+    Args:
+        registry: the registry to report on.
+        fmt: ``"table"`` (human-readable) or ``"prom"`` (Prometheus text
+            exposition).
+        sink: callable receiving the rendered text (default ``print``).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        fmt: str = "table",
+        sink=print,
+    ) -> None:
+        if fmt not in ("table", "prom"):
+            raise ValueError("fmt must be 'table' or 'prom'")
+        self.registry = registry
+        self.fmt = fmt
+        self.sink = sink
+
+    def render(self) -> str:
+        if self.fmt == "prom":
+            return self.registry.to_prometheus()
+        return self.registry.to_table()
+
+    def report(self, registry: MetricsRegistry | None = None) -> None:
+        """Emit a snapshot (signature doubles as a MetricsHook reporter)."""
+        if registry is not None and registry is not self.registry:
+            self.registry = registry
+        self.sink(self.render())
+
+    def write_json(self, path: str | Path, **extra) -> Path:
+        """Dump the snapshot (plus extra top-level keys) to a JSON file."""
+        path = Path(path)
+        self.registry.to_json(path, **extra)
+        return path
+
+    __call__ = report

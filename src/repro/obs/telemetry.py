@@ -1,0 +1,72 @@
+"""Always-on cache telemetry counters.
+
+Every cache carries one :class:`CacheTelemetry` and bumps its counters
+from the hot paths (plain integer adds — cheap enough to keep on
+unconditionally, and purely observational so enabling metrics can never
+change results or I/O counts).  The struct is dependency-free so
+``repro.core.cache`` can import it without touching the rest of the
+observability package.
+
+Counting convention: ``lookups``/``hits`` count *candidate ids probed*,
+not calls.  On the engine's batched path the cache is probed once for
+the union of candidate ids across the chunk, so these are the cache's
+own view of traffic; the per-query view (where one popular candidate
+counts once per query that requests it) lives in the engine's
+``QueryStats`` aggregation instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CacheTelemetry:
+    """Cumulative counters of one cache instance.
+
+    Attributes:
+        lookups: candidate ids (or leaves, for leaf caches) probed.
+        hits: probed ids answered from the cache.
+        lookup_calls: lookup/lookup_batch invocations.
+        admissions: new entries inserted (bulk population included).
+        updates: re-insertions of already-cached entries.
+        evictions: entries evicted to make room (LRU only).
+        rejections: offered entries refused (static cache full, or a
+            leaf too large for the remaining budget).
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    lookup_calls: int = 0
+    admissions: int = 0
+    updates: int = 0
+    evictions: int = 0
+    rejections: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    @property
+    def rho_hit(self) -> float:
+        """Live hit ratio over everything probed so far."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def record_lookup(self, probed: int, hit: int) -> None:
+        self.lookup_calls += 1
+        self.lookups += int(probed)
+        self.hits += int(hit)
+
+    def merge(self, other: "CacheTelemetry") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["misses"] = self.misses
+        out["rho_hit"] = self.rho_hit
+        return out

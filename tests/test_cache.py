@@ -96,6 +96,32 @@ class TestApproximateCache:
         hits, _, _ = cache.lookup(points[0], np.arange(5))
         assert not hits.any()
 
+    def test_full_cache_accepts_pure_updates(self, setup):
+        """Regression: populate charged updates of already-cached ids
+        against the free slots, so a full static cache dropped them."""
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 80, 200)  # 10 slots
+        assert cache.populate(np.arange(10), points[:10]) == 10
+        taken = cache.populate(np.arange(10), points[100:110])
+        assert taken == 10
+        assert cache.num_items == 10
+        assert cache.telemetry.updates == 10
+        # The stored codes really were re-encoded: the new point now
+        # falls inside its own rectangle (lb = 0 at distance 0).
+        _, lb, _ = cache.lookup(points[100], np.array([0]))
+        assert lb[0] == pytest.approx(0.0)
+
+    def test_populate_mixes_updates_and_new_ids(self, setup):
+        points, encoder = setup
+        cache = ApproximateCache(encoder, 80, 200)
+        cache.populate(np.arange(9), points[:9])  # one slot left
+        # One update + one new id: only the new id consumes the slot.
+        assert cache.populate(np.array([0, 50]), points[[0, 50]]) == 2
+        assert cache.contains(np.array([50]))[0]
+        # Full now: an update still lands, the trailing new id is cut.
+        assert cache.populate(np.array([3, 60]), points[[3, 60]]) == 1
+        assert not cache.contains(np.array([60]))[0]
+
 
 class TestExactCache:
     def test_exact_distances(self, setup):
@@ -137,6 +163,20 @@ class TestExactCache:
         freqs[[7, 8, 9]] = [5, 4, 3]
         cache.populate_hff(freqs, points)
         assert cache.contains(np.array([7, 8, 9])).all()
+
+    def test_full_cache_accepts_pure_updates(self, setup):
+        """Regression: same free-slot accounting bug as ApproximateCache —
+        updates of cached ids must not be charged against capacity."""
+        points, _ = setup
+        cache = ExactCache(8, 320, 200, value_bytes=4)  # 10 slots
+        assert cache.populate(np.arange(10), points[:10]) == 10
+        assert cache.populate(np.arange(10), points[100:110]) == 10
+        assert cache.num_items == 10
+        # The cached vector was really replaced: exact distance to the
+        # *new* point is now 0.
+        _, lb, ub = cache.lookup(points[100], np.array([0]))
+        assert lb[0] == pytest.approx(0.0)
+        assert ub[0] == pytest.approx(0.0)
 
 
 class TestNoCache:
@@ -198,3 +238,33 @@ class TestLeafNodeCache:
     def test_requires_encoder_unless_exact(self):
         with pytest.raises(ValueError):
             LeafNodeCache(None, 100, exact=False)
+
+    def test_readd_releases_old_cost(self, setup):
+        """Regression: re-adding a cached leaf charged its cost twice —
+        ``used_bytes`` kept the old entry's bytes, so replacements were
+        spuriously rejected and the budget leaked."""
+        points, encoder = setup
+        cache = LeafNodeCache(encoder, 100)
+        assert cache.try_add(0, np.arange(10), points[:10])  # 80 bytes
+        assert cache.used_bytes == 80
+        # Same-size replacement must fit (the old 80 bytes are released).
+        assert cache.try_add(0, np.arange(10), points[10:20])
+        assert cache.used_bytes == 80
+        assert cache.num_leaves == 1
+        assert cache.telemetry.admissions == 1
+        assert cache.telemetry.updates == 1
+        # Shrinking the leaf returns budget usable by other leaves.
+        assert cache.try_add(0, np.arange(5), points[:5])
+        assert cache.used_bytes == 40
+        assert cache.try_add(1, np.arange(5), points[5:10])
+        assert cache.used_bytes == 80
+
+    def test_readd_rejected_only_when_growth_exceeds_budget(self, setup):
+        points, encoder = setup
+        cache = LeafNodeCache(encoder, 100)
+        assert cache.try_add(0, np.arange(10), points[:10])  # 80 bytes
+        # Growing the entry past the budget is refused, entry unchanged.
+        assert not cache.try_add(0, np.arange(15), points[:15])  # 120 bytes
+        assert cache.used_bytes == 80
+        ids, _, _ = cache.lookup(points[0], 0)
+        assert len(ids) == 10

@@ -1,5 +1,7 @@
 """CLI: argument handling and command output."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -56,3 +58,44 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "tau*" in out
+
+    def test_experiment_metrics_table_and_json(self, capsys, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        rc = main([
+            "experiment", "--dataset", "tiny", "--scale", "0.25",
+            "--method", "HC-O", "--k", "5",
+            "--metrics", "--metrics-out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine_queries_total" in out
+        assert "cache_hits_total" in out
+        payload = json.loads(out_path.read_text())
+        assert "observed_vs_predicted" in payload
+        names = {m["name"] for m in payload["metrics"]}
+        assert "engine_queries_total" in names and "engine_rho_hit" in names
+
+    def test_experiment_metrics_prom_format(self, capsys):
+        rc = main([
+            "experiment", "--dataset", "tiny", "--scale", "0.25",
+            "--method", "NO-CACHE", "--k", "5",
+            "--metrics", "--metrics-format", "prom",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE engine_queries_total counter" in out
+        assert "engine_phase_seconds_bucket" in out
+
+    def test_compare_metrics_out(self, capsys, tmp_path):
+        out_path = tmp_path / "cmp.json"
+        rc = main([
+            "compare", "--dataset", "tiny", "--scale", "0.25", "--k", "5",
+            "--methods", "NO-CACHE", "HC-O", "--metrics-out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "--- metrics: HC-O ---" in out
+        payload = json.loads(out_path.read_text())
+        assert sorted(payload["methods"]) == ["HC-O", "NO-CACHE"]
+        for snap in payload["methods"].values():
+            assert "observed_vs_predicted" in snap

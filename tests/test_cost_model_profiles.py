@@ -19,6 +19,24 @@ def _model_with_profiles(profiles, **kwargs):
     return CostModel(**defaults)
 
 
+class TestValidationMessages:
+    def test_negative_value_span_gets_its_own_message(self):
+        """Regression: a negative value_span was reported as 'dim and
+        d_max must be positive', pointing at the wrong arguments."""
+        with pytest.raises(ValueError, match="value_span must be non-negative"):
+            _model_with_profiles([], value_span=-1.0)
+
+    def test_dim_dmax_message_names_the_culprits(self):
+        with pytest.raises(ValueError, match="dim and d_max must be positive"):
+            _model_with_profiles([], d_max=0.0)
+        with pytest.raises(ValueError, match="dim and d_max must be positive"):
+            _model_with_profiles([], dim=0)
+
+    def test_zero_value_span_allowed(self):
+        model = _model_with_profiles([], value_span=0.0)
+        assert model.rho_refine_equiwidth(4) == 0.0
+
+
 class TestRhoRefineProfile:
     def test_none_without_profiles(self):
         model = _model_with_profiles([])
@@ -46,6 +64,17 @@ class TestRhoRefineProfile:
         # Query 1: eps=3.5 -> 0.3 as above; query 2: eps covers nothing
         # beyond the k results -> 0.0.
         assert model.rho_refine_profile(3.5, k=2) == pytest.approx(0.15)
+
+    def test_negative_eps_clamps_at_zero(self):
+        """Regression: a negative error norm pushed the searchsorted cut
+        below the k results and the ratio went negative; it must clamp
+        at 0 (a ratio of candidates cannot be negative)."""
+        model = _model_with_profiles([np.arange(1, 11)])
+        assert model.rho_refine_profile(-5.0, k=3) == 0.0
+        # A tie run at dist_k with a tiny eps is the organic variant:
+        # the cut may fall inside the ties, still never below 0.
+        tied = _model_with_profiles([[1.0, 2.0, 2.0, 2.0, 5.0, 9.0]])
+        assert tied.rho_refine_profile(0.0, k=4) >= 0.0
 
     def test_monotone_in_eps(self):
         rng = np.random.default_rng(0)
