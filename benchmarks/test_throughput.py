@@ -25,6 +25,8 @@ from common import (
 )
 from repro.eval.methods import build_caching_pipeline
 from repro.obs.registry import MetricsRegistry
+from repro.shard import ShardedEngine, build_shard_specs
+from repro.storage.disk import DiskConfig
 
 DATASET = "nus-wide-sim"
 
@@ -120,6 +122,97 @@ def test_metrics_instrumented_run(benchmark):
     assert registry.value("engine_queries_total") == len(queries)
     path = dump_metrics("BENCH_metrics", registry, engine=engine)
     print(f"\nmetrics snapshot written to {path}")
+
+
+def run_shard_scaling():
+    """Sharded ``search_many`` throughput across shard counts and executors.
+
+    The workload is I/O-bound the way the paper's system is: a *blocking*
+    simulated disk sleeps for each random page read (60 us, one point per
+    page), so per-shard refinement overlaps on the thread and process
+    executors while the serial executor pays the sum.  Linear scan with no
+    cache keeps the candidate path deterministic and identical across
+    executors; every configuration's answers are checked against the
+    1-shard serial reference before its timing is recorded.
+    """
+    rng = np.random.default_rng(7)
+    n_points, dim, n_queries = 800, 8, 10
+    points = rng.normal(size=(n_points, dim))
+    queries = rng.normal(size=(n_queries, dim))
+    disk = DiskConfig(
+        page_size=dim * 4, read_latency_s=60e-6, blocking=True
+    )
+
+    reference = None
+    runs = []
+    for n_shards in (1, 2, 4):
+        specs = build_shard_specs(points, n_shards, disk=disk)
+        for executor in ("serial", "thread", "process"):
+            with ShardedEngine(specs, executor=executor) as engine:
+                engine.search_many(queries[:2], DEFAULT_K)  # warm up
+                started = time.perf_counter()
+                results = engine.search_many(queries, DEFAULT_K)
+                elapsed = time.perf_counter() - started
+            if reference is None:
+                reference = results
+            for base, got in zip(reference, results):
+                assert np.array_equal(base.ids, got.ids)
+                assert np.array_equal(base.distances, got.distances)
+            runs.append({
+                "shards": n_shards,
+                "executor": executor,
+                "wall_time_s": elapsed,
+                "queries_per_s": n_queries / elapsed,
+            })
+
+    def rate(shards, executor):
+        return next(
+            r["queries_per_s"] for r in runs
+            if r["shards"] == shards and r["executor"] == executor
+        )
+
+    best_parallel = max(
+        rate(n, ex) / rate(n, "serial")
+        for n in (2, 4)
+        for ex in ("thread", "process")
+    )
+    return {
+        "n_points": n_points,
+        "dim": dim,
+        "num_queries": n_queries,
+        "k": DEFAULT_K,
+        "read_latency_s": disk.read_latency_s,
+        "runs": runs,
+        "best_parallel_speedup": best_parallel,
+    }
+
+
+def test_shard_scaling_throughput(benchmark):
+    """Thread/process sharding must beat the serial sharded baseline.
+
+    Persists the scaling curves to ``benchmarks/results/BENCH_shard.json``
+    and the merged shard metrics to ``BENCH_shard.metrics.json`` (both
+    uploaded by CI).
+    """
+    payload = benchmark.pedantic(run_shard_scaling, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_shard.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    # Merged-metrics artifact: one instrumented sharded run.
+    rng = np.random.default_rng(7)
+    points = rng.normal(size=(300, 8))
+    specs = build_shard_specs(points, 3, metrics=True)
+    with ShardedEngine(specs, executor="thread") as engine:
+        engine.search_many(rng.normal(size=(5, 8)), DEFAULT_K)
+        merged = engine.merged_metrics()
+    merged.to_json(RESULTS_DIR / "BENCH_shard.metrics.json")
+    for run in payload["runs"]:
+        print(
+            f"\nshards={run['shards']} executor={run['executor']}: "
+            f"{run['queries_per_s']:.1f} q/s"
+        )
+    assert payload["best_parallel_speedup"] >= 1.5
 
 
 def test_engine_batched_throughput(benchmark):

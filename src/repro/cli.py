@@ -40,6 +40,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batched", action="store_true",
                         help="run the test queries through the engine's "
                              "batched hot path (identical results/I/O)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="partition the dataset into N shards and run "
+                             "the sharded parallel engine (0 = unsharded)")
+    parser.add_argument("--executor", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="per-shard execution backend (with --shards)")
+    parser.add_argument("--partition", default="contiguous",
+                        choices=("contiguous", "round_robin", "cluster"),
+                        help="shard partitioning strategy (with --shards)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect engine/cache telemetry (repro.obs) "
                              "and print the snapshot after the results")
@@ -104,12 +113,62 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def _run_sharded_experiment(args, dataset, context) -> int:
+    """Experiment branch for ``--shards N``: sharded parallel engine.
+
+    Results are bit-identical to the unsharded engine (the differential
+    suite enforces this); the printed row aggregates the per-shard
+    ``QueryStats`` and the metrics snapshot is the merge of all shard
+    registries.
+    """
+    from repro.eval.runner import summarize
+    from repro.shard import ShardedEngine
+    from repro.shard.factory import specs_from_method
+    from repro.storage.disk import DiskConfig
+
+    want_metrics = args.metrics or args.metrics_out
+    try:
+        specs = specs_from_method(
+            dataset, context, method=args.method, tau=args.tau,
+            cache_bytes=_resolve_cache(args, dataset),
+            n_shards=args.shards, index_name=args.index,
+            partition=args.partition, seed=args.seed,
+            metrics=want_metrics,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with ShardedEngine(specs, executor=args.executor) as engine:
+        stats = [
+            r.stats
+            for r in engine.search_many(dataset.query_log.test, args.k)
+        ]
+        merged = engine.merged_metrics() if want_metrics else None
+    disk = DiskConfig()
+    result = summarize(
+        stats, method=args.method, tau=args.tau,
+        cache_bytes=_resolve_cache(args, dataset), k=args.k,
+        read_latency_s=disk.read_latency_s,
+        seq_read_latency_s=disk.seq_read_latency_s,
+    )
+    title = (
+        f"{args.dataset} / {args.method} "
+        f"({args.shards} shards, {args.executor})"
+    )
+    print(format_table(_RESULT_HEADERS, _result_rows([result]), title=title))
+    if merged is not None:
+        _emit_metrics(args, merged, merged.snapshot())
+    return 0
+
+
 def cmd_experiment(args) -> int:
     """Run one caching configuration and print its metrics."""
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     context = WorkloadContext.prepare(
         dataset, index_name=args.index, k=args.k, seed=args.seed
     )
+    if args.shards > 0:
+        return _run_sharded_experiment(args, dataset, context)
     registry = _metrics_registry(args)
     result = Experiment(
         dataset, method=args.method, k=args.k, tau=args.tau,

@@ -130,6 +130,11 @@ class C2LSHIndex:
         seed: RNG seed for the hash family.
         page_size: bytes per index page; each (hash, id) entry costs
             12 bytes, mirroring the paper's disk-based tables.
+        base_radius: override for the calibrated base radius.  Sharded
+            deployments pass the radius calibrated on the *full* dataset
+            so every shard hashes with an identical family geometry
+            (calibrating per shard would give each shard different bucket
+            widths and therefore incomparable collision counts).
     """
 
     ENTRY_BYTES = 12
@@ -140,6 +145,7 @@ class C2LSHIndex:
         params: C2LSHParams | None = None,
         seed: int = 0,
         page_size: int = 4096,
+        base_radius: float | None = None,
     ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
@@ -148,7 +154,13 @@ class C2LSHIndex:
         self.n_points, self.dim = points.shape
         self.page_size = page_size
         self.entries_per_page = max(1, page_size // self.ENTRY_BYTES)
-        self.base_radius = calibrate_base_radius(points, seed=seed)
+        if base_radius is not None and base_radius <= 0:
+            raise ValueError("base_radius must be positive")
+        self.base_radius = (
+            float(base_radius)
+            if base_radius is not None
+            else calibrate_base_radius(points, seed=seed)
+        )
         m, l, p1, p2 = derive_collision_threshold(self.params)
         self.n_hashes = m
         self.collision_threshold = l

@@ -1,0 +1,295 @@
+"""``ShardedEngine``: partitioned parallel search, bit-identical results.
+
+The coordinator splits Algorithm 1 so that everything *parallel* runs in
+the shards and everything *order-sensitive* runs exactly once, globally:
+
+1. **Probe (parallel)** — every shard generates its candidates and
+   probes its own cache for bounds.  With the global-HFF content split
+   the shard caches are the literal restriction of the unsharded cache,
+   so every candidate sees byte-identical bounds.
+2. **Reduce (global)** — the coordinator concatenates the per-shard
+   candidates in shard order and runs *one* ``reduce_candidates`` per
+   query.  Thresholds (``lb_k``/``ub_k``), pruning and the confirmed set
+   therefore equal the unsharded engine's by construction.
+3. **Refine (parallel)** — each shard runs optimal multi-step refinement
+   over its slice of the global survivors, seeded with the *full* global
+   confirmed set; the stopping threshold evolves exactly as in the
+   unsharded heap restricted to that shard, and every extra point a
+   shard fetches lies strictly beyond the final global threshold, so it
+   cannot displace a true result.
+4. **Merge (global)** — confirmed results (shared by all shards, merged
+   once) plus per-shard exact survivors, under the engine's own
+   tie-breaking (:mod:`repro.shard.merge`).
+
+Tree shards answer whole queries instead (per-shard exact search, then
+an exact ``(distance, id)`` top-k merge).
+
+Per-shard ``QueryStats`` sum field-wise to the unified per-query stats;
+per-shard ``MetricsRegistry`` snapshots merge into one registry whose
+counters reconcile exactly with the per-shard totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reduction import reduce_candidates
+from repro.engine.stats import QueryStats, SearchResult
+from repro.shard.executors import make_executor
+from repro.shard.merge import merge_candidate_results, merge_tree_results
+from repro.shard.spec import TREE_INDEX_NAMES, RefineTask, ShardSpec
+
+_TREE_FIELDS = (
+    "leaves_streamed",
+    "leaf_fetches",
+    "cached_leaf_hits",
+    "deferred_fetches",
+    "points_seen",
+)
+
+
+def sum_stats(parts: list[QueryStats]) -> QueryStats:
+    """Field-wise sum of per-shard stats into one unified record.
+
+    Optional tree counters stay ``None`` unless every part carries them
+    (candidate-path shards never do; tree shards always do).
+    """
+    if not parts:
+        raise ValueError("need at least one stats record")
+    extra = {}
+    for name in _TREE_FIELDS:
+        values = [getattr(s, name) for s in parts]
+        extra[name] = (
+            sum(values) if all(v is not None for v in values) else None
+        )
+    return QueryStats(
+        num_candidates=sum(s.num_candidates for s in parts),
+        cache_hits=sum(s.cache_hits for s in parts),
+        pruned=sum(s.pruned for s in parts),
+        confirmed=sum(s.confirmed for s in parts),
+        c_refine=sum(s.c_refine for s in parts),
+        refined_fetches=sum(s.refined_fetches for s in parts),
+        refine_page_reads=sum(s.refine_page_reads for s in parts),
+        gen_page_reads=sum(s.gen_page_reads for s in parts),
+        **extra,
+    )
+
+
+class ShardedEngine:
+    """Search a sharded dataset as if it were one ``QueryEngine``.
+
+    Args:
+        specs: one :class:`ShardSpec` per shard.  Their ``member_ids``
+            must partition ``0..n-1`` (every global id owned exactly
+            once).
+        executor: an executor name (``serial``/``thread``/``process``)
+            or a pre-built executor instance.
+        max_retries: forwarded to the process executor — how often a
+            call is retried after its worker died.
+    """
+
+    def __init__(
+        self,
+        specs: list[ShardSpec],
+        executor: str = "serial",
+        max_retries: int = 0,
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one shard spec")
+        self.specs = list(specs)
+        self.n_shards = len(self.specs)
+        self.n_points = sum(len(s.member_ids) for s in self.specs)
+        #: global point id -> owning shard index.
+        self.shard_of = np.full(self.n_points, -1, dtype=np.int64)
+        for s, spec in enumerate(self.specs):
+            if np.any(spec.member_ids >= self.n_points) or np.any(
+                self.shard_of[spec.member_ids] != -1
+            ):
+                raise ValueError("shard member ids must partition 0..n-1")
+            self.shard_of[spec.member_ids] = s
+        self.is_tree = self.specs[0].index_name in TREE_INDEX_NAMES
+        #: dynamic caches mutate on every lookup/admission, so query
+        #: order is observable — mirror QueryEngine.search_many's
+        #: sequential fallback with one probe/refine round per query.
+        self.dynamic_cache = any(
+            (spec.cache_spec or {}).get("policy") == "lru"
+            for spec in self.specs
+        )
+        if isinstance(executor, str):
+            executor = make_executor(executor, max_retries=max_retries)
+        self.executor = executor
+        self.executor.start(self.specs)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def _broadcast(self, method: str, args: tuple) -> list:
+        return self.executor.map(method, [args] * self.n_shards)
+
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        """Answer one kNN query, bit-identical to the unsharded engine."""
+        return self.search_many(np.atleast_2d(query), k)[0]
+
+    def search_many(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        """Answer a query batch; one probe/refine round across all shards."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(queries) == 0:
+            return []
+        if self.is_tree:
+            return self._search_tree(queries, k)
+        if self.dynamic_cache:
+            results: list[SearchResult] = []
+            for query in queries:
+                results.extend(self._search_round(query[None, :], k))
+            return results
+        return self._search_round(queries, k)
+
+    # ------------------------------------------------------------------
+    def _search_round(
+        self, queries: np.ndarray, k: int
+    ) -> list[SearchResult]:
+        probe = self._broadcast("probe_batch", (queries, k))
+        tasks: list[list[RefineTask]] = [[] for _ in range(self.n_shards)]
+        plans: list[tuple] = []
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        for qi, query in enumerate(queries):
+            gids = np.concatenate(
+                [probe[s][qi][0] for s in range(self.n_shards)] or [empty_i]
+            )
+            if gids.size == 0:
+                for s in range(self.n_shards):
+                    tasks[s].append(
+                        RefineTask(
+                            query, k, empty_i, empty_f, empty_i, empty_f,
+                            0, 0, True,
+                        )
+                    )
+                plans.append(("empty", None))
+                continue
+            hits = np.concatenate(
+                [probe[s][qi][1] for s in range(self.n_shards)]
+            )
+            lb = np.concatenate(
+                [probe[s][qi][2] for s in range(self.n_shards)]
+            )
+            ub = np.concatenate(
+                [probe[s][qi][3] for s in range(self.n_shards)]
+            )
+            outcome = reduce_candidates(gids, hits, lb, ub, k)
+            skip = len(outcome.confirmed_ids) >= k
+            owner_rem = self.shard_of[outcome.remaining_ids]
+            owner_pruned = self.shard_of[outcome.pruned_ids]
+            owner_conf = self.shard_of[outcome.confirmed_ids]
+            for s in range(self.n_shards):
+                mine = owner_rem == s
+                tasks[s].append(
+                    RefineTask(
+                        query=query,
+                        k=k,
+                        remaining_gids=outcome.remaining_ids[mine],
+                        remaining_lb=outcome.remaining_lb[mine],
+                        seed_ids=outcome.confirmed_ids,
+                        seed_ubs=outcome.confirmed_ub,
+                        own_pruned=int((owner_pruned == s).sum()),
+                        own_confirmed=int((owner_conf == s).sum()),
+                        skip_refine=skip,
+                    )
+                )
+            plans.append(("early" if skip else "merge", outcome))
+        refined = self.executor.map(
+            "refine_batch", [(tasks[s],) for s in range(self.n_shards)]
+        )
+        results: list[SearchResult] = []
+        for qi, (kind, outcome) in enumerate(plans):
+            stats = sum_stats(
+                [refined[s][qi][2] for s in range(self.n_shards)]
+            )
+            if kind == "empty":
+                ids, dists = empty_i, empty_f
+                exact = np.empty(0, dtype=bool)
+            elif kind == "early":
+                # Replicates RefinePhase's Algorithm-1 line-14 early exit:
+                # k confirmed results, selected/presented by (ub, id).
+                order = np.lexsort(
+                    (outcome.confirmed_ids, outcome.confirmed_ub)
+                )[:k]
+                ids = outcome.confirmed_ids[order]
+                dists = outcome.confirmed_ub[order]
+                exact = np.zeros(len(order), dtype=bool)
+            else:
+                ids, dists, exact = merge_candidate_results(
+                    outcome.confirmed_ids,
+                    outcome.confirmed_ub,
+                    [refined[s][qi][0] for s in range(self.n_shards)],
+                    [refined[s][qi][1] for s in range(self.n_shards)],
+                    k,
+                )
+            results.append(
+                SearchResult(
+                    ids=ids, distances=dists, exact_mask=exact, stats=stats
+                )
+            )
+        return results
+
+    def _search_tree(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+        shard_out = self._broadcast("search_batch", (queries, k))
+        results: list[SearchResult] = []
+        for qi in range(len(queries)):
+            ids, dists = merge_tree_results(
+                [shard_out[s][qi][0] for s in range(self.n_shards)],
+                [shard_out[s][qi][1] for s in range(self.n_shards)],
+                k,
+            )
+            stats = sum_stats(
+                [shard_out[s][qi][2] for s in range(self.n_shards)]
+            )
+            results.append(
+                SearchResult(
+                    ids=ids,
+                    distances=dists,
+                    exact_mask=np.ones(len(ids), dtype=bool),
+                    stats=stats,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def shard_metrics(self) -> list:
+        """Per-shard ``MetricsRegistry`` snapshots (``None`` when off)."""
+        return self._broadcast("collect_metrics", ())
+
+    def merged_metrics(self):
+        """All shard registries merged into one fresh registry.
+
+        Counters and histograms add, so every merged counter equals the
+        sum of the per-shard values; returns ``None`` when no shard
+        collects metrics.
+        """
+        snapshots = [m for m in self.shard_metrics() if m is not None]
+        if not snapshots:
+            return None
+        from repro.obs.registry import MetricsRegistry
+
+        merged = MetricsRegistry()
+        for snapshot in snapshots:
+            merged.merge(snapshot)
+        return merged
+
+    def shard_telemetry(self) -> list:
+        """Per-shard cache telemetry records (``None`` for uncached trees)."""
+        return self._broadcast("collect_telemetry", ())
+
+    def ping(self) -> list[int]:
+        """Liveness probe: every shard answers with its shard id."""
+        return self._broadcast("ping", ())

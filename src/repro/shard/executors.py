@@ -1,0 +1,266 @@
+"""Pluggable execution backends for per-shard work.
+
+All three executors expose the same tiny interface:
+
+* ``start(specs)`` — build one :class:`~repro.shard.spec.ShardRuntime`
+  per spec (the single construction path shared by every backend);
+* ``map(method, args_list)`` — invoke ``runtime.<method>(*args)`` on
+  every shard, returning results in shard order;
+* ``close()`` — release workers.
+
+``SerialExecutor`` runs shards in a loop; ``ThreadExecutor`` overlaps
+them on a thread pool (NumPy's bound kernels release the GIL, and a
+blocking simulated disk sleeps outside it); ``ProcessExecutor`` gives
+each shard a dedicated worker *process* — dedicated rather than pooled
+because shard state (caches, pending per-query contexts) must live where
+the shard's calls run.
+
+Fault handling: a task exception in a worker is sent back with its
+original type, repr and traceback and re-raised in the coordinator as
+:class:`ShardWorkerError` (fail fast — never a hang, never partial
+results).  A *dead* worker (EOF on its pipe) is respawned from its spec
+and the call retried up to ``max_retries`` times; retries rebuild shard
+state from the spec, so they are a crash-recovery path, not part of
+deterministic normal operation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.shard.spec import ShardSpec, build_shard_runtime
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed; carries the original error's identity.
+
+    Attributes:
+        shard_id: which shard failed.
+        traceback_text: the worker-side traceback (empty when the worker
+            died without reporting one).
+    """
+
+    def __init__(
+        self, shard_id: int, message: str, traceback_text: str = ""
+    ) -> None:
+        self.shard_id = shard_id
+        self.traceback_text = traceback_text
+        detail = f"shard {shard_id}: {message}"
+        if traceback_text:
+            detail = f"{detail}\n--- worker traceback ---\n{traceback_text}"
+        super().__init__(detail)
+
+
+class SerialExecutor:
+    """Shards run one after another in the coordinator process."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.runtimes = []
+
+    def start(self, specs: list[ShardSpec]) -> None:
+        self.runtimes = [build_shard_runtime(spec) for spec in specs]
+
+    def map(self, method: str, args_list: list[tuple]) -> list:
+        return [
+            getattr(runtime, method)(*args)
+            for runtime, args in zip(self.runtimes, args_list)
+        ]
+
+    def close(self) -> None:
+        self.runtimes = []
+
+
+class ThreadExecutor:
+    """Shards run concurrently on a thread pool (one slot per shard)."""
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        self.runtimes = []
+        self._pool: ThreadPoolExecutor | None = None
+
+    def start(self, specs: list[ShardSpec]) -> None:
+        # Construction stays serial: identical construction order (and
+        # RNG use) to the other executors.
+        self.runtimes = [build_shard_runtime(spec) for spec in specs]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self.runtimes)),
+            thread_name_prefix="shard",
+        )
+
+    def map(self, method: str, args_list: list[tuple]) -> list:
+        futures = [
+            self._pool.submit(getattr(runtime, method), *args)
+            for runtime, args in zip(self.runtimes, args_list)
+        ]
+        # result() re-raises a worker exception in the coordinator:
+        # fail fast, no partial results.
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.runtimes = []
+
+
+def _shard_worker_main(spec: ShardSpec, conn) -> None:
+    """Worker loop: build the shard, then serve calls until 'stop'."""
+    try:
+        runtime = build_shard_runtime(spec)
+    except BaseException as exc:  # noqa: BLE001 — report, don't die silently
+        conn.send(
+            ("error", type(exc).__name__, repr(exc), traceback.format_exc())
+        )
+        return
+    conn.send(("ready", int(spec.shard_id)))
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        if msg[0] == "stop":
+            return
+        _, method, args = msg
+        try:
+            result = getattr(runtime, method)(*args)
+        except BaseException as exc:  # noqa: BLE001 — surfaced to the parent
+            conn.send(
+                (
+                    "error",
+                    type(exc).__name__,
+                    repr(exc),
+                    traceback.format_exc(),
+                )
+            )
+            continue
+        conn.send(("ok", result))
+
+
+class ProcessExecutor:
+    """One dedicated worker process per shard, message-passing over pipes.
+
+    Args:
+        max_retries: how many times a call may be retried after its
+            worker *died* (the worker is respawned from its spec first).
+            Task exceptions are never retried — they fail fast.
+        mp_context: optional ``multiprocessing`` context (tests may force
+            ``spawn``; the platform default is used otherwise).
+    """
+
+    name = "process"
+
+    def __init__(self, max_retries: int = 0, mp_context=None) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_retries = max_retries
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._specs: list[ShardSpec] = []
+        self._workers: list[list] = []  # [process, parent_conn]
+
+    def start(self, specs: list[ShardSpec]) -> None:
+        self._specs = list(specs)
+        self._workers = [self._spawn(spec) for spec in self._specs]
+
+    def _spawn(self, spec: ShardSpec) -> list:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(spec, child_conn),
+            daemon=True,
+            name=f"shard-{spec.shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        try:
+            msg = parent_conn.recv()
+        except EOFError:
+            raise ShardWorkerError(
+                spec.shard_id, "worker died during startup"
+            ) from None
+        if msg[0] == "error":
+            _, etype, erepr, tb = msg
+            raise ShardWorkerError(
+                spec.shard_id, f"startup failed: {etype}: {erepr}", tb
+            )
+        return [process, parent_conn]
+
+    def map(self, method: str, args_list: list[tuple]) -> list:
+        for worker, args in zip(self._workers, args_list):
+            worker[1].send(("call", method, args))
+        # Drain EVERY worker's reply before raising: leaving a queued
+        # response in a sibling's pipe would desynchronize the next call.
+        outcomes: list[tuple] = []
+        for shard_id, args in enumerate(args_list):
+            try:
+                outcomes.append(("ok", self._receive(shard_id, method, args)))
+            except ShardWorkerError as exc:
+                outcomes.append(("error", exc))
+        for kind, payload in outcomes:
+            if kind == "error":
+                raise payload
+        return [payload for _, payload in outcomes]
+
+    def _receive(self, shard_id: int, method: str, args: tuple):
+        attempts = 0
+        while True:
+            worker = self._workers[shard_id]
+            try:
+                msg = worker[1].recv()
+            except (EOFError, OSError):
+                self._reap(worker)
+                if attempts >= self.max_retries:
+                    raise ShardWorkerError(
+                        shard_id,
+                        f"worker died during {method!r} "
+                        f"(exit code {worker[0].exitcode}, "
+                        f"{attempts} retries used)",
+                    ) from None
+                attempts += 1
+                replacement = self._spawn(self._specs[shard_id])
+                self._workers[shard_id] = replacement
+                replacement[1].send(("call", method, args))
+                continue
+            if msg[0] == "ok":
+                return msg[1]
+            _, etype, erepr, tb = msg
+            raise ShardWorkerError(shard_id, f"{etype}: {erepr}", tb)
+
+    @staticmethod
+    def _reap(worker: list) -> None:
+        worker[1].close()
+        worker[0].join(timeout=5)
+        if worker[0].is_alive():
+            worker[0].terminate()
+
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker[1].send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker[0].join(timeout=5)
+            if worker[0].is_alive():
+                worker[0].terminate()
+            worker[1].close()
+        self._workers = []
+
+
+def make_executor(name: str, max_retries: int = 0):
+    """Build an executor by CLI name."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor()
+    if name == "process":
+        return ProcessExecutor(max_retries=max_retries)
+    raise ValueError(
+        f"unknown executor {name!r}; choices: {EXECUTOR_NAMES}"
+    )

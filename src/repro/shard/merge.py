@@ -1,0 +1,105 @@
+"""Exact top-k merge of per-shard answers.
+
+The merges must reproduce the unsharded engine's tie-breaking exactly,
+and the two engine paths break distance ties differently:
+
+* the tree path (``cached_leaf_knn``) selects and presents the k best by
+  ``(distance asc, id asc)`` — :func:`merge_topk` /
+  :func:`merge_tree_results`;
+* the candidate path's refinement heap keeps entries ``(-distance, id)``
+  and evicts the smallest tuple, so among boundary distance ties the
+  *largest* ids survive; presentation then re-sorts ascending by
+  ``(distance, id, exact)`` — :func:`merge_candidate_results`.
+
+Both merges are associative and exact: merging per-shard top-k lists
+equals the top-k of the concatenation (the property suite in
+``tests/test_shard_merge.py`` drives this with planted ties and
+``k`` larger than shard sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _concat(arrays: Sequence[np.ndarray], dtype) -> np.ndarray:
+    parts = [np.atleast_1d(np.asarray(a, dtype=dtype)) for a in arrays]
+    if not parts:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(parts)
+
+
+def merge_topk(
+    id_arrays: Sequence[np.ndarray],
+    dist_arrays: Sequence[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k of the concatenation under ``(distance asc, id asc)``.
+
+    The id arrays must be globally disjoint (shards partition the
+    dataset).  Returns ``(ids, distances)``, at most ``k`` entries.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ids = _concat(id_arrays, np.int64)
+    dists = _concat(dist_arrays, np.float64)
+    if len(ids) != len(dists):
+        raise ValueError("ids and distances must align")
+    order = np.lexsort((ids, dists))[:k]
+    return ids[order], dists[order]
+
+
+def merge_tree_results(
+    id_arrays: Sequence[np.ndarray],
+    dist_arrays: Sequence[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard exact tree answers (same rule as ``merge_topk``)."""
+    return merge_topk(id_arrays, dist_arrays, k)
+
+
+def merge_candidate_results(
+    confirmed_ids: np.ndarray,
+    confirmed_ub: np.ndarray,
+    shard_ids: Sequence[np.ndarray],
+    shard_dists: Sequence[np.ndarray],
+    k: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge the candidate path: global confirmed set + per-shard fetches.
+
+    Args:
+        confirmed_ids / confirmed_ub: the globally reduced Phase-2 true
+            results (their upper bounds stand in for distances, exactly
+            as in the unsharded refinement).
+        shard_ids / shard_dists: per shard, the refinement survivors that
+            carry *exact* distances (confirmed seeds must already be
+            stripped from the shard outputs — they are shared across
+            shards and enter the merge exactly once, via the confirmed
+            arrays).
+        k: result size.
+
+    Returns:
+        ``(ids, distances, exact_mask)`` sorted like the engine's
+        presentation order ``(distance, id, exact)``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ids = _concat([confirmed_ids, *shard_ids], np.int64)
+    dists = _concat([confirmed_ub, *shard_dists], np.float64)
+    exact = np.concatenate(
+        [
+            np.zeros(len(np.atleast_1d(confirmed_ids)), dtype=bool),
+            np.ones(len(ids) - len(np.atleast_1d(confirmed_ids)), dtype=bool),
+        ]
+    )
+    if len(ids) != len(dists):
+        raise ValueError("ids and distances must align")
+    # Selection mirrors the refinement heap: the k best under
+    # (distance asc, id desc) — among boundary ties, larger ids win.
+    chosen = np.lexsort((-ids, dists))[:k]
+    ids, dists, exact = ids[chosen], dists[chosen], exact[chosen]
+    # Presentation mirrors the engine's final sort (distance, id, exact).
+    order = np.lexsort((exact, ids, dists))
+    return ids[order], dists[order], exact[order]

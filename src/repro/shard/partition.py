@@ -1,0 +1,80 @@
+"""Dataset partitioners: global point ids -> per-shard member sets.
+
+Every strategy returns one sorted ``int64`` id array per shard.  Sorted
+membership makes the shard's global<->local id mapping monotone, so the
+relative order of any two points is the same locally and globally —
+the property the byte-identical merge relies on for tie-breaking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.clustering import kmeans
+
+PARTITION_STRATEGIES = ("contiguous", "round_robin", "cluster")
+
+
+def _rebalance_empty(groups: list[np.ndarray]) -> list[np.ndarray]:
+    """Move ids from the largest groups into empty ones.
+
+    Cluster-aware partitioning can produce empty clusters; every shard
+    must own at least one point so its index can be built.
+    """
+    groups = [np.asarray(g, dtype=np.int64) for g in groups]
+    for i, group in enumerate(groups):
+        if group.size:
+            continue
+        donor = int(np.argmax([len(g) for g in groups]))
+        if len(groups[donor]) < 2:
+            raise ValueError("not enough points to give every shard one")
+        groups[i] = groups[donor][-1:]
+        groups[donor] = groups[donor][:-1]
+    return [np.sort(g) for g in groups]
+
+
+def partition_ids(
+    n_points: int,
+    n_shards: int,
+    strategy: str = "contiguous",
+    points: np.ndarray | None = None,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Split ``0..n_points-1`` into ``n_shards`` sorted member arrays.
+
+    Args:
+        n_points: dataset cardinality.
+        n_shards: number of shards; must not exceed ``n_points``.
+        strategy: ``contiguous`` (equal id ranges), ``round_robin``
+            (``id % n_shards``), or ``cluster`` (k-means over the points,
+            one shard per cluster — locality-aware, uneven sizes).
+        points: the ``(n, d)`` dataset; required for ``cluster``.
+        seed: RNG seed for the cluster strategy.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    if n_shards > n_points:
+        raise ValueError(
+            f"cannot split {n_points} points into {n_shards} shards"
+        )
+    ids = np.arange(n_points, dtype=np.int64)
+    if strategy == "contiguous":
+        groups = [np.sort(g) for g in np.array_split(ids, n_shards)]
+    elif strategy == "round_robin":
+        groups = [ids[s::n_shards] for s in range(n_shards)]
+    elif strategy == "cluster":
+        if points is None:
+            raise ValueError("cluster partitioning needs the points")
+        points = np.asarray(points, dtype=np.float64)
+        if len(points) != n_points:
+            raise ValueError("points must have n_points rows")
+        _, labels = kmeans(points, n_shards, seed=seed)
+        groups = _rebalance_empty(
+            [ids[labels == s] for s in range(n_shards)]
+        )
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choices: {PARTITION_STRATEGIES}"
+        )
+    assert sum(len(g) for g in groups) == n_points
+    return groups

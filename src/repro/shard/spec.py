@@ -1,0 +1,400 @@
+"""Picklable shard build specs and the runtime constructed from them.
+
+A :class:`ShardSpec` fully describes one shard — its member ids, points,
+index recipe, cache recipe and disk parameters — using only picklable
+values, so the same spec builds the same shard whether it lives in the
+coordinator process (serial/thread executors) or in a worker process
+(process executor).  All three executors construct shards through
+:func:`build_shard_runtime`, which is what makes sharded execution
+executor-invariant *by construction*.
+
+The runtime speaks the coordinator's two-round protocol:
+
+1. :meth:`ShardRuntime.probe_batch` — generate candidates and probe the
+   shard cache for bounds (global ids out);
+2. :meth:`ShardRuntime.refine_batch` — run optimal multi-step refinement
+   over the shard's share of the globally reduced survivors, seeded with
+   the *global* confirmed set so the stopping threshold and heap
+   tie-breaking match the unsharded engine exactly.
+
+Tree shards answer whole queries instead (:meth:`ShardRuntime.search_batch`),
+because generation and refinement interleave inside the leaf stream.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import (
+    ApproximateCache,
+    CachePolicy,
+    ExactCache,
+    LeafNodeCache,
+    NoCache,
+)
+from repro.core.multistep import multistep_knn
+from repro.engine.engine import QueryEngine
+from repro.engine.stats import QueryStats
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.mtree import MTreeIndex
+from repro.index.vafile import VAFileIndex
+from repro.index.vptree import VPTreeIndex
+from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.pointfile import PointFile
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything needed to build one shard, with picklable values only.
+
+    Attributes:
+        shard_id: position of this shard (0-based, stable).
+        member_ids: sorted ascending *global* point ids owned by the
+            shard.  Sorted membership makes the global<->local mapping
+            monotone, preserving relative id order for tie-breaking.
+        points: ``(len(member_ids), d)`` rows aligned with ``member_ids``.
+        index_name: a key of ``INDEX_BUILDERS`` or a ``module:attr``
+            reference to a builder callable (used by tests to inject
+            custom indexes into process workers).
+        index_params: builder-specific parameters (picklable dict).
+        cache_spec: cache recipe, or None for no cache.  Candidate-path
+            kinds: ``none``, ``exact``, ``approx`` (with ``encoder``),
+            each with ``capacity_bytes``, ``policy`` (``hff``/``lru``)
+            and optional ``populate_gids`` — global ids, already
+            restricted to this shard, in the global HFF population order.
+            Tree kind: ``leaf`` with ``capacity_bytes``, ``exact``,
+            ``encoder`` and optional ``populate_workload`` queries.
+        disk: simulated-disk parameters of the shard's point file.
+        value_bytes: stored bytes per coordinate.
+        seed: RNG seed forwarded to index builders.
+        metrics: build a per-shard ``MetricsRegistry`` when True.
+    """
+
+    shard_id: int
+    member_ids: np.ndarray
+    points: np.ndarray
+    index_name: str = "linear"
+    index_params: dict = field(default_factory=dict)
+    cache_spec: dict | None = None
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    value_bytes: int = 4
+    seed: int = 0
+    metrics: bool = True
+
+    def __post_init__(self) -> None:
+        member_ids = np.asarray(self.member_ids, dtype=np.int64)
+        points = np.asarray(self.points, dtype=np.float64)
+        if member_ids.ndim != 1 or len(member_ids) == 0:
+            raise ValueError("member_ids must be a non-empty 1-D array")
+        if np.any(np.diff(member_ids) <= 0):
+            raise ValueError("member_ids must be strictly increasing")
+        if points.ndim != 2 or len(points) != len(member_ids):
+            raise ValueError("points must align with member_ids")
+        object.__setattr__(self, "member_ids", member_ids)
+        object.__setattr__(self, "points", points)
+
+
+@dataclass(frozen=True)
+class RefineTask:
+    """One query's refinement work order for one shard.
+
+    ``remaining_gids``/``remaining_lb`` are the shard's slice of the
+    globally reduced survivors (global ids, global lb order preserved);
+    ``seed_ids``/``seed_ubs`` carry the *full* global confirmed set so
+    the shard's stopping threshold equals the unsharded engine's.
+    ``own_pruned``/``own_confirmed`` are the shard's share of the global
+    reduction counts, for per-shard stats.  ``skip_refine`` marks the
+    global early exit (``>= k`` confirmed results: no shard refines).
+    """
+
+    query: np.ndarray
+    k: int
+    remaining_gids: np.ndarray
+    remaining_lb: np.ndarray
+    seed_ids: np.ndarray
+    seed_ubs: np.ndarray
+    own_pruned: int
+    own_confirmed: int
+    skip_refine: bool
+
+
+# ----------------------------------------------------------------------
+# Index builders
+# ----------------------------------------------------------------------
+def _build_c2lsh(spec: ShardSpec):
+    params = C2LSHParams(**spec.index_params.get("params", {}))
+    return C2LSHIndex(
+        spec.points,
+        params=params,
+        seed=spec.seed,
+        base_radius=spec.index_params.get("base_radius"),
+    )
+
+
+INDEX_BUILDERS = {
+    "linear": lambda spec: LinearScanIndex(len(spec.points)),
+    "c2lsh": _build_c2lsh,
+    "vafile": lambda spec: VAFileIndex(
+        spec.points, bits=spec.index_params.get("bits", 6)
+    ),
+    "idistance": lambda spec: IDistanceIndex(
+        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
+    ),
+    "vptree": lambda spec: VPTreeIndex(
+        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
+    ),
+    "mtree": lambda spec: MTreeIndex(
+        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
+    ),
+}
+
+TREE_INDEX_NAMES = ("idistance", "vptree", "mtree")
+
+
+def build_index(spec: ShardSpec):
+    """Build the shard's index from its spec.
+
+    ``index_name`` may also be a ``module:attr`` reference resolving to a
+    callable ``spec -> index`` — importable by name, so process workers
+    can construct indexes the registry does not know about.
+    """
+    builder = INDEX_BUILDERS.get(spec.index_name)
+    if builder is None:
+        if ":" not in spec.index_name:
+            raise ValueError(
+                f"unknown index {spec.index_name!r}; choices: "
+                f"{sorted(INDEX_BUILDERS)} or a module:attr reference"
+            )
+        module_name, attr = spec.index_name.split(":", 1)
+        builder = getattr(importlib.import_module(module_name), attr)
+    return builder(spec)
+
+
+# ----------------------------------------------------------------------
+# Cache builders
+# ----------------------------------------------------------------------
+def _policy(cache_spec: dict) -> CachePolicy:
+    name = cache_spec.get("policy", "hff")
+    if name == "lru":
+        return CachePolicy.LRU
+    if name == "hff":
+        return CachePolicy.HFF
+    raise ValueError(f"unknown cache policy {name!r}")
+
+
+def _build_point_cache(spec: ShardSpec):
+    cache_spec = spec.cache_spec or {"kind": "none"}
+    kind = cache_spec.get("kind", "none")
+    if kind == "none":
+        return NoCache()
+    policy = _policy(cache_spec)
+    capacity = int(cache_spec["capacity_bytes"])
+    n_local = len(spec.member_ids)
+    if kind == "exact":
+        cache = ExactCache(
+            spec.points.shape[1],
+            capacity,
+            n_local,
+            value_bytes=spec.value_bytes,
+            policy=policy,
+        )
+    elif kind == "approx":
+        cache = ApproximateCache(
+            cache_spec["encoder"], capacity, n_local, policy=policy
+        )
+    else:
+        raise ValueError(f"unknown point-cache kind {kind!r}")
+    populate_gids = cache_spec.get("populate_gids")
+    if (
+        policy is CachePolicy.HFF
+        and populate_gids is not None
+        and len(populate_gids)
+    ):
+        local = np.searchsorted(
+            spec.member_ids, np.asarray(populate_gids, dtype=np.int64)
+        )
+        cache.populate(local, spec.points[local])
+    return cache
+
+
+def _build_leaf_cache(spec: ShardSpec, index):
+    cache_spec = spec.cache_spec or {"kind": "none"}
+    if cache_spec.get("kind", "none") == "none":
+        return None
+    if cache_spec["kind"] != "leaf":
+        raise ValueError("tree shards take a 'leaf' (or 'none') cache spec")
+    cache = LeafNodeCache(
+        cache_spec.get("encoder"),
+        int(cache_spec["capacity_bytes"]),
+        exact=bool(cache_spec.get("exact", False)),
+        value_bytes=spec.value_bytes,
+    )
+    workload = cache_spec.get("populate_workload")
+    if workload is not None and len(workload):
+        freqs = index.leaf_access_frequencies(
+            workload, int(cache_spec.get("k", 10))
+        )
+        cache.populate_by_frequency(freqs, index.leaf_contents)
+    return cache
+
+
+# ----------------------------------------------------------------------
+# The runtime
+# ----------------------------------------------------------------------
+class ShardRuntime:
+    """One shard's engine plus the coordinator-facing protocol methods."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.member_ids = spec.member_ids
+        self.points = spec.points
+        index = build_index(spec)
+        self.is_tree = hasattr(index, "leaf_stream") and hasattr(
+            index, "leaf_contents"
+        )
+        metrics = None
+        if spec.metrics:
+            from repro.obs.registry import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.metrics = metrics
+        if self.is_tree:
+            self.cache = _build_leaf_cache(spec, index)
+            self.point_file = None
+            self.engine = QueryEngine.for_tree(
+                index, self.cache, metrics=metrics
+            )
+        else:
+            self.point_file = PointFile(
+                spec.points,
+                disk=SimulatedDisk(spec.disk),
+                value_bytes=spec.value_bytes,
+            )
+            self.cache = _build_point_cache(spec)
+            self.engine = QueryEngine.for_index(
+                index, self.point_file, self.cache, metrics=metrics
+            )
+        #: query index -> (ctx, own cache hits, own candidate count),
+        #: carried from probe_batch to the matching refine_batch.
+        self._pending: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def to_local(self, global_ids: np.ndarray) -> np.ndarray:
+        """Map global point ids (must be members) to local row indices."""
+        return np.searchsorted(
+            self.member_ids, np.asarray(global_ids, dtype=np.int64)
+        )
+
+    def _fetch_global(self, global_ids: np.ndarray, tracker):
+        return self.point_file.fetch(self.to_local(global_ids), tracker)
+
+    # ------------------------------------------------------------------
+    def probe_batch(self, queries: np.ndarray, k: int) -> list[tuple]:
+        """Round 1: per query, candidate generation + cache bounds.
+
+        Returns, per query, ``(global_ids, hit_mask, lb, ub)``.  The
+        per-query contexts stay pending until ``refine_batch`` closes
+        them (so ``Tgen``/``Trefine`` land on one context per query).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        self._pending.clear()
+        out = []
+        for qi, query in enumerate(queries):
+            ctx = self.engine.make_context()
+            with ctx.phase("generate"):
+                local = self.engine.generate.run(query, k, ctx)
+            if local.size:
+                with ctx.phase("probe"):
+                    hits, lb, ub = self.engine.cache.lookup(query, local)
+            else:
+                hits = np.zeros(0, dtype=bool)
+                lb = np.zeros(0, dtype=np.float64)
+                ub = np.zeros(0, dtype=np.float64)
+            self._pending[qi] = (ctx, int(hits.sum()), int(local.size))
+            out.append((self.member_ids[local], hits, lb, ub))
+        return out
+
+    def refine_batch(self, tasks: list[RefineTask]) -> list[tuple]:
+        """Round 2: multi-step refinement of this shard's survivors.
+
+        Returns, per query, ``(exact_global_ids, exact_distances,
+        QueryStats)`` where the ids/distances are the shard's refinement
+        survivors carrying exact distances (global confirmed seeds are
+        stripped — the coordinator merges them exactly once).
+        """
+        out = []
+        for qi, task in enumerate(tasks):
+            ctx, own_hits, own_candidates = self._pending.pop(
+                qi, (self.engine.make_context(), 0, 0)
+            )
+            exact_gids = np.empty(0, dtype=np.int64)
+            exact_dists = np.empty(0, dtype=np.float64)
+            fetched = 0
+            if not task.skip_refine and task.remaining_gids.size:
+                with ctx.phase("refine"):
+                    refinement = multistep_knn(
+                        task.query,
+                        task.remaining_gids,
+                        task.remaining_lb,
+                        task.k,
+                        fetcher=self._fetch_global,
+                        confirmed_ids=task.seed_ids,
+                        confirmed_ubs=task.seed_ubs,
+                        tracker=ctx.refine_tracker,
+                    )
+                    if refinement.num_fetched:
+                        local = self.to_local(refinement.fetched_ids)
+                        self.cache.admit(local, self.points[local])
+                keep = refinement.exact_mask
+                exact_gids = refinement.ids[keep]
+                exact_dists = refinement.distances[keep]
+                fetched = refinement.num_fetched
+            stats = QueryStats(
+                num_candidates=own_candidates,
+                cache_hits=own_hits,
+                pruned=task.own_pruned,
+                confirmed=task.own_confirmed,
+                c_refine=int(task.remaining_gids.size),
+                refined_fetches=fetched,
+                refine_page_reads=ctx.refine_page_reads,
+                gen_page_reads=ctx.gen_page_reads,
+            )
+            self.engine._observe(stats)
+            out.append((exact_gids, exact_dists, stats))
+        return out
+
+    def search_batch(self, queries: np.ndarray, k: int) -> list[tuple]:
+        """Tree path: whole-query searches, answers in global ids."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        out = []
+        for query in queries:
+            result = self.engine.search(query, k)
+            out.append(
+                (self.member_ids[result.ids], result.distances, result.stats)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def collect_metrics(self):
+        """The shard's metrics registry (None when metrics are off)."""
+        return self.metrics
+
+    def collect_telemetry(self):
+        """The shard cache's telemetry record (None for uncached trees)."""
+        if self.cache is None:
+            return None
+        return self.cache.telemetry
+
+    def ping(self) -> int:
+        """Liveness probe; returns the shard id."""
+        return int(self.spec.shard_id)
+
+
+def build_shard_runtime(spec: ShardSpec) -> ShardRuntime:
+    """Construct a shard's runtime — the single path all executors use."""
+    return ShardRuntime(spec)

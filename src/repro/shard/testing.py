@@ -1,0 +1,86 @@
+"""Fault-injection index builders for the shard executor tests.
+
+These are referenced by ``module:attr`` name in ``ShardSpec.index_name``
+(``"repro.shard.testing:build_faulty"``), so process workers can import
+and build them without the coordinator shipping code objects.
+
+Two failure shapes:
+
+* :func:`build_faulty` — a linear-scan index that *raises* from
+  ``candidates`` on a chosen shard after a chosen number of calls.  The
+  worker survives; the error is reported back and must surface in the
+  coordinator as the original exception (fail fast).
+* :func:`build_dying` — an index whose ``candidates`` kills the whole
+  worker process (``os._exit``) — but only while a sentinel flag file
+  exists; the test removes re-creation by having the *first* call unlink
+  the flag, so the respawned worker succeeds.  Exercises the
+  ``max_retries`` crash-recovery path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+class InjectedShardFault(RuntimeError):
+    """The deliberate failure raised by :func:`build_faulty` indexes."""
+
+
+class _FaultyLinearScan:
+    """Linear scan that raises after ``fail_on_call`` successful calls."""
+
+    def __init__(self, n_points: int, shard_id: int, params: dict) -> None:
+        self.n_points = n_points
+        self.shard_id = shard_id
+        self.fail_shard = params.get("fail_shard", 0)
+        self.fail_on_call = params.get("fail_on_call", 0)
+        self.calls = 0
+
+    def candidates(self, query, k, tracker=None) -> np.ndarray:
+        if self.shard_id == self.fail_shard and self.calls >= self.fail_on_call:
+            raise InjectedShardFault(
+                f"injected failure on shard {self.shard_id} "
+                f"(call {self.calls})"
+            )
+        self.calls += 1
+        return np.arange(self.n_points, dtype=np.int64)
+
+
+def build_faulty(spec) -> _FaultyLinearScan:
+    """Builder for ``index_name="repro.shard.testing:build_faulty"``.
+
+    ``spec.index_params``: ``fail_shard`` (which shard raises) and
+    ``fail_on_call`` (how many calls succeed first).
+    """
+    return _FaultyLinearScan(
+        len(spec.points), spec.shard_id, spec.index_params
+    )
+
+
+class _DyingLinearScan:
+    """Linear scan that hard-kills its process while a flag file exists."""
+
+    def __init__(self, n_points: int, shard_id: int, params: dict) -> None:
+        self.n_points = n_points
+        self.shard_id = shard_id
+        self.die_shard = params.get("die_shard", 0)
+        self.flag_path = params["flag_path"]
+
+    def candidates(self, query, k, tracker=None) -> np.ndarray:
+        if self.shard_id == self.die_shard and os.path.exists(self.flag_path):
+            os.unlink(self.flag_path)  # die exactly once
+            os._exit(3)
+        return np.arange(self.n_points, dtype=np.int64)
+
+
+def build_dying(spec) -> _DyingLinearScan:
+    """Builder for ``index_name="repro.shard.testing:build_dying"``.
+
+    ``spec.index_params``: ``die_shard`` and ``flag_path`` — the worker
+    dies (exit code 3) on its first ``candidates`` call while the flag
+    file exists, and removes the flag on the way out so the respawned
+    worker completes.
+    """
+    return _DyingLinearScan(len(spec.points), spec.shard_id, spec.index_params)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.storage.iostats import IOStats, QueryIOTracker
@@ -30,11 +31,18 @@ class DiskConfig:
             response times the paper plots.
         seq_read_latency_s: modeled cost of one *sequential* page read
             (index accesses during candidate generation).
+        blocking: when True, ``read_page`` actually sleeps
+            ``read_latency_s`` for every charged read instead of only
+            counting it.  Off by default (counting-only keeps the test
+            suite fast); the sharded-throughput benchmark turns it on so
+            executors that overlap I/O across shards show real wall-clock
+            gains, as a disk-resident deployment would.
     """
 
     page_size: int = DEFAULT_PAGE_SIZE
     read_latency_s: float = DEFAULT_READ_LATENCY_S
     seq_read_latency_s: float = DEFAULT_SEQ_READ_LATENCY_S
+    blocking: bool = False
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:
@@ -64,6 +72,8 @@ class SimulatedDisk:
             if not tracker.needs_read(page_id):
                 return
         self.stats.page_reads += 1
+        if self.config.blocking and self.config.read_latency_s > 0:
+            time.sleep(self.config.read_latency_s)
 
     def modeled_time(self, page_reads: int | None = None) -> float:
         """Wall-clock seconds modeled for ``page_reads`` (default: all so far)."""

@@ -58,6 +58,58 @@ def micro_domain(micro_points: np.ndarray) -> ValueDomain:
     return ValueDomain.from_points(micro_points)
 
 
+def make_shard_merge_case(
+    rng: np.random.Generator,
+    n_shards: int | None = None,
+    plant_ties: bool = True,
+    tiny_shards: bool = False,
+) -> tuple[list[np.ndarray], list[np.ndarray], int]:
+    """One randomized top-k merge instance: per-shard (ids, dists) plus k.
+
+    Ids are globally disjoint (shards partition an id space).  With
+    ``plant_ties`` a shared distance value is planted across shards so a
+    merge must exercise its tie-breaking; with ``tiny_shards`` shard
+    sizes may be smaller than ``k`` (the merge must not pad or truncate
+    wrongly).  Seeded by the caller's generator for reproducibility.
+    """
+    n_shards = n_shards if n_shards is not None else int(rng.integers(1, 6))
+    high = 4 if tiny_shards else 30
+    sizes = rng.integers(0 if tiny_shards else 1, high, size=n_shards)
+    if sizes.sum() == 0:
+        sizes[0] = 1
+    total = int(sizes.sum())
+    ids = rng.permutation(total * 3)[:total].astype(np.int64)
+    dists = np.round(rng.uniform(0, 10, size=total), 2)
+    if plant_ties and total >= 2:
+        tie_value = float(dists[0])
+        tie_count = int(rng.integers(2, min(total, 6) + 1))
+        dists[rng.permutation(total)[:tie_count]] = tie_value
+    id_arrays, dist_arrays, start = [], [], 0
+    for size in sizes:
+        stop = start + int(size)
+        id_arrays.append(ids[start:stop])
+        dist_arrays.append(dists[start:stop])
+        start = stop
+    k = int(rng.integers(1, total + 3))  # may exceed every shard's size
+    return id_arrays, dist_arrays, k
+
+
+@pytest.fixture()
+def shard_merge_cases():
+    """Seeded generator of randomized merge instances (satellite tests).
+
+    Returns a callable ``(seed, n_cases, **kwargs) -> iterator`` so each
+    property test owns an explicit, reportable seed.
+    """
+
+    def generate(seed: int, n_cases: int, **kwargs):
+        case_rng = np.random.default_rng(seed)
+        for _ in range(n_cases):
+            yield make_shard_merge_case(case_rng, **kwargs)
+
+    return generate
+
+
 def brute_force_knn_set(points: np.ndarray, query: np.ndarray, k: int) -> set[int]:
     """All ids within the k-th smallest distance (tie-tolerant truth)."""
     d = np.linalg.norm(points - query, axis=1)

@@ -1,0 +1,479 @@
+"""Differential harness: sharded search is invariant in shard count and executor.
+
+The guarantee matrix, per (index family x cache mode) cell:
+
+* **results** — ids, distances and (except under LRU, see below) the
+  ``exact_mask`` are byte-identical to the unsharded ``QueryEngine``
+  for every shard count in {1, 2, 3, 7};
+* **reduction stats** — ``num_candidates`` / ``cache_hits`` / ``pruned``
+  / ``confirmed`` / ``c_refine`` equal the baseline's wherever candidate
+  generation is decomposable (all cells except the VA-file, whose
+  shard-local filter thresholds produce conservative candidate
+  supersets, and the trees, whose traversal counts depend on tree
+  shape);
+* **I/O totals** — fetch/page-read counts equal the baseline's in the
+  NO-CACHE cells (every survivor is fetched, so counts are
+  layout-independent once a page holds exactly one point); cached cells
+  assert executor-invariance and exact reconciliation instead;
+* **executors** — serial, thread and process produce identical results,
+  per-query stats and merged metrics at a fixed shard count;
+* **metrics** — the merged registry reconciles exactly with the
+  per-shard registries (counters add under ``MetricsRegistry.merge``).
+
+Under an LRU cache only ids and distances are asserted against the
+baseline: confirmed-vs-refined provenance (the ``exact_mask``) may
+legitimately differ because the shards' dynamic caches hold different
+residents, but the reported distances are exact either way.
+
+Every randomized input derives from ``SEED`` below; assertion messages
+carry the cell name, shard count and executor so failures reproduce
+with ``np.random.default_rng(SEED)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import (
+    ApproximateCache,
+    CachePolicy,
+    ExactCache,
+    LeafNodeCache,
+    NoCache,
+)
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.engine.engine import QueryEngine
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.vafile import VAFileIndex
+from repro.index.vptree import VPTreeIndex
+from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams, calibrate_base_radius
+from repro.shard import ShardedEngine, build_shard_specs
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.pointfile import PointFile
+
+SEED = 20240806
+N_POINTS = 260
+DIM = 5
+K = 5
+SHARD_COUNTS = (1, 2, 3, 7)
+EXECUTORS = ("serial", "thread", "process")
+CACHE_BYTES = 1 << 11
+#: C2LSH pinned so every shard's stop rule is "all points passed" — the
+#: only configuration whose candidate *set* is decomposable by shard.
+C2LSH_PARAMS = {"beta": 1.0, "n_hashes": 16}
+
+REDUCTION_FIELDS = (
+    "num_candidates",
+    "cache_hits",
+    "pruned",
+    "confirmed",
+    "c_refine",
+)
+# Refinement I/O only: generation I/O (index-structure page reads) is
+# inherently per-shard — every shard scans its *own* hash tables /
+# approximation file — so ``gen_page_reads`` grows with the shard count
+# for structured generators and is asserted only where generation reads
+# nothing (linear scan).
+IO_FIELDS = ("refined_fetches", "refine_page_reads")
+QUERY_COUNTERS = (
+    "engine_queries_total",
+    "engine_candidates_total",
+    "engine_cache_hits_total",
+    "engine_pruned_total",
+    "engine_confirmed_total",
+    "engine_crefine_total",
+    "engine_refined_fetches_total",
+    "engine_gen_page_reads_total",
+    "engine_refine_page_reads_total",
+    "engine_leaves_streamed_total",
+    "engine_leaf_fetches_total",
+    "engine_cached_leaf_hits_total",
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (index family x cache mode) entry of the guarantee matrix."""
+
+    name: str
+    index_name: str
+    cache: str  # none | hc-hff | exact-hff | exact-lru | leaf
+    index_params: dict = field(default_factory=dict)
+    compare_mask: bool = True  # exact_mask vs baseline
+    compare_values: bool = True  # distances/ordering vs baseline
+    stats_invariant: bool = False  # REDUCTION_FIELDS vs baseline
+    io_invariant: bool = False  # IO_FIELDS vs baseline (NO-CACHE only)
+    gen_io_invariant: bool = False  # gen_page_reads vs baseline
+    point_pages: bool = False  # 1 point per page (layout-free I/O counts)
+
+
+CELLS = (
+    Cell(
+        "linear~none", "linear", "none",
+        stats_invariant=True, io_invariant=True, gen_io_invariant=True,
+        point_pages=True,
+    ),
+    Cell("linear~hc-hff", "linear", "hc-hff", stats_invariant=True),
+    Cell("linear~exact-hff", "linear", "exact-hff", stats_invariant=True),
+    Cell("linear~exact-lru", "linear", "exact-lru", compare_mask=False),
+    Cell(
+        "c2lsh~none", "c2lsh", "none",
+        index_params={"params": C2LSH_PARAMS},
+        stats_invariant=True, io_invariant=True, point_pages=True,
+    ),
+    Cell(
+        "c2lsh~hc-hff", "c2lsh", "hc-hff",
+        index_params={"params": C2LSH_PARAMS}, stats_invariant=True,
+    ),
+    # The VA-file filter is not decomposable: each shard's kth-upper-bound
+    # threshold is looser than the global one, so the union of shard
+    # candidates is a strict superset and the global ``lb_k`` can shift —
+    # a result the baseline *confirms* (reported at its ub) may instead
+    # be *refined* (reported exact).  The result id set is still
+    # identical; distances/ordering/provenance are not guaranteed.
+    Cell(
+        "vafile~hc-hff", "vafile", "hc-hff", index_params={"bits": 6},
+        compare_mask=False, compare_values=False,
+    ),
+    Cell(
+        "vafile~none", "vafile", "none",
+        index_params={"bits": 6}, point_pages=True,
+    ),
+    Cell("idistance~none", "idistance", "none"),
+    Cell("idistance~leaf", "idistance", "leaf"),
+    Cell("vptree~none", "vptree", "none"),
+)
+
+TREE_CLASSES = {"idistance": IDistanceIndex, "vptree": VPTreeIndex}
+
+
+# ----------------------------------------------------------------------
+# Shared inputs (module-scoped; every test sees identical arrays)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(SEED)
+    points = rng.normal(size=(N_POINTS, DIM))
+    queries = rng.normal(size=(6, DIM))
+    frequencies = rng.integers(0, 9, size=N_POINTS).astype(np.int64)
+    encoder = GlobalHistogramEncoder(
+        build_equidepth(ValueDomain.from_points(points), 16), DIM
+    )
+    return {
+        "points": points,
+        "queries": queries,
+        "frequencies": frequencies,
+        "encoder": encoder,
+    }
+
+
+def _disk(cell: Cell) -> DiskConfig:
+    if cell.point_pages:
+        return DiskConfig(page_size=DIM * 4)
+    return DiskConfig()
+
+
+def _cache_spec(cell: Cell, data) -> dict | None:
+    if cell.cache == "none":
+        return None
+    if cell.cache == "hc-hff":
+        return {
+            "kind": "approx",
+            "encoder": data["encoder"],
+            "capacity_bytes": CACHE_BYTES,
+            "policy": "hff",
+        }
+    if cell.cache == "exact-hff":
+        return {"kind": "exact", "capacity_bytes": CACHE_BYTES, "policy": "hff"}
+    if cell.cache == "exact-lru":
+        return {"kind": "exact", "capacity_bytes": CACHE_BYTES, "policy": "lru"}
+    if cell.cache == "leaf":
+        return {
+            "kind": "leaf",
+            "capacity_bytes": CACHE_BYTES,
+            "encoder": data["encoder"],
+            "populate_workload": data["queries"],
+            "k": K,
+        }
+    raise ValueError(cell.cache)
+
+
+def baseline_results(cell: Cell, data) -> list:
+    """The unsharded engine's answers for this cell (fresh state)."""
+    points = data["points"]
+    if cell.index_name in TREE_CLASSES:
+        index = TREE_CLASSES[cell.index_name](points, seed=0, value_bytes=4)
+        cache = None
+        if cell.cache == "leaf":
+            cache = LeafNodeCache(data["encoder"], CACHE_BYTES)
+            freqs = index.leaf_access_frequencies(data["queries"], K)
+            cache.populate_by_frequency(freqs, index.leaf_contents)
+        engine = QueryEngine.for_tree(index, cache)
+        return engine.search_many(data["queries"], K)
+    if cell.index_name == "linear":
+        index = LinearScanIndex(N_POINTS)
+    elif cell.index_name == "c2lsh":
+        index = C2LSHIndex(
+            points,
+            params=C2LSHParams(**C2LSH_PARAMS),
+            seed=0,
+            base_radius=calibrate_base_radius(points, seed=0),
+        )
+    elif cell.index_name == "vafile":
+        index = VAFileIndex(points, bits=6)
+    else:
+        raise ValueError(cell.index_name)
+    if cell.cache == "none":
+        cache = NoCache()
+    elif cell.cache == "hc-hff":
+        cache = ApproximateCache(
+            data["encoder"], CACHE_BYTES, N_POINTS, CachePolicy.HFF
+        )
+        cache.populate_hff(data["frequencies"], points)
+    elif cell.cache == "exact-hff":
+        cache = ExactCache(
+            DIM, CACHE_BYTES, N_POINTS, value_bytes=4, policy=CachePolicy.HFF
+        )
+        cache.populate_hff(data["frequencies"], points)
+    elif cell.cache == "exact-lru":
+        cache = ExactCache(
+            DIM, CACHE_BYTES, N_POINTS, value_bytes=4, policy=CachePolicy.LRU
+        )
+    else:
+        raise ValueError(cell.cache)
+    point_file = PointFile(points, disk=SimulatedDisk(_disk(cell)))
+    engine = QueryEngine.for_index(index, point_file, cache)
+    return engine.search_many(data["queries"], K)
+
+
+def sharded_engine(
+    cell: Cell, data, n_shards: int, executor: str, partition="contiguous"
+) -> ShardedEngine:
+    specs = build_shard_specs(
+        data["points"],
+        n_shards,
+        index_name=cell.index_name,
+        index_params=cell.index_params,
+        cache_spec=_cache_spec(cell, data),
+        frequencies=data["frequencies"],
+        partition=partition,
+        disk=_disk(cell),
+        seed=0,
+    )
+    return ShardedEngine(specs, executor=executor)
+
+
+def assert_cell_match(cell: Cell, base, got, label: str) -> None:
+    """Per-cell comparison with reproducible failure messages."""
+    assert len(base) == len(got)
+    for qi, (b, r) in enumerate(zip(base, got)):
+        where = f"{cell.name} {label} query={qi} seed={SEED}"
+        if not cell.compare_values:
+            assert set(b.ids.tolist()) == set(r.ids.tolist()), (
+                f"{where}: result id sets {b.ids} != {r.ids}"
+            )
+            continue
+        assert np.array_equal(b.ids, r.ids), (
+            f"{where}: ids {b.ids} != {r.ids}"
+        )
+        assert np.array_equal(b.distances, r.distances), (
+            f"{where}: distances differ"
+        )
+        if cell.compare_mask:
+            assert np.array_equal(b.exact_mask, r.exact_mask), (
+                f"{where}: exact_mask {b.exact_mask} != {r.exact_mask}"
+            )
+        if cell.stats_invariant:
+            for name in REDUCTION_FIELDS:
+                assert getattr(b.stats, name) == getattr(r.stats, name), (
+                    f"{where}: stats.{name} "
+                    f"{getattr(b.stats, name)} != {getattr(r.stats, name)}"
+                )
+        io_fields = list(IO_FIELDS) if cell.io_invariant else []
+        if cell.gen_io_invariant:
+            io_fields.append("gen_page_reads")
+        for name in io_fields:
+            assert getattr(b.stats, name) == getattr(r.stats, name), (
+                f"{where}: stats.{name} "
+                f"{getattr(b.stats, name)} != {getattr(r.stats, name)}"
+            )
+
+
+def _stats_tuple(stats) -> tuple:
+    return (
+        stats.num_candidates,
+        stats.cache_hits,
+        stats.pruned,
+        stats.confirmed,
+        stats.c_refine,
+        stats.refined_fetches,
+        stats.refine_page_reads,
+        stats.gen_page_reads,
+        stats.leaves_streamed,
+        stats.leaf_fetches,
+        stats.cached_leaf_hits,
+        stats.deferred_fetches,
+        stats.points_seen,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard-count invariance (the headline guarantee)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: c.name)
+def test_shard_count_invariance(cell: Cell, data) -> None:
+    base = baseline_results(cell, data)
+    for n_shards in SHARD_COUNTS:
+        with sharded_engine(cell, data, n_shards, "serial") as engine:
+            got = engine.search_many(data["queries"], K)
+        assert_cell_match(cell, base, got, f"shards={n_shards}")
+
+
+@pytest.mark.parametrize(
+    "partition", ["contiguous", "round_robin", "cluster"]
+)
+def test_partition_strategy_invariance(partition: str, data) -> None:
+    """Results do not depend on *how* the dataset is split."""
+    cell = CELLS[1]  # linear~hc-hff
+    base = baseline_results(cell, data)
+    with sharded_engine(cell, data, 3, "serial", partition=partition) as eng:
+        got = eng.search_many(data["queries"], K)
+    assert_cell_match(cell, base, got, f"partition={partition}")
+
+
+# ----------------------------------------------------------------------
+# Executor invariance + determinism audit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: c.name)
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_executor_invariance(cell: Cell, executor: str, data) -> None:
+    """Every executor returns identical results, stats and metrics."""
+    with sharded_engine(cell, data, 3, "serial") as reference_engine:
+        reference = reference_engine.search_many(data["queries"], K)
+        ref_metrics = reference_engine.merged_metrics()
+    with sharded_engine(cell, data, 3, executor) as engine:
+        got = engine.search_many(data["queries"], K)
+        got_metrics = engine.merged_metrics()
+    for qi, (b, r) in enumerate(zip(reference, got)):
+        where = f"{cell.name} executor={executor} query={qi} seed={SEED}"
+        assert np.array_equal(b.ids, r.ids), where
+        assert np.array_equal(b.distances, r.distances), where
+        assert np.array_equal(b.exact_mask, r.exact_mask), where
+        assert _stats_tuple(b.stats) == _stats_tuple(r.stats), where
+    for counter in QUERY_COUNTERS:
+        assert ref_metrics.value(counter) == got_metrics.value(counter), (
+            f"{cell.name} executor={executor}: merged {counter} differs"
+        )
+
+
+def _deterministic_snapshot(registry) -> list:
+    """Registry snapshot minus wall-clock artifacts.
+
+    Phase *timing* histograms measure elapsed seconds and legitimately
+    vary between runs; every count-valued instrument must not.
+    """
+    return [
+        entry
+        for entry in registry.snapshot()["metrics"]
+        if entry["name"] != "engine_phase_seconds"
+    ]
+
+
+def test_determinism_across_runs(data) -> None:
+    """Two identical runs agree on everything, including ordering."""
+    cell = CELLS[1]  # linear~hc-hff
+    runs = []
+    for _ in range(2):
+        with sharded_engine(cell, data, 3, "serial") as engine:
+            results = engine.search_many(data["queries"], K)
+            metrics = engine.merged_metrics()
+        runs.append((results, metrics))
+    (first, m1), (second, m2) = runs
+    for b, r in zip(first, second):
+        assert np.array_equal(b.ids, r.ids)
+        assert np.array_equal(b.distances, r.distances)
+        assert np.array_equal(b.exact_mask, r.exact_mask)
+        assert _stats_tuple(b.stats) == _stats_tuple(r.stats)
+    assert _deterministic_snapshot(m1) == _deterministic_snapshot(m2)
+
+
+def test_full_grid_single_cell(data) -> None:
+    """One cell swept over the full shard-count x executor grid."""
+    cell = CELLS[1]  # linear~hc-hff
+    base = baseline_results(cell, data)
+    for n_shards in SHARD_COUNTS:
+        for executor in EXECUTORS:
+            with sharded_engine(cell, data, n_shards, executor) as engine:
+                got = engine.search_many(data["queries"], K)
+            assert_cell_match(
+                cell, base, got, f"shards={n_shards} executor={executor}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Metrics merge reconciliation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "cell", [CELLS[1], CELLS[8]], ids=lambda c: c.name
+)
+def test_merged_metrics_reconcile(cell: Cell, data) -> None:
+    """Merged counters equal the sum over per-shard registries, and the
+    physical totals match the aggregated per-query stats exactly."""
+    with sharded_engine(cell, data, 3, "serial") as engine:
+        results = engine.search_many(data["queries"], K)
+        per_shard = engine.shard_metrics()
+        merged = engine.merged_metrics()
+    for counter in QUERY_COUNTERS:
+        total = sum(reg.value(counter) for reg in per_shard)
+        assert merged.value(counter) == total, counter
+    # Each shard observes each query once.
+    assert merged.value("engine_queries_total") == 3 * len(data["queries"])
+    assert merged.value("engine_candidates_total") == sum(
+        r.stats.num_candidates for r in results
+    )
+    assert merged.value("engine_refined_fetches_total") == sum(
+        r.stats.refined_fetches for r in results
+    )
+    assert merged.value("engine_refine_page_reads_total") == sum(
+        r.stats.refine_page_reads for r in results
+    )
+
+
+def test_merged_physical_totals_shard_count_invariant(data) -> None:
+    """For decomposable cells the merged reduction counters do not
+    depend on the shard count (they equal the baseline workload's)."""
+    cell = CELLS[1]  # linear~hc-hff
+    seen = {}
+    for n_shards in SHARD_COUNTS:
+        with sharded_engine(cell, data, n_shards, "serial") as engine:
+            engine.search_many(data["queries"], K)
+            merged = engine.merged_metrics()
+        totals = tuple(
+            merged.value(c)
+            for c in (
+                "engine_candidates_total",
+                "engine_cache_hits_total",
+                "engine_pruned_total",
+                "engine_confirmed_total",
+                "engine_crefine_total",
+            )
+        )
+        seen[n_shards] = totals
+    assert len(set(seen.values())) == 1, f"totals varied: {seen} seed={SEED}"
+
+
+def test_search_single_query_matches_batch(data) -> None:
+    cell = CELLS[1]
+    with sharded_engine(cell, data, 2, "serial") as engine:
+        batch = engine.search_many(data["queries"], K)
+        single = [engine.search(q, K) for q in data["queries"]]
+    for b, s in zip(batch, single):
+        assert np.array_equal(b.ids, s.ids)
+        assert np.array_equal(b.distances, s.distances)
+        assert np.array_equal(b.exact_mask, s.exact_mask)

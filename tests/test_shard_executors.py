@@ -1,0 +1,277 @@
+"""Executor fault-injection and concurrency tests (shard PR satellites).
+
+Covers:
+
+* a worker raising mid-batch in the process executor surfaces the
+  *original* exception (type name, repr, worker traceback) as a
+  fail-fast :class:`ShardWorkerError` — never a hang, never partial
+  results;
+* the same injected fault in serial/thread executors propagates as the
+  original exception object (in-process, nothing to serialize);
+* a worker *death* (hard ``os._exit``) fails fast by default, and with
+  ``max_retries`` the worker is respawned from its spec and the call
+  retried, recovering the correct answer;
+* two threads driving separate shard engines concurrently never corrupt
+  each other's cache telemetry or metrics registries (exact
+  reconciliation of every counter afterwards).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import ApproximateCache, CachePolicy, NoCache
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.engine.engine import QueryEngine
+from repro.index.linear_scan import LinearScanIndex
+from repro.shard import (
+    ShardedEngine,
+    ShardWorkerError,
+    build_shard_specs,
+    make_executor,
+)
+from repro.shard.testing import InjectedShardFault
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.pointfile import PointFile
+
+SEED = 424242
+N_POINTS = 120
+DIM = 4
+K = 4
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(SEED)
+    return {
+        "points": rng.normal(size=(N_POINTS, DIM)),
+        "queries": rng.normal(size=(4, DIM)),
+    }
+
+
+def faulty_specs(data, fail_shard=1, fail_on_call=0, n_shards=3):
+    return build_shard_specs(
+        data["points"],
+        n_shards,
+        index_name="repro.shard.testing:build_faulty",
+        index_params={
+            "fail_shard": fail_shard, "fail_on_call": fail_on_call
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Injected task exceptions (fail fast, original error surfaced)
+# ----------------------------------------------------------------------
+def test_process_worker_exception_surfaces_original(data) -> None:
+    engine = ShardedEngine(faulty_specs(data), executor="process")
+    try:
+        with pytest.raises(ShardWorkerError) as excinfo:
+            engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+    message = str(excinfo.value)
+    assert excinfo.value.shard_id == 1
+    assert "InjectedShardFault" in message  # original type name
+    assert "injected failure on shard 1" in message  # original repr
+    assert "repro/shard/testing.py" in excinfo.value.traceback_text
+
+
+def test_process_worker_exception_mid_batch(data) -> None:
+    """The fault fires on the *second* query of one batched call."""
+    engine = ShardedEngine(
+        faulty_specs(data, fail_on_call=1), executor="process"
+    )
+    try:
+        with pytest.raises(ShardWorkerError) as excinfo:
+            engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+    assert "InjectedShardFault" in str(excinfo.value)
+    assert "call 1" in str(excinfo.value)
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_inprocess_executors_propagate_original_exception(
+    executor: str, data
+) -> None:
+    engine = ShardedEngine(faulty_specs(data), executor=executor)
+    try:
+        with pytest.raises(InjectedShardFault, match="shard 1"):
+            engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+
+
+def test_worker_survives_task_exception(data) -> None:
+    """A task exception must not kill the worker: later calls succeed."""
+    engine = ShardedEngine(faulty_specs(data), executor="process")
+    try:
+        with pytest.raises(ShardWorkerError):
+            engine.search_many(data["queries"], K)
+        assert engine.ping() == [0, 1, 2]
+    finally:
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Worker death: fail fast vs max_retries recovery
+# ----------------------------------------------------------------------
+def dying_specs(data, flag_path, n_shards=3):
+    return build_shard_specs(
+        data["points"],
+        n_shards,
+        index_name="repro.shard.testing:build_dying",
+        index_params={"die_shard": 0, "flag_path": str(flag_path)},
+    )
+
+
+def test_worker_death_fails_fast_without_retries(data, tmp_path) -> None:
+    flag = tmp_path / "die-once"
+    flag.write_text("")
+    engine = ShardedEngine(
+        dying_specs(data, flag), executor="process", max_retries=0
+    )
+    try:
+        with pytest.raises(ShardWorkerError, match="died"):
+            engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+
+
+def test_worker_death_recovers_with_retry(data, tmp_path) -> None:
+    flag = tmp_path / "die-once"
+    flag.write_text("")
+    baseline = QueryEngine.for_index(
+        LinearScanIndex(N_POINTS),
+        PointFile(data["points"], disk=SimulatedDisk(DiskConfig())),
+        NoCache(),
+    ).search_many(data["queries"], K)
+    engine = ShardedEngine(
+        dying_specs(data, flag), executor="process", max_retries=1
+    )
+    try:
+        results = engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+    assert not flag.exists()  # the worker died exactly once
+    for base, got in zip(baseline, results):
+        assert np.array_equal(base.ids, got.ids)
+        assert np.array_equal(base.distances, got.distances)
+
+
+def test_make_executor_rejects_unknown_name() -> None:
+    with pytest.raises(ValueError, match="unknown executor"):
+        make_executor("fork-bomb")
+
+
+def test_process_executor_rejects_negative_retries() -> None:
+    from repro.shard.executors import ProcessExecutor
+
+    with pytest.raises(ValueError):
+        ProcessExecutor(max_retries=-1)
+
+
+def test_ping_runs_on_every_executor(data) -> None:
+    specs = build_shard_specs(data["points"], 3)
+    for name in ("serial", "thread", "process"):
+        with ShardedEngine(specs, executor=name) as engine:
+            assert engine.ping() == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Concurrent engines: telemetry/registry isolation (satellite 6)
+# ----------------------------------------------------------------------
+def test_concurrent_engines_do_not_corrupt_counters(data) -> None:
+    """Two threads hammer two independent sharded engines; afterwards
+    each engine's cache telemetry and metrics reconcile exactly with its
+    own workload — any cross-talk would break the arithmetic."""
+    points = data["points"]
+    encoder = GlobalHistogramEncoder(
+        build_equidepth(ValueDomain.from_points(points), 16), DIM
+    )
+    cache_spec = {
+        "kind": "approx",
+        "encoder": encoder,
+        "capacity_bytes": 1 << 10,
+        "policy": "hff",
+    }
+    rng = np.random.default_rng(SEED + 1)
+    frequencies = rng.integers(0, 5, size=N_POINTS).astype(np.int64)
+    workloads = [
+        rng.normal(size=(12, DIM)),  # engine 0's queries
+        rng.normal(size=(17, DIM)),  # engine 1's (different count!)
+    ]
+    engines = [
+        ShardedEngine(
+            build_shard_specs(
+                points, n_shards, cache_spec=cache_spec,
+                frequencies=frequencies,
+            ),
+            executor="thread",
+        )
+        for n_shards in (2, 3)
+    ]
+    results: list = [None, None]
+    errors: list = []
+    barrier = threading.Barrier(2)
+
+    def drive(slot: int) -> None:
+        try:
+            barrier.wait()
+            out = []
+            for _ in range(3):  # repeated rounds to maximize interleaving
+                out = engines[slot].search_many(workloads[slot], K)
+            results[slot] = out
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(slot,)) for slot in (0, 1)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+    rounds = 3
+    for slot, engine in enumerate(engines):
+        n_queries = len(workloads[slot])
+        telemetry = [t for t in engine.shard_telemetry() if t is not None]
+        merged = engine.merged_metrics()
+        # Linear scan: every query probes every point exactly once.
+        expected_lookups = rounds * n_queries * N_POINTS
+        assert sum(t.lookups for t in telemetry) == expected_lookups, (
+            f"engine {slot}: telemetry.lookups corrupted"
+        )
+        assert sum(t.hits for t in telemetry) == merged.value(
+            "engine_cache_hits_total"
+        ), f"engine {slot}: hits diverge from metrics"
+        assert merged.value("engine_queries_total") == (
+            rounds * n_queries * engine.n_shards
+        ), f"engine {slot}: query counter corrupted"
+        assert merged.value("engine_candidates_total") == (
+            rounds * n_queries * N_POINTS
+        ), f"engine {slot}: candidate counter corrupted"
+        # And the answers themselves stay correct under concurrency.
+        baseline = QueryEngine.for_index(
+            LinearScanIndex(N_POINTS),
+            PointFile(points, disk=SimulatedDisk(DiskConfig())),
+            _fresh_cache(encoder, frequencies, points),
+        ).search_many(workloads[slot], K)
+        for base, got in zip(baseline, results[slot]):
+            assert np.array_equal(base.ids, got.ids)
+            assert np.array_equal(base.distances, got.distances)
+        engine.close()
+
+
+def _fresh_cache(encoder, frequencies, points):
+    cache = ApproximateCache(encoder, 1 << 10, N_POINTS, CachePolicy.HFF)
+    cache.populate_hff(frequencies, points)
+    return cache

@@ -1,0 +1,178 @@
+"""Property tests for the exact top-k merges (satellite of the shard PR).
+
+Randomized instances come from the seeded generators in ``conftest.py``
+(``shard_merge_cases``); every case is reproducible from the seed named
+in the test.  Properties:
+
+* merging per-shard lists equals the top-k of the concatenation;
+* merging each shard's *own truncated top-k* changes nothing (shards
+  may pre-truncate without affecting the global answer);
+* planted distance ties break exactly like the engine: ``(d, id asc)``
+  on the tree path, heap-eviction ``(d asc, id desc)`` selection with
+  ``(d, id, exact)`` presentation on the candidate path;
+* ``k`` larger than any shard (or the whole input) neither pads nor
+  truncates wrongly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.shard.merge import (
+    merge_candidate_results,
+    merge_topk,
+    merge_tree_results,
+)
+
+
+def reference_topk(
+    id_arrays, dist_arrays, k
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k of the concatenation under (distance asc, id asc), brute force."""
+    pairs = sorted(
+        (float(d), int(i))
+        for ids, dists in zip(id_arrays, dist_arrays)
+        for i, d in zip(ids, dists)
+    )[:k]
+    return (
+        np.array([i for _, i in pairs], dtype=np.int64),
+        np.array([d for d, _ in pairs], dtype=np.float64),
+    )
+
+
+def reference_candidate_merge(confirmed_ids, confirmed_ub, shard_ids,
+                              shard_dists, k):
+    """Replays the refinement heap: entries ``(-d, id)``, evict smallest."""
+    heap: list[tuple] = []
+    entries = [
+        (float(d), int(i), False)
+        for i, d in zip(confirmed_ids, confirmed_ub)
+    ] + [
+        (float(d), int(i), True)
+        for ids, dists in zip(shard_ids, shard_dists)
+        for i, d in zip(ids, dists)
+    ]
+    for dist, point_id, exact in entries:
+        heapq.heappush(heap, (-dist, point_id, exact))
+        if len(heap) > k:
+            heapq.heappop(heap)
+    final = sorted((-negd, i, exact) for negd, i, exact in heap)
+    ids = np.array([i for _, i, _ in final], dtype=np.int64)
+    dists = np.array([d for d, _, _ in final], dtype=np.float64)
+    exact = np.array([e for _, _, e in final], dtype=bool)
+    return ids, dists, exact
+
+
+# ----------------------------------------------------------------------
+# Tree-rule merge (d asc, id asc)
+# ----------------------------------------------------------------------
+def test_merge_topk_equals_global_topk(shard_merge_cases) -> None:
+    for ids, dists, k in shard_merge_cases(seed=101, n_cases=200):
+        got_ids, got_dists = merge_topk(ids, dists, k)
+        want_ids, want_dists = reference_topk(ids, dists, k)
+        assert np.array_equal(got_ids, want_ids), (ids, dists, k)
+        assert np.array_equal(got_dists, want_dists)
+
+
+def test_merge_topk_of_pretruncated_shards(shard_merge_cases) -> None:
+    """Each shard may send only its own top-k; the merge is unchanged."""
+    for ids, dists, k in shard_merge_cases(seed=102, n_cases=200):
+        truncated_ids, truncated_dists = [], []
+        for shard_ids, shard_dists in zip(ids, dists):
+            local_ids, local_dists = merge_topk(
+                [shard_ids], [shard_dists], k
+            )
+            truncated_ids.append(local_ids)
+            truncated_dists.append(local_dists)
+        got = merge_topk(truncated_ids, truncated_dists, k)
+        want = merge_topk(ids, dists, k)
+        assert np.array_equal(got[0], want[0])
+        assert np.array_equal(got[1], want[1])
+
+
+def test_merge_topk_planted_tie_prefers_smaller_id() -> None:
+    ids = [np.array([7, 3]), np.array([5])]
+    dists = [np.array([1.0, 2.0]), np.array([1.0])]
+    got_ids, got_dists = merge_topk(ids, dists, 2)
+    assert got_ids.tolist() == [5, 7]
+    assert got_dists.tolist() == [1.0, 1.0]
+
+
+def test_merge_topk_k_exceeds_every_shard(shard_merge_cases) -> None:
+    for ids, dists, k in shard_merge_cases(
+        seed=103, n_cases=100, tiny_shards=True
+    ):
+        total = sum(len(a) for a in ids)
+        big_k = total + 5
+        got_ids, got_dists = merge_topk(ids, dists, big_k)
+        assert len(got_ids) == total  # no padding, no truncation
+        want_ids, _ = reference_topk(ids, dists, big_k)
+        assert np.array_equal(got_ids, want_ids)
+
+
+def test_merge_tree_results_is_topk_merge(shard_merge_cases) -> None:
+    for ids, dists, k in shard_merge_cases(seed=104, n_cases=50):
+        a = merge_tree_results(ids, dists, k)
+        b = merge_topk(ids, dists, k)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+
+def test_merge_topk_rejects_bad_k() -> None:
+    with pytest.raises(ValueError):
+        merge_topk([np.array([1])], [np.array([1.0])], 0)
+
+
+# ----------------------------------------------------------------------
+# Candidate-rule merge (heap eviction semantics)
+# ----------------------------------------------------------------------
+def test_candidate_merge_matches_heap_reference(shard_merge_cases) -> None:
+    rng = np.random.default_rng(105)
+    for ids, dists, k in shard_merge_cases(seed=106, n_cases=200):
+        # Peel off a random prefix of shard 0 as the "confirmed" set.
+        n_confirmed = int(rng.integers(0, len(ids[0]) + 1))
+        confirmed_ids = ids[0][:n_confirmed]
+        confirmed_ub = dists[0][:n_confirmed]
+        shard_ids = [ids[0][n_confirmed:], *ids[1:]]
+        shard_dists = [dists[0][n_confirmed:], *dists[1:]]
+        got = merge_candidate_results(
+            confirmed_ids, confirmed_ub, shard_ids, shard_dists, k
+        )
+        want = reference_candidate_merge(
+            confirmed_ids, confirmed_ub, shard_ids, shard_dists, k
+        )
+        case = f"seed=106 k={k} confirmed={confirmed_ids}"
+        assert np.array_equal(got[0], want[0]), case
+        assert np.array_equal(got[1], want[1]), case
+        assert np.array_equal(got[2], want[2]), case
+
+
+def test_candidate_merge_boundary_tie_keeps_larger_id() -> None:
+    """Heap eviction pops the smallest (-d, id) tuple: among entries
+    tied at the cut-off distance the *larger* id survives."""
+    got_ids, got_dists, _ = merge_candidate_results(
+        np.empty(0, dtype=np.int64),
+        np.empty(0),
+        [np.array([2, 9]), np.array([4])],
+        [np.array([5.0, 5.0]), np.array([5.0])],
+        2,
+    )
+    assert got_ids.tolist() == [4, 9]  # id 2 evicted, presentation id-asc
+    assert got_dists.tolist() == [5.0, 5.0]
+
+
+def test_candidate_merge_confirmed_sorts_before_exact_on_full_tie() -> None:
+    """Presentation order is (distance, id, exact): a confirmed entry
+    (exact=False) precedes an exact one only via distance/id, never by
+    provenance alone unless distance and id pattern allows it."""
+    got_ids, _, got_exact = merge_candidate_results(
+        np.array([3]),
+        np.array([1.0]),
+        [np.array([1, 8])],
+        [np.array([1.0, 2.0])],
+        3,
+    )
+    assert got_ids.tolist() == [1, 3, 8]
+    assert got_exact.tolist() == [True, False, True]
