@@ -59,12 +59,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default="table",
                         help="printed metrics format: human table or "
                              "Prometheus text exposition")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject seeded disk faults during refinement, "
+                             "e.g. 'rate=0.05,corrupt_rate=0.01,seed=7' "
+                             "(see repro.faults.parse_fault_spec)")
+    parser.add_argument("--deadline-ms", type=float, default=0.0,
+                        metavar="MS",
+                        help="per-query time budget; an expired budget "
+                             "degrades to a cache-only answer")
+    parser.add_argument("--degraded", action="store_true",
+                        help="answer from cached bounds instead of failing "
+                             "when retries/deadline are exhausted (implied "
+                             "by --faults/--deadline-ms; with --shards also "
+                             "merges partial results from surviving shards)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="bounded retries per faulted refinement read "
+                             "(with --faults)")
 
 
 def _resolve_cache(args, dataset) -> int:
     if args.cache_kb > 0:
         return args.cache_kb * 1024
     return int(dataset.file_bytes * 0.3)
+
+
+def _fault_config(args):
+    """``(FaultSpec | None, ResiliencePolicy | None)`` from the flags.
+
+    A policy is built whenever any fault/deadline/degraded flag is set;
+    ``--faults`` and ``--deadline-ms`` imply degraded answers (otherwise
+    an unmasked fault would abort the whole run).
+    """
+    faults = getattr(args, "faults", None)
+    deadline_ms = getattr(args, "deadline_ms", 0.0)
+    degraded = getattr(args, "degraded", False)
+    if faults is None and deadline_ms <= 0 and not degraded:
+        return None, None
+    from repro.faults import ResiliencePolicy, RetryPolicy, parse_fault_spec
+
+    spec = parse_fault_spec(faults) if faults else None
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_retries=max(0, args.retries)),
+        deadline_s=deadline_ms / 1e3 if deadline_ms > 0 else None,
+        degraded=True,
+    )
+    return spec, policy
 
 
 def _metrics_registry(args) -> MetricsRegistry | None:
@@ -127,6 +166,7 @@ def _run_sharded_experiment(args, dataset, context) -> int:
     from repro.storage.disk import DiskConfig
 
     want_metrics = args.metrics or args.metrics_out
+    fault_spec, policy = _fault_config(args)
     try:
         specs = specs_from_method(
             dataset, context, method=args.method, tau=args.tau,
@@ -134,15 +174,19 @@ def _run_sharded_experiment(args, dataset, context) -> int:
             n_shards=args.shards, index_name=args.index,
             partition=args.partition, seed=args.seed,
             metrics=want_metrics,
+            faults=fault_spec, resilience=policy,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    with ShardedEngine(specs, executor=args.executor) as engine:
-        stats = [
-            r.stats
-            for r in engine.search_many(dataset.query_log.test, args.k)
-        ]
+    engine_kwargs = {}
+    if policy is not None:
+        engine_kwargs["degraded"] = True
+        engine_kwargs["deadline_s"] = policy.deadline_s
+    with ShardedEngine(specs, executor=args.executor, **engine_kwargs) as engine:
+        results = engine.search_many(dataset.query_log.test, args.k)
+        stats = [r.stats for r in results]
+        degraded = sum(1 for r in results if not r.outcome.complete)
         merged = engine.merged_metrics() if want_metrics else None
     disk = DiskConfig()
     result = summarize(
@@ -156,6 +200,9 @@ def _run_sharded_experiment(args, dataset, context) -> int:
         f"({args.shards} shards, {args.executor})"
     )
     print(format_table(_RESULT_HEADERS, _result_rows([result]), title=title))
+    if degraded:
+        print(f"degraded answers: {degraded}/{len(stats)} queries "
+              "(cache-only, incomplete)")
     if merged is not None:
         _emit_metrics(args, merged, merged.snapshot())
     return 0
@@ -170,14 +217,19 @@ def cmd_experiment(args) -> int:
     if args.shards > 0:
         return _run_sharded_experiment(args, dataset, context)
     registry = _metrics_registry(args)
+    fault_spec, policy = _fault_config(args)
     result = Experiment(
         dataset, method=args.method, k=args.k, tau=args.tau,
         cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
         seed=args.seed, batched=args.batched,
         metrics=registry if registry is not None else False,
+        faults=fault_spec, resilience=policy,
     ).run(context=context)
     print(format_table(_RESULT_HEADERS, _result_rows([result]),
                        title=f"{args.dataset} / {args.method}"))
+    if result.degraded_queries:
+        print(f"degraded answers: {result.degraded_queries}"
+              f"/{result.num_queries} queries (cache-only, incomplete)")
     if registry is not None:
         _emit_metrics(args, registry, result.metrics)
     return 0
@@ -191,6 +243,7 @@ def cmd_compare(args) -> int:
     )
     cache_bytes = _resolve_cache(args, dataset)
     want_metrics = args.metrics or args.metrics_out
+    fault_spec, policy = _fault_config(args)
     results = []
     registries: dict[str, MetricsRegistry] = {}
     for method in args.methods:
@@ -204,6 +257,7 @@ def cmd_compare(args) -> int:
                 cache_bytes=cache_bytes, index_name=args.index, seed=args.seed,
                 batched=args.batched,
                 metrics=registries.get(method, False),
+                faults=fault_spec, resilience=policy,
             ).run(context=context)
         )
     print(format_table(

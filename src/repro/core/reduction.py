@@ -30,7 +30,12 @@ class ReductionOutcome:
             lower bounds (sorted ascending by bound for the multi-step
             phase).
         remaining_lb: lower bounds aligned with ``remaining_ids``.
+        remaining_ub: upper bounds aligned with ``remaining_ids`` (``inf``
+            on cache misses); together with ``remaining_lb`` these are the
+            error certificate of a degraded (cache-only) answer.
         confirmed_ids: candidates detected as true results (no I/O needed).
+        confirmed_lb: their lower bounds (``confirmed_ub - confirmed_lb``
+            bounds the reported-distance error of a confirmed result).
         confirmed_ub: their upper bounds (used as conservative distance
             estimates by the refinement threshold).
         pruned_ids: candidates eliminated by early pruning.
@@ -40,7 +45,9 @@ class ReductionOutcome:
 
     remaining_ids: np.ndarray
     remaining_lb: np.ndarray
+    remaining_ub: np.ndarray
     confirmed_ids: np.ndarray
+    confirmed_lb: np.ndarray
     confirmed_ub: np.ndarray
     pruned_ids: np.ndarray
     lb_k: float
@@ -109,7 +116,9 @@ def reduce_candidates(
     return ReductionOutcome(
         remaining_ids=candidate_ids[remaining][order],
         remaining_lb=lower_bounds[remaining][order],
+        remaining_ub=upper_bounds[remaining][order],
         confirmed_ids=candidate_ids[confirmed],
+        confirmed_lb=lower_bounds[confirmed],
         confirmed_ub=upper_bounds[confirmed],
         pruned_ids=candidate_ids[pruned],
         lb_k=lb_k,

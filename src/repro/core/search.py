@@ -47,6 +47,10 @@ class CachedKNNSearch:
             little to prune, with many hits the bounds are tight already.
         metrics: optional ``MetricsRegistry`` aggregating phase timings
             and per-query stats (see ``repro.obs``); observational only.
+        resilience: optional ``repro.faults.ResiliencePolicy`` — bounded
+            retries, circuit breaker and deadline budget around the
+            refinement I/O, with cache-only degraded answers when the
+            budget is exhausted.
     """
 
     def __init__(
@@ -56,6 +60,7 @@ class CachedKNNSearch:
         cache: PointCache,
         eager_miss_fetch: bool = False,
         metrics=None,
+        resilience=None,
     ) -> None:
         # Imported here, not at module level: ``repro.core`` is imported
         # by the engine's own dependencies, so a module-level import of
@@ -70,7 +75,7 @@ class CachedKNNSearch:
         self.metrics = metrics
         self.engine = QueryEngine.for_index(
             index, point_file, cache, eager_miss_fetch=eager_miss_fetch,
-            metrics=metrics,
+            metrics=metrics, resilience=resilience,
         )
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:

@@ -30,7 +30,11 @@ from repro.core.cache import CachePolicy, LeafNodeCache, NoCache, PointCache
 from repro.engine.context import ExecutionContext, PhaseHook
 from repro.engine.phases import GeneratePhase, ReducePhase, RefinePhase
 from repro.engine.sources import TreeLeafSource, as_source
-from repro.engine.stats import QueryStats, SearchResult
+from repro.engine.stats import COMPLETE, QueryStats, SearchResult
+from repro.faults.deadline import Deadline
+from repro.faults.degrade import degraded_answer
+from repro.faults.errors import DEGRADABLE_ERRORS, fault_reason
+from repro.faults.policy import ResiliencePolicy
 from repro.storage.pointfile import PointFile
 
 
@@ -56,6 +60,14 @@ class QueryEngine:
             ``Trefine`` page reads and every query's ``QueryStats`` into
             the registry.  Purely observational: results and I/O counts
             are unchanged.
+        resilience: optional :class:`~repro.faults.ResiliencePolicy`.
+            When given, refinement I/O runs under breaker gating and
+            bounded retries, per-query deadlines are enforced at phase
+            boundaries, and (with ``policy.degraded``) breaker-open /
+            deadline-expired / retry-exhausted queries return a
+            cache-only answer with ``outcome.complete == False`` instead
+            of raising.  Tree sources keep their exact semantics — the
+            policy only protects the candidate-set refinement path.
     """
 
     def __init__(
@@ -66,12 +78,16 @@ class QueryEngine:
         eager_miss_fetch: bool = False,
         hooks: Sequence[PhaseHook] = (),
         metrics=None,
+        resilience: ResiliencePolicy | None = None,
     ) -> None:
         self.source = as_source(source)
         self.point_file = point_file
         self.cache = cache if cache is not None else NoCache()
         self.eager_miss_fetch = eager_miss_fetch
         self.metrics = metrics
+        self.resilience = (
+            resilience.build(registry=metrics) if resilience is not None else None
+        )
         self._metrics_hook = None
         if metrics is not None:
             # Local import: repro.obs.hooks imports the engine package,
@@ -100,6 +116,7 @@ class QueryEngine:
         eager_miss_fetch: bool = False,
         hooks: Sequence[PhaseHook] = (),
         metrics=None,
+        resilience: ResiliencePolicy | None = None,
     ) -> "QueryEngine":
         """Engine over a candidate-set index (LSH, VA-file, linear scan)."""
         return cls(
@@ -109,6 +126,7 @@ class QueryEngine:
             eager_miss_fetch=eager_miss_fetch,
             hooks=hooks,
             metrics=metrics,
+            resilience=resilience,
         )
 
     @classmethod
@@ -131,10 +149,28 @@ class QueryEngine:
         """A fresh per-query context carrying this engine's hooks."""
         return ExecutionContext(hooks=self.hooks)
 
+    def _make_deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """Resolve the effective deadline: explicit > policy default > none."""
+        if deadline is not None:
+            return deadline
+        if self.resilience is not None and self.resilience.policy.deadline_s is not None:
+            return self.resilience.deadline()
+        return None
+
     def search(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext | None = None,
+        deadline: Deadline | None = None,
     ) -> SearchResult:
-        """Answer one kNN query; results match the index's uncached answer."""
+        """Answer one kNN query; results match the index's uncached answer.
+
+        Args:
+            deadline: optional per-query budget; overrides the resilience
+                policy's default.  When it expires (and the policy allows
+                degradation) the answer comes from cached bounds alone.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
         query = np.asarray(query, dtype=np.float64)
@@ -143,14 +179,19 @@ class QueryEngine:
             result = self.source.search(query, k, ctx)
             self._observe(result.stats)
             return result
+        deadline = self._make_deadline(deadline)
         with ctx.phase("generate"):
             candidate_ids = self.generate.run(query, k, ctx)
         if candidate_ids.size == 0:
             return self._empty_result(ctx)
-        return self._reduce_and_refine(query, candidate_ids, k, ctx, None)
+        return self._reduce_and_refine(query, candidate_ids, k, ctx, None, deadline)
 
     def search_many(
-        self, queries: np.ndarray, k: int, chunk_size: int = 256
+        self,
+        queries: np.ndarray,
+        k: int,
+        chunk_size: int = 256,
+        deadline: Deadline | None = None,
     ) -> list[SearchResult]:
         """Answer a query batch; the cache is probed once per chunk.
 
@@ -163,6 +204,10 @@ class QueryEngine:
         Args:
             chunk_size: queries per batched cache probe; bounds the
                 ``(chunk, |union of candidates|)`` bound matrices.
+            deadline: optional *per-batch* budget shared by every query
+                in the batch (late queries degrade once it expires).
+                Without one, the resilience policy's per-query default
+                applies to each query independently.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -172,13 +217,17 @@ class QueryEngine:
         if len(queries) == 0:
             return []
         if self.source.is_tree or not self._batchable_cache():
-            return [self.search(query, k) for query in queries]
+            return [self.search(query, k, deadline=deadline) for query in queries]
         results: list[SearchResult] = []
         for start in range(0, len(queries), chunk_size):
-            results.extend(self._search_chunk(queries[start : start + chunk_size], k))
+            results.extend(
+                self._search_chunk(queries[start : start + chunk_size], k, deadline)
+            )
         return results
 
-    def _search_chunk(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+    def _search_chunk(
+        self, queries: np.ndarray, k: int, deadline: Deadline | None = None
+    ) -> list[SearchResult]:
         contexts = [self.make_context() for _ in range(len(queries))]
         candidate_sets: list[np.ndarray] = []
         for query, ctx in zip(queries, contexts):
@@ -222,7 +271,9 @@ class QueryEngine:
                 ub_matrix[i, positions],
             )
             results.append(
-                self._reduce_and_refine(query, candidate_ids, k, ctx, bounds)
+                self._reduce_and_refine(
+                    query, candidate_ids, k, ctx, bounds, self._make_deadline(deadline)
+                )
             )
         return results
 
@@ -231,6 +282,45 @@ class QueryEngine:
         """Static caches answer a batch probe without observable mutation."""
         return getattr(self.cache, "policy", None) is not CachePolicy.LRU
 
+    def _protected_fetcher(self, deadline: Deadline | None):
+        """The point-fetch callable the refine/eager paths must use.
+
+        Without resilience it is the raw ``PointFile.fetch``.  With it,
+        each point is fetched under breaker gating + bounded retries,
+        with the deadline checked between points — a stalled device
+        cannot overrun the budget by more than one read.  Per-point
+        granularity keeps accounting exact under retries: a failed
+        point's ``point_fetches`` increment happens only on the
+        successful attempt, and page charges are deduplicated by the
+        query tracker.
+        """
+        runtime = self.resilience
+        if runtime is None and deadline is None:
+            return self.point_file.fetch
+        point_file = self.point_file
+
+        def fetch(point_ids, tracker=None):
+            ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
+            rows = []
+            for pid in ids.tolist():
+                if deadline is not None:
+                    deadline.check("refine")
+                one = np.asarray([pid])
+                if runtime is None:
+                    rows.append(point_file.fetch(one, tracker))
+                else:
+                    rows.append(
+                        runtime.protected_call(
+                            lambda one=one: point_file.fetch(one, tracker),
+                            deadline,
+                        )
+                    )
+            if rows:
+                return np.concatenate(rows, axis=0)
+            return point_file.points[:0]
+
+        return fetch
+
     def _reduce_and_refine(
         self,
         query: np.ndarray,
@@ -238,26 +328,53 @@ class QueryEngine:
         k: int,
         ctx: ExecutionContext,
         bounds,
+        deadline: Deadline | None = None,
     ) -> SearchResult:
-        with ctx.phase("reduce"):
-            outcome = self.reduce.run(query, candidate_ids, k, ctx, bounds=bounds)
-        with ctx.phase("refine"):
-            ids, distances, exact_mask, fetched = self.refine.run(
-                query, outcome, k, ctx
+        fetcher = self._protected_fetcher(deadline)
+        reduction = None
+        try:
+            with ctx.phase("reduce"):
+                if deadline is not None:
+                    deadline.check("reduce")
+                reduction = self.reduce.run(
+                    query, candidate_ids, k, ctx, bounds=bounds, fetcher=fetcher
+                )
+            with ctx.phase("refine"):
+                if deadline is not None:
+                    deadline.check("refine")
+                ids, distances, exact_mask, fetched = self.refine.run(
+                    query, reduction, k, ctx, fetcher=fetcher
+                )
+            query_outcome = COMPLETE
+        except DEGRADABLE_ERRORS as exc:
+            if self.resilience is None or not self.resilience.policy.degraded:
+                raise
+            # Answer from cached bounds alone.  If the fault struck
+            # before reduction finished (eager miss-fetch failure) there
+            # is nothing certified to report and the answer is empty.
+            reason = fault_reason(exc)
+            self.resilience.note_degraded(reason)
+            ids, distances, exact_mask, query_outcome = degraded_answer(
+                reduction, k, reason
             )
+            fetched = 0
         stats = QueryStats(
             num_candidates=len(candidate_ids),
-            cache_hits=outcome.num_hits,
-            pruned=len(outcome.pruned_ids),
-            confirmed=len(outcome.confirmed_ids),
-            c_refine=outcome.c_refine,
+            cache_hits=reduction.num_hits if reduction is not None else 0,
+            pruned=len(reduction.pruned_ids) if reduction is not None else 0,
+            confirmed=len(reduction.confirmed_ids) if reduction is not None else 0,
+            c_refine=reduction.c_refine if reduction is not None else 0,
             refined_fetches=fetched,
             refine_page_reads=ctx.refine_page_reads,
             gen_page_reads=ctx.gen_page_reads,
         )
         self._observe(stats)
         return SearchResult(
-            ids=ids, distances=distances, exact_mask=exact_mask, stats=stats
+            ids=ids,
+            distances=distances,
+            exact_mask=exact_mask,
+            stats=stats,
+            outcome=query_outcome,
         )
 
     def _empty_result(self, ctx: ExecutionContext) -> SearchResult:

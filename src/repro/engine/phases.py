@@ -71,12 +71,15 @@ class ReducePhase:
         k: int,
         ctx: ExecutionContext,
         bounds: CandidateBounds | None = None,
+        fetcher=None,
     ) -> ReductionOutcome:
         """Reduce one query's candidates.
 
         Args:
             bounds: precomputed ``(hit_mask, lb, ub)`` from a batched
                 cache probe; the per-query cache lookup is skipped.
+            fetcher: override for the eager miss-fetch I/O call (the
+                engine passes its resilience-protected fetcher here).
         """
         if bounds is None:
             hits, lb, ub = self.cache.lookup(query, candidate_ids)
@@ -86,8 +89,9 @@ class ReducePhase:
             # Eager fetches are charged to the refinement tracker: the
             # same pages are read by Phase 3 anyway, and sharing one
             # tracker guarantees no page is ever double-charged.
+            fetch = fetcher if fetcher is not None else self.point_file.fetch
             miss_ids = candidate_ids[~hits]
-            points = self.point_file.fetch(miss_ids, ctx.refine_tracker)
+            points = fetch(miss_ids, ctx.refine_tracker)
             dist = exact_distances(query, points)
             lb = lb.copy()
             ub = ub.copy()
@@ -110,11 +114,16 @@ class RefinePhase:
         outcome: ReductionOutcome,
         k: int,
         ctx: ExecutionContext,
+        fetcher=None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """Resolve the final top-k; returns (ids, distances, exact, fetched).
 
         Algorithm 1 line 14: when Phase 2 already confirmed k results,
         refinement is skipped entirely (``|R| >= k``).
+
+        Args:
+            fetcher: override for the point-fetch I/O call (the engine
+                passes its resilience-protected fetcher here).
         """
         if len(outcome.confirmed_ids) >= k:
             order = np.lexsort((outcome.confirmed_ids, outcome.confirmed_ub))[:k]
@@ -129,7 +138,7 @@ class RefinePhase:
             outcome.remaining_ids,
             outcome.remaining_lb,
             k,
-            fetcher=self.point_file.fetch,
+            fetcher=fetcher if fetcher is not None else self.point_file.fetch,
             confirmed_ids=outcome.confirmed_ids,
             confirmed_ubs=outcome.confirmed_ub,
             tracker=ctx.refine_tracker,

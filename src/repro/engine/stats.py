@@ -82,18 +82,58 @@ class QueryStats:
 
 
 @dataclass(frozen=True)
+class QueryOutcome:
+    """Completeness record of one answered query.
+
+    The common case is the :data:`COMPLETE` singleton.  When resilience
+    machinery degrades a query to a cache-only answer (breaker open,
+    deadline expired, I/O retries exhausted) or a sharded batch loses
+    workers, the outcome says so and carries the bound-derived quality
+    certificate.
+
+    Attributes:
+        complete: True when the answer is exactly what the fault-free
+            engine would have returned.
+        reason: why the answer is partial — ``"breaker_open"``,
+            ``"deadline"``, ``"io_failure"`` or ``"shard_failure"``
+            (None when complete).
+        max_bound_error: largest ``ub - lb`` gap over the reported
+            results; 0.0 for exact answers, ``inf`` when an uncached
+            candidate (no bounds at all) had to fill a slot.  This is the
+            paper's τ-bit rectangle machinery reused as an error
+            certificate: every reported distance ``d`` satisfies
+            ``true distance in [d - max_bound_error, d]``.
+        shards_failed / shards_total: sharded execution only — how many
+            shards contributed nothing to this answer.
+    """
+
+    complete: bool = True
+    reason: str | None = None
+    max_bound_error: float = 0.0
+    shards_failed: int = 0
+    shards_total: int = 0
+
+
+#: Shared outcome for the overwhelmingly common fault-free case.
+COMPLETE = QueryOutcome()
+
+
+@dataclass(frozen=True)
 class SearchResult:
     """kNN answer plus accounting.
 
     ``ids`` are the result identifiers (the paper returns ids only);
     ``distances`` hold exact distances except for Phase-2-confirmed results,
     where a guaranteed upper bound is reported (``exact_mask`` tells which).
+    ``outcome`` records completeness: degraded (cache-only) and
+    partial-shard answers carry ``outcome.complete == False``.
     """
 
     ids: np.ndarray
     distances: np.ndarray
     exact_mask: np.ndarray
     stats: QueryStats
+    outcome: QueryOutcome = COMPLETE
 
 
 def unify_tree_stats(tree_stats) -> QueryStats:

@@ -405,13 +405,16 @@ def build_caching_pipeline(
     seed: int = 0,
     context: WorkloadContext | None = None,
     metrics=None,
+    resilience=None,
 ) -> CachingPipeline:
     """One-call assembly of a complete cached-search configuration.
 
     Pass a pre-built ``context`` to reuse the index and workload scans
     across methods (recommended in benchmarks).  ``metrics`` is an
     optional ``MetricsRegistry`` (see ``repro.obs``) the engine will
-    aggregate phase timings and per-query stats into.
+    aggregate phase timings and per-query stats into.  ``resilience``
+    is an optional ``repro.faults.ResiliencePolicy`` guarding the
+    refinement I/O (retries, breaker, deadline, degraded answers).
     """
     if method not in METHOD_NAMES:
         raise ValueError(f"unknown method {method!r}; choices: {METHOD_NAMES}")
@@ -421,7 +424,8 @@ def build_caching_pipeline(
         )
     cache = make_cache(context, method, tau=tau, cache_bytes=cache_bytes, policy=policy)
     searcher = CachedKNNSearch(
-        context.index, context.point_file, cache, metrics=metrics
+        context.index, context.point_file, cache, metrics=metrics,
+        resilience=resilience,
     )
     return CachingPipeline(
         context=context, cache=cache, method=method, tau=tau, searcher=searcher

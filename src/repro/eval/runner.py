@@ -54,6 +54,10 @@ class ExperimentResult:
     #: JSON-able metrics snapshot (None unless run with ``metrics=True``):
     #: the registry dump plus an ``observed_vs_predicted`` drift entry.
     metrics: dict | None = field(repr=False, default=None)
+    #: Queries answered in degraded (cache-only) mode because a fault,
+    #: deadline or open breaker interrupted refinement (``outcome
+    #: .complete`` was False).  Zero on fault-free runs.
+    degraded_queries: int = 0
 
     @property
     def avg_io(self) -> float:
@@ -96,6 +100,14 @@ class Experiment:
     #: ``MetricsRegistry`` to accumulate across experiments, or ``True``
     #: for a fresh one.  The snapshot lands on ``result.metrics``.
     metrics: bool | MetricsRegistry = False
+    #: Optional ``repro.faults.FaultSpec``: inject seeded disk faults
+    #: (the data file's simulated disk is wrapped in a ``FaultyDisk``
+    #: for the duration of the run and restored afterwards).
+    faults: object | None = None
+    #: Optional ``repro.faults.ResiliencePolicy`` guarding refinement
+    #: I/O — retries, circuit breaker, per-query deadline and degraded
+    #: cache-only answers.  Required to mask injected faults.
+    resilience: object | None = None
 
     def run(
         self,
@@ -127,18 +139,24 @@ class Experiment:
             seed=self.seed,
             context=context,
             metrics=registry,
+            resilience=self.resilience,
         )
         if queries is None:
             if self.dataset.query_log is None:
                 raise ValueError("no queries given and dataset has no query log")
             queries = self.dataset.query_log.test
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        started = time.perf_counter()
-        if self.batched:
-            stats = [r.stats for r in pipeline.search_many(queries, self.k)]
-        else:
-            stats = [pipeline.search(query, self.k).stats for query in queries]
-        wall = time.perf_counter() - started
+        restore_disk = self._inject_faults(pipeline, registry)
+        try:
+            started = time.perf_counter()
+            if self.batched:
+                results = pipeline.search_many(queries, self.k)
+            else:
+                results = [pipeline.search(q, self.k) for q in queries]
+            wall = time.perf_counter() - started
+        finally:
+            restore_disk()
+        stats = [r.stats for r in results]
         result = summarize(
             stats,
             method=self.method,
@@ -150,11 +168,32 @@ class Experiment:
             wall_time_s=wall,
             keep_per_query=self.keep_per_query,
         )
+        degraded = sum(1 for r in results if not r.outcome.complete)
+        if degraded:
+            result = replace(result, degraded_queries=degraded)
         if registry is not None:
             result = replace(
                 result, metrics=self._finalize_metrics(registry, pipeline)
             )
         return result
+
+    def _inject_faults(self, pipeline, registry) -> callable:
+        """Wrap the data file's disk in a ``FaultyDisk`` for this run.
+
+        The point file is shared through the ``WorkloadContext`` across
+        experiments, so the wrapper must not leak: the returned callable
+        restores the original disk and is invoked in a ``finally``.
+        """
+        if self.faults is None or not self.faults.active:
+            return lambda: None
+        from repro.faults.disk import FaultyDisk
+
+        point_file = pipeline.context.point_file
+        original = point_file.disk
+        point_file.disk = FaultyDisk(original, self.faults, registry=registry)
+        def restore() -> None:
+            point_file.disk = original
+        return restore
 
     def _finalize_metrics(self, registry: MetricsRegistry, pipeline) -> dict:
         """Publish cache telemetry + drift view; return the snapshot."""

@@ -1,0 +1,57 @@
+"""Fault injection and resilience for the cached-search stack.
+
+The package has two halves:
+
+* **injection** — :class:`FaultSpec`/:class:`FaultPlan` (deterministic,
+  seedable schedules) and :class:`FaultyDisk` (a drop-in wrapper over
+  the simulated device), plus the global chaos mode of
+  :mod:`repro.faults.chaos`;
+* **resilience** — :class:`RetryPolicy`, :class:`CircuitBreaker`,
+  :class:`Deadline` and the :class:`ResiliencePolicy` bundle the engine
+  threads through refinement I/O, with cache-only degraded answers built
+  by :func:`degraded_answer` when the machinery gives up.
+"""
+
+from repro.faults.breaker import BreakerConfig, CircuitBreaker
+from repro.faults.deadline import Deadline
+from repro.faults.degrade import degraded_answer
+from repro.faults.disk import FaultyDisk
+from repro.faults.errors import (
+    DEGRADABLE_ERRORS,
+    CircuitOpenError,
+    CorruptPageError,
+    DeadlineExceeded,
+    TransientIOError,
+    fault_reason,
+    is_breaker_fault,
+    is_retryable,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_spec
+from repro.faults.policy import ResiliencePolicy, ResilienceRuntime
+from repro.faults.retry import RetryPolicy, RetryState, run_with_retries
+from repro.storage.disk import PageRangeError
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CorruptPageError",
+    "DEGRADABLE_ERRORS",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyDisk",
+    "PageRangeError",
+    "ResiliencePolicy",
+    "ResilienceRuntime",
+    "RetryPolicy",
+    "RetryState",
+    "TransientIOError",
+    "degraded_answer",
+    "fault_reason",
+    "is_breaker_fault",
+    "is_retryable",
+    "parse_fault_spec",
+    "run_with_retries",
+]

@@ -1,0 +1,123 @@
+"""Circuit breaker for the refinement I/O path.
+
+Classic three-state machine:
+
+* **closed** — reads flow; consecutive genuine device failures (after
+  retries are exhausted) are counted, and at ``failure_threshold`` the
+  breaker *opens*;
+* **open** — reads are refused instantly with
+  :class:`~repro.faults.errors.CircuitOpenError`; the engine answers
+  from cached bounds instead.  After ``reset_timeout_s`` of simulated
+  cool-down the next request transitions to half-open;
+* **half-open** — up to ``half_open_probes`` trial reads pass through;
+  one failure re-opens, ``half_open_probes`` successes close.
+
+Time is injectable (``clock``) so tests drive the cool-down without
+sleeping; a monotonic clock is the default.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.faults.errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding of states for the obs gauge.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Picklable breaker parameters."""
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 0.05
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """Mutable breaker runtime (one per engine I/O path)."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock=time.monotonic,
+        on_transition=None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = CLOSED
+        self._failures = 0
+        self._probes = 0
+        self._opened_at = 0.0
+        self.transitions: dict[str, int] = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        self.transitions[state] += 1
+        if state == OPEN:
+            self._opened_at = self._clock()
+        if state in (CLOSED, HALF_OPEN):
+            self._probes = 0
+        if state == CLOSED:
+            self._failures = 0
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    # ------------------------------------------------------------------
+    def allow(self) -> None:
+        """Gate one I/O operation; raises :class:`CircuitOpenError` if open."""
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.config.reset_timeout_s:
+                self._transition(HALF_OPEN)
+            else:
+                raise CircuitOpenError("refinement I/O circuit is open")
+        if self.state == HALF_OPEN and self._probes >= self.config.half_open_probes:
+            raise CircuitOpenError("half-open probe budget spent")
+        if self.state == HALF_OPEN:
+            self._probes += 1
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            if self._probes >= self.config.half_open_probes:
+                self._transition(CLOSED)
+        else:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """Count one genuine device failure (retries already exhausted)."""
+        if self.state == HALF_OPEN:
+            self._transition(OPEN)
+            return
+        self._failures += 1
+        if self._failures >= self.config.failure_threshold:
+            self._transition(OPEN)
+
+    def force_open(self) -> None:
+        """Open the breaker and hold it open (tests, ops override).
+
+        The cool-down origin is pinned at +inf so :meth:`allow` keeps
+        refusing until :meth:`reset` is called explicitly.
+        """
+        self._transition(OPEN)
+        self._opened_at = float("inf")
+
+    def reset(self) -> None:
+        self._transition(CLOSED)
+        self._failures = 0

@@ -1,0 +1,105 @@
+"""Global chaos mode: every simulated disk misbehaves, nobody notices.
+
+Setting ``REPRO_CHAOS=1`` (or a fault-spec string such as
+``REPRO_CHAOS="rate=0.05,seed=7"``) makes *every*
+:class:`~repro.storage.disk.SimulatedDisk` consult one shared, seeded
+:class:`~repro.faults.plan.FaultPlan` before charging each read.  The
+injected faults are masked here by an internal bounded retry — callers
+always see a successful read — so the entire tier-1 suite runs unchanged
+under live fault injection: any behavioral difference is a real bug in
+the accounting or retry invariants, not an expected failure.
+
+``REPRO_CHAOS_OUT=/path/metrics.json`` additionally dumps the
+injection/masking counters at interpreter exit (the CI chaos job uploads
+this file as its artifact).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_spec
+from repro.storage.disk import CHAOS_ENV
+
+#: Default schedule when ``REPRO_CHAOS`` is set to a bare truthy value:
+#: low-rate transient + corruption faults, no sleeps (keeps tests fast).
+DEFAULT_CHAOS_SPEC = FaultSpec(
+    seed=1234, transient_rate=0.02, corrupt_rate=0.01, max_consecutive=2
+)
+
+OUT_ENV = "REPRO_CHAOS_OUT"
+
+_lock = threading.Lock()
+_monitor: "ChaosMonitor | None" = None
+
+
+class ChaosMonitor:
+    """Shared fault plan with self-masking bounded retries."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.masked = 0
+        self._lock = threading.Lock()
+
+    def attempt(self, page_id: int) -> None:
+        """Consult the plan; mask (and count) any injected error.
+
+        The plan caps consecutive injections at ``max_consecutive``, so
+        the retry loop is bounded; the hard ceiling is a backstop.
+        """
+        with self._lock:
+            for _ in range(self.plan.spec.max_consecutive + 2):
+                try:
+                    self.plan.on_read(page_id)
+                    return
+                except OSError:
+                    self.masked += 1
+            raise RuntimeError(
+                "chaos plan exceeded its consecutive-injection cap"
+            )
+
+    def snapshot(self) -> dict:
+        return {
+            "attempts": self.plan.attempts,
+            "injected": dict(self.plan.counters),
+            "masked_by_internal_retry": self.masked,
+            "spec": {
+                "seed": self.plan.spec.seed,
+                "transient_rate": self.plan.spec.transient_rate,
+                "corrupt_rate": self.plan.spec.corrupt_rate,
+                "max_consecutive": self.plan.spec.max_consecutive,
+            },
+        }
+
+
+def _dump(monitor: ChaosMonitor, path: str) -> None:
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(monitor.snapshot(), fh, indent=2, sort_keys=True)
+    except OSError:
+        pass  # metrics dump is best-effort; never fail the run for it
+
+
+def chaos_from_env() -> ChaosMonitor:
+    """The process-wide chaos monitor (created on first use).
+
+    All disks share one monitor so the dumped counters describe the whole
+    run.  The spec comes from ``REPRO_CHAOS``: a ``key=value`` string is
+    parsed with :func:`~repro.faults.plan.parse_fault_spec`; any other
+    truthy value selects :data:`DEFAULT_CHAOS_SPEC`.
+    """
+    global _monitor
+    with _lock:
+        if _monitor is None:
+            raw = os.environ.get(CHAOS_ENV, "")
+            spec = DEFAULT_CHAOS_SPEC
+            if raw and "=" in raw:
+                spec = parse_fault_spec(raw)
+            _monitor = ChaosMonitor(spec.build())
+            out = os.environ.get(OUT_ENV)
+            if out:
+                atexit.register(_dump, _monitor, out)
+        return _monitor

@@ -1,0 +1,94 @@
+"""Cache-only degraded answers with bound-derived quality certificates.
+
+When the breaker opens, a deadline expires, or retries are exhausted,
+the engine already holds everything Phase 2 computed from the τ-bit
+cached codes: per-candidate ``[lb, ub]`` rectangles, the Phase-2
+confirmed true results, and the pruning verdicts.  That is enough to
+answer without touching disk:
+
+* **confirmed** candidates (``ub <= lb_k``) are certified members of a
+  valid top-k set — they fill the first slots, smallest upper bound
+  first;
+* the rest of the slots are filled from the **remaining** (unpruned,
+  unconfirmed) candidates, cache hits first, ordered by lower bound —
+  the best available estimate of true proximity;
+* cache **misses** (``lb = 0``, ``ub = inf``) fill only as a last
+  resort and force the error certificate to ``inf``.
+
+The certificate is the same M1/M2/M3 rectangle machinery reused for
+error reporting: each reported distance is the candidate's upper bound,
+so the true distance lies within ``max_bound_error`` below it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid the faults -> core -> engine -> faults cycle
+    from repro.core.reduction import ReductionOutcome
+    from repro.engine.stats import QueryOutcome
+
+#: Placeholder distance for slots filled by uncached candidates.
+_INF = float("inf")
+
+
+def degraded_answer(
+    reduction: ReductionOutcome | None,
+    k: int,
+    reason: str,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, QueryOutcome]:
+    """Build a cache-only answer from Phase-2 bounds.
+
+    Args:
+        reduction: the Phase-2 outcome, or None when the fault struck
+            before reduction finished (the answer is then empty).
+        k: result size.
+        reason: degradation label for the outcome (``"breaker_open"``,
+            ``"deadline"``, ``"io_failure"``).
+
+    Returns:
+        ``(ids, distances, exact_mask, outcome)`` shaped like the refine
+        phase's output; ``distances`` are guaranteed upper bounds
+        (``inf`` for uncached slots) and ``exact_mask`` marks slots whose
+        bounds coincide (exact-cache hits: ``lb == ub``).
+    """
+    from repro.engine.stats import QueryOutcome
+
+    if reduction is None:
+        empty = np.empty(0)
+        outcome = QueryOutcome(
+            complete=False, reason=reason, max_bound_error=_INF
+        )
+        return empty.astype(np.int64), empty, empty.astype(bool), outcome
+
+    order = np.lexsort((reduction.confirmed_ids, reduction.confirmed_ub))[:k]
+    ids = [reduction.confirmed_ids[order]]
+    lbs = [reduction.confirmed_lb[order]]
+    ubs = [reduction.confirmed_ub[order]]
+    slots_left = k - len(order)
+    if slots_left > 0 and len(reduction.remaining_ids):
+        rem_lb = reduction.remaining_lb
+        rem_ub = reduction.remaining_ub
+        miss = ~np.isfinite(rem_ub)
+        # Hits first (their bounds are informative), by lower bound, then
+        # upper bound, then id for determinism.
+        pick = np.lexsort((reduction.remaining_ids, rem_ub, rem_lb, miss))
+        pick = pick[:slots_left]
+        ids.append(reduction.remaining_ids[pick])
+        lbs.append(rem_lb[pick])
+        ubs.append(rem_ub[pick])
+    out_ids = np.concatenate(ids).astype(np.int64)
+    out_lb = np.concatenate(lbs)
+    out_ub = np.concatenate(ubs)
+    exact_mask = np.isfinite(out_ub) & (out_lb == out_ub)
+    if out_ids.size:
+        gaps = out_ub - out_lb
+        max_error = float(np.max(np.where(np.isfinite(out_ub), gaps, _INF)))
+    else:
+        max_error = _INF
+    outcome = QueryOutcome(
+        complete=False, reason=reason, max_bound_error=max_error
+    )
+    return out_ids, out_ub, exact_mask, outcome

@@ -1,0 +1,237 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultSpec` is a frozen, picklable recipe — it travels inside
+:class:`~repro.shard.spec.ShardSpec` so process workers reconstruct the
+*same* schedule the coordinator would.  A :class:`FaultPlan` is the
+runtime built from it: one per disk, consulted before every read.
+
+Two trigger families, combinable:
+
+* **periodic** (``transient_period``) — every N-th read attempt fails;
+  exactly reproducible independent of RNG, the backbone of the
+  differential tests (with period >= 2, one bounded retry always masks
+  the fault, so results stay bit-identical to the fault-free run);
+* **stochastic** (``transient_rate`` / ``corrupt_rate`` / rates for
+  latency and stalls) — i.i.d. per attempt from a seeded generator;
+  ``max_consecutive`` caps how many errors may hit back-to-back so a
+  retry budget of ``max_consecutive`` attempts provably masks them.
+
+Per-page triggers (``fail_pages``) poison specific pages: their first
+``max_consecutive`` read attempts fail, then the page heals — modeling a
+bad sector that a reissued read recovers.  ``new_epoch`` re-arms them
+(per-query or per-epoch schedules are the caller's loop around it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.errors import CorruptPageError, TransientIOError
+
+#: Injection kinds reported in ``FaultPlan.counters`` and metrics labels.
+FAULT_KINDS = ("transient", "corrupt", "latency", "stall")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Picklable recipe of a fault schedule.
+
+    Attributes:
+        seed: generator seed for the stochastic triggers.
+        transient_period: every N-th read attempt raises a
+            :class:`TransientIOError` (0 = off).  Deterministic; the
+            attempt counter includes retries, so with period >= 2 a
+            single retry always lands on a healthy attempt.
+        transient_rate: per-attempt probability of a transient error.
+        corrupt_rate: per-attempt probability of detectable corruption
+            (:class:`CorruptPageError`; the reissued read succeeds).
+        latency_rate / latency_s: probability and duration of a latency
+            spike (the read succeeds after sleeping ``latency_s``).
+        stall_period / stall_s: every N-th attempt *stalls* for
+            ``stall_s`` before succeeding — the "stuck read" shape that
+            deadline budgets are designed to catch (0 = off).
+        fail_pages: page ids whose first ``max_consecutive`` attempts
+            fail transiently each epoch (bad sectors).
+        max_consecutive: hard cap on back-to-back injected errors; a
+            retry budget of this many extra attempts masks every
+            transient/corrupt injection.
+    """
+
+    seed: int = 0
+    transient_period: int = 0
+    transient_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.0
+    stall_period: int = 0
+    stall_s: float = 0.0
+    fail_pages: tuple = ()
+    max_consecutive: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "corrupt_rate", "latency_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.transient_period < 0 or self.stall_period < 0:
+            raise ValueError("periods must be non-negative")
+        if self.latency_s < 0 or self.stall_s < 0:
+            raise ValueError("durations must be non-negative")
+        if self.max_consecutive < 1:
+            raise ValueError("max_consecutive must be at least 1")
+        object.__setattr__(self, "fail_pages", tuple(self.fail_pages))
+
+    @property
+    def active(self) -> bool:
+        """True when any trigger can fire."""
+        return bool(
+            self.transient_period
+            or self.transient_rate
+            or self.corrupt_rate
+            or (self.latency_rate and self.latency_s)
+            or (self.stall_period and self.stall_s)
+            or self.fail_pages
+        )
+
+    def build(self) -> "FaultPlan":
+        return FaultPlan(self)
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI shorthand ``key=value[,key=value...]``.
+
+    Example: ``--faults "period=3,corrupt_rate=0.01,seed=7"``.  Key
+    aliases: ``period`` -> ``transient_period``, ``rate`` ->
+    ``transient_rate``.
+    """
+    aliases = {"period": "transient_period", "rate": "transient_rate"}
+    int_fields = {
+        "seed", "transient_period", "stall_period", "max_consecutive"
+    }
+    valid = {f.name for f in dataclasses.fields(FaultSpec)}
+    kwargs: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"bad fault spec entry {part!r} (want key=value)")
+        key, value = part.split("=", 1)
+        key = aliases.get(key.strip(), key.strip())
+        if key not in valid:
+            raise ValueError(
+                f"unknown fault spec key {key!r}; valid keys: "
+                f"{', '.join(sorted(valid | set(aliases)))}"
+            )
+        if key == "fail_pages":
+            kwargs[key] = tuple(int(v) for v in value.split("+") if v)
+        elif key in int_fields:
+            kwargs[key] = int(value)
+        else:
+            kwargs[key] = float(value)
+    return FaultSpec(**kwargs)
+
+
+@dataclass
+class _PageState:
+    """Remaining injections for a poisoned page in the current epoch."""
+
+    remaining: int
+
+
+class FaultPlan:
+    """Runtime schedule: consulted once per read attempt.
+
+    Deterministic: the decision sequence is a pure function of the spec
+    and the order of :meth:`on_read` calls (each enabled stochastic
+    trigger draws exactly once per attempt, whether or not it fires, so
+    outcomes never desynchronize the stream).
+    """
+
+    def __init__(self, spec: FaultSpec, sleep=time.sleep) -> None:
+        self.spec = spec
+        self._sleep = sleep
+        self._rng = np.random.default_rng(spec.seed)
+        self.attempts = 0
+        self._consecutive = 0
+        self.counters: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._pages: dict[int, _PageState] = {}
+        self.new_epoch()
+
+    # ------------------------------------------------------------------
+    def new_epoch(self) -> None:
+        """Re-arm the per-page (bad sector) triggers."""
+        self._pages = {
+            int(page): _PageState(self.spec.max_consecutive)
+            for page in self.spec.fail_pages
+        }
+
+    @property
+    def injected(self) -> int:
+        """Total injected events of every kind."""
+        return sum(self.counters.values())
+
+    def _record(self, kind: str) -> None:
+        self.counters[kind] += 1
+
+    # ------------------------------------------------------------------
+    def on_read(self, page_id: int) -> None:
+        """Consult the schedule for one read attempt of ``page_id``.
+
+        Sleeps for latency/stall injections; raises
+        :class:`TransientIOError` / :class:`CorruptPageError` for error
+        injections.  Called *before* the read is charged, so a retried
+        read is accounted exactly once — the invariant behind the
+        bit-identical differential guarantee.
+        """
+        spec = self.spec
+        self.attempts += 1
+        # Fixed draw order keeps the random stream aligned across runs.
+        transient_draw = (
+            self._rng.random() if spec.transient_rate > 0 else 1.0
+        )
+        corrupt_draw = self._rng.random() if spec.corrupt_rate > 0 else 1.0
+        latency_draw = self._rng.random() if spec.latency_rate > 0 else 1.0
+
+        if spec.stall_period and self.attempts % spec.stall_period == 0:
+            self._record("stall")
+            if spec.stall_s > 0:
+                self._sleep(spec.stall_s)
+        elif latency_draw < spec.latency_rate and spec.latency_s > 0:
+            self._record("latency")
+            self._sleep(spec.latency_s)
+
+        error: Exception | None = None
+        page = self._pages.get(int(page_id))
+        if page is not None and page.remaining > 0:
+            page.remaining -= 1
+            error = TransientIOError(f"injected bad-sector read, page {page_id}")
+        elif spec.transient_period and self.attempts % spec.transient_period == 0:
+            error = TransientIOError(
+                f"injected transient fault (attempt {self.attempts})"
+            )
+        elif transient_draw < spec.transient_rate:
+            error = TransientIOError(
+                f"injected transient fault (attempt {self.attempts})"
+            )
+        elif corrupt_draw < spec.corrupt_rate:
+            error = CorruptPageError(
+                f"injected page corruption, page {page_id}"
+            )
+        # The cap is unconditional: no matter which trigger fired, at most
+        # ``max_consecutive`` errors hit back-to-back, so a retry budget of
+        # that size provably masks every injection.
+        if error is not None and self._consecutive >= spec.max_consecutive:
+            error = None
+        if error is None:
+            self._consecutive = 0
+            return
+        self._consecutive += 1
+        self._record(
+            "corrupt" if isinstance(error, CorruptPageError) else "transient"
+        )
+        raise error

@@ -34,10 +34,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.reduction import reduce_candidates
-from repro.engine.stats import QueryStats, SearchResult
+from repro.engine.stats import COMPLETE, QueryOutcome, QueryStats, SearchResult
+from repro.faults.deadline import Deadline
+from repro.faults.degrade import degraded_answer
 from repro.shard.executors import make_executor
 from repro.shard.merge import merge_candidate_results, merge_tree_results
 from repro.shard.spec import TREE_INDEX_NAMES, RefineTask, ShardSpec
+
+#: Stats substituted for a shard that contributed nothing (failed worker).
+ZERO_STATS = QueryStats(0, 0, 0, 0, 0, 0, 0, 0)
 
 _TREE_FIELDS = (
     "leaves_streamed",
@@ -86,6 +91,18 @@ class ShardedEngine:
             or a pre-built executor instance.
         max_retries: forwarded to the process executor — how often a
             call is retried after its worker died.
+        degraded: tolerate shard failures — a query round runs through
+            ``map_outcomes`` and the answers merge the *surviving*
+            shards, with ``outcome.complete == False`` and per-shard
+            completeness (``shards_failed``/``shards_total``) instead of
+            an exception.  Off by default: the historical fail-fast
+            behavior.
+        deadline_s: optional per-batch coordinator budget.  Checked at
+            round boundaries; once expired, queries are answered from
+            the already-computed global reduction bounds alone (requires
+            ``degraded``; raises ``DeadlineExceeded`` otherwise).
+        recv_timeout_s / join_timeout_s: forwarded to the process
+            executor (hung-worker detection and shutdown escalation).
     """
 
     def __init__(
@@ -93,6 +110,10 @@ class ShardedEngine:
         specs: list[ShardSpec],
         executor: str = "serial",
         max_retries: int = 0,
+        degraded: bool = False,
+        deadline_s: float | None = None,
+        recv_timeout_s: float | None = None,
+        join_timeout_s: float = 5.0,
     ) -> None:
         if not specs:
             raise ValueError("need at least one shard spec")
@@ -115,8 +136,15 @@ class ShardedEngine:
             (spec.cache_spec or {}).get("policy") == "lru"
             for spec in self.specs
         )
+        self.degraded = degraded
+        self.deadline_s = deadline_s
         if isinstance(executor, str):
-            executor = make_executor(executor, max_retries=max_retries)
+            executor = make_executor(
+                executor,
+                max_retries=max_retries,
+                recv_timeout_s=recv_timeout_s,
+                join_timeout_s=join_timeout_s,
+            )
         self.executor = executor
         self.executor.start(self.specs)
 
@@ -133,6 +161,29 @@ class ShardedEngine:
     def _broadcast(self, method: str, args: tuple) -> list:
         return self.executor.map(method, [args] * self.n_shards)
 
+    def _map_round(
+        self, method: str, args_list: list[tuple]
+    ) -> tuple[list, set[int]]:
+        """One executor round; returns ``(payloads, failed_shard_ids)``.
+
+        Fail-fast mode delegates to ``map`` (exceptions propagate);
+        degraded mode substitutes ``None`` payloads for failed shards so
+        the caller merges the survivors.
+        """
+        if not self.degraded:
+            return self.executor.map(method, args_list), set()
+        payloads: list = []
+        failed: set[int] = set()
+        for s, (kind, payload) in enumerate(
+            self.executor.map_outcomes(method, args_list)
+        ):
+            if kind == "error":
+                payloads.append(None)
+                failed.add(s)
+            else:
+                payloads.append(payload)
+        return payloads, failed
+
     # ------------------------------------------------------------------
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         """Answer one kNN query, bit-identical to the unsharded engine."""
@@ -145,20 +196,36 @@ class ShardedEngine:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if len(queries) == 0:
             return []
+        deadline = (
+            Deadline(self.deadline_s) if self.deadline_s is not None else None
+        )
         if self.is_tree:
             return self._search_tree(queries, k)
         if self.dynamic_cache:
             results: list[SearchResult] = []
             for query in queries:
-                results.extend(self._search_round(query[None, :], k))
+                results.extend(self._search_round(query[None, :], k, deadline))
             return results
-        return self._search_round(queries, k)
+        return self._search_round(queries, k, deadline)
 
     # ------------------------------------------------------------------
     def _search_round(
-        self, queries: np.ndarray, k: int
+        self, queries: np.ndarray, k: int, deadline: Deadline | None = None
     ) -> list[SearchResult]:
-        probe = self._broadcast("probe_batch", (queries, k))
+        probe, probe_failed = self._map_round(
+            "probe_batch", [(queries, k)] * self.n_shards
+        )
+        if probe_failed:
+            empties = [
+                (
+                    np.empty(0, dtype=np.int64),
+                    np.zeros(0, dtype=bool),
+                    np.zeros(0, dtype=np.float64),
+                    np.zeros(0, dtype=np.float64),
+                )
+            ] * len(queries)
+            for s in probe_failed:
+                probe[s] = empties
         tasks: list[list[RefineTask]] = [[] for _ in range(self.n_shards)]
         plans: list[tuple] = []
         empty_i = np.empty(0, dtype=np.int64)
@@ -207,14 +274,44 @@ class ShardedEngine:
                     )
                 )
             plans.append(("early" if skip else "merge", outcome))
-        refined = self.executor.map(
+        if deadline is not None and deadline.expired:
+            # The coordinator budget ran out before the refinement round:
+            # answer every query from the global reduction bounds alone
+            # (strict mode raises instead).
+            if not self.degraded:
+                deadline.check("refine round")
+            return self._degraded_results(plans, k, "deadline", probe_failed)
+        refined, refine_failed = self._map_round(
             "refine_batch", [(tasks[s],) for s in range(self.n_shards)]
+        )
+        failed = probe_failed | refine_failed
+        if failed:
+            # A shard that failed its probe but survived refinement still
+            # returns (zeroed) records — keep those; substitute empties
+            # only where the refine payload itself is missing.
+            empties = [(empty_i, empty_f, None)] * len(queries)
+            for s in range(self.n_shards):
+                if refined[s] is None:
+                    refined[s] = empties
+        query_outcome = (
+            COMPLETE
+            if not failed
+            else QueryOutcome(
+                complete=False,
+                reason="shard_failure",
+                max_bound_error=0.0,
+                shards_failed=len(failed),
+                shards_total=self.n_shards,
+            )
         )
         results: list[SearchResult] = []
         for qi, (kind, outcome) in enumerate(plans):
-            stats = sum_stats(
-                [refined[s][qi][2] for s in range(self.n_shards)]
-            )
+            parts = [
+                refined[s][qi][2]
+                for s in range(self.n_shards)
+                if refined[s][qi][2] is not None
+            ]
+            stats = sum_stats(parts) if parts else ZERO_STATS
             if kind == "empty":
                 ids, dists = empty_i, empty_f
                 exact = np.empty(0, dtype=bool)
@@ -237,29 +334,97 @@ class ShardedEngine:
                 )
             results.append(
                 SearchResult(
-                    ids=ids, distances=dists, exact_mask=exact, stats=stats
+                    ids=ids,
+                    distances=dists,
+                    exact_mask=exact,
+                    stats=stats,
+                    outcome=query_outcome,
+                )
+            )
+        return results
+
+    def _degraded_results(
+        self,
+        plans: list[tuple],
+        k: int,
+        reason: str,
+        failed: set[int],
+    ) -> list[SearchResult]:
+        """Cache-only answers for a whole round from the global reduction."""
+        from dataclasses import replace
+
+        results: list[SearchResult] = []
+        for kind, outcome in plans:
+            reduction = None if kind == "empty" else outcome
+            ids, dists, exact, query_outcome = degraded_answer(
+                reduction, k, reason
+            )
+            query_outcome = replace(
+                query_outcome,
+                shards_failed=len(failed),
+                shards_total=self.n_shards,
+            )
+            stats = (
+                ZERO_STATS
+                if reduction is None
+                else QueryStats(
+                    num_candidates=reduction.num_candidates,
+                    cache_hits=reduction.num_hits,
+                    pruned=len(reduction.pruned_ids),
+                    confirmed=len(reduction.confirmed_ids),
+                    c_refine=reduction.c_refine,
+                    refined_fetches=0,
+                    refine_page_reads=0,
+                    gen_page_reads=0,
+                )
+            )
+            results.append(
+                SearchResult(
+                    ids=ids,
+                    distances=dists,
+                    exact_mask=exact,
+                    stats=stats,
+                    outcome=query_outcome,
                 )
             )
         return results
 
     def _search_tree(self, queries: np.ndarray, k: int) -> list[SearchResult]:
-        shard_out = self._broadcast("search_batch", (queries, k))
+        shard_out, failed = self._map_round(
+            "search_batch", [(queries, k)] * self.n_shards
+        )
+        surviving = [s for s in range(self.n_shards) if shard_out[s] is not None]
+        query_outcome = (
+            COMPLETE
+            if not failed
+            else QueryOutcome(
+                complete=False,
+                reason="shard_failure",
+                max_bound_error=0.0,
+                shards_failed=len(failed),
+                shards_total=self.n_shards,
+            )
+        )
         results: list[SearchResult] = []
         for qi in range(len(queries)):
-            ids, dists = merge_tree_results(
-                [shard_out[s][qi][0] for s in range(self.n_shards)],
-                [shard_out[s][qi][1] for s in range(self.n_shards)],
-                k,
-            )
-            stats = sum_stats(
-                [shard_out[s][qi][2] for s in range(self.n_shards)]
-            )
+            if surviving:
+                ids, dists = merge_tree_results(
+                    [shard_out[s][qi][0] for s in surviving],
+                    [shard_out[s][qi][1] for s in surviving],
+                    k,
+                )
+                stats = sum_stats([shard_out[s][qi][2] for s in surviving])
+            else:
+                ids = np.empty(0, dtype=np.int64)
+                dists = np.empty(0, dtype=np.float64)
+                stats = ZERO_STATS
             results.append(
                 SearchResult(
                     ids=ids,
                     distances=dists,
                     exact_mask=np.ones(len(ids), dtype=bool),
                     stats=stats,
+                    outcome=query_outcome,
                 )
             )
         return results

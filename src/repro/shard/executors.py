@@ -17,11 +17,16 @@ the shard's calls run.
 
 Fault handling: a task exception in a worker is sent back with its
 original type, repr and traceback and re-raised in the coordinator as
-:class:`ShardWorkerError` (fail fast — never a hang, never partial
-results).  A *dead* worker (EOF on its pipe) is respawned from its spec
-and the call retried up to ``max_retries`` times; retries rebuild shard
-state from the spec, so they are a crash-recovery path, not part of
-deterministic normal operation.
+:class:`ShardWorkerError` (``map`` fails fast; ``map_outcomes`` returns
+per-shard ``("ok", result)`` / ``("error", exc)`` pairs so a degraded
+coordinator can merge the surviving shards).  A *dead* worker (EOF on
+its pipe) is respawned from its spec and the call retried up to
+``max_retries`` times; retries rebuild shard state from the spec, so
+they are a crash-recovery path, not part of deterministic normal
+operation.  A *hung* worker is detected by ``recv_timeout_s`` (the reply
+wait is bounded), terminated with escalation (join -> terminate -> kill)
+and surfaced as a ``ShardWorkerError`` — never retried, never a wedged
+coordinator.
 """
 
 from __future__ import annotations
@@ -42,17 +47,51 @@ class ShardWorkerError(RuntimeError):
         shard_id: which shard failed.
         traceback_text: the worker-side traceback (empty when the worker
             died without reporting one).
+        original: the in-process exception object this wraps (None for
+            process workers, whose exceptions only survive as text).
     """
 
     def __init__(
-        self, shard_id: int, message: str, traceback_text: str = ""
+        self,
+        shard_id: int,
+        message: str,
+        traceback_text: str = "",
+        original: BaseException | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.traceback_text = traceback_text
+        self.original = original
         detail = f"shard {shard_id}: {message}"
         if traceback_text:
             detail = f"{detail}\n--- worker traceback ---\n{traceback_text}"
         super().__init__(detail)
+
+
+def _raise_first_error(outcomes: list[tuple]) -> list:
+    """Collapse ``map_outcomes`` output to fail-fast ``map`` semantics.
+
+    In-process executors re-raise the *original* exception object (the
+    historical contract — nothing was serialized); process workers raise
+    the ``ShardWorkerError`` wrapper, the only identity that survives
+    the pipe.
+    """
+    for kind, payload in outcomes:
+        if kind == "error":
+            if payload.original is not None:
+                raise payload.original
+            raise payload
+    return [payload for _, payload in outcomes]
+
+
+def _wrap_error(shard_id: int, exc: BaseException) -> ShardWorkerError:
+    if isinstance(exc, ShardWorkerError):
+        return exc
+    return ShardWorkerError(
+        shard_id,
+        f"{type(exc).__name__}: {exc!r}",
+        traceback.format_exc(),
+        original=exc,
+    )
 
 
 class SerialExecutor:
@@ -67,10 +106,24 @@ class SerialExecutor:
         self.runtimes = [build_shard_runtime(spec) for spec in specs]
 
     def map(self, method: str, args_list: list[tuple]) -> list:
-        return [
-            getattr(runtime, method)(*args)
-            for runtime, args in zip(self.runtimes, args_list)
-        ]
+        return _raise_first_error(self.map_outcomes(method, args_list))
+
+    def map_outcomes(self, method: str, args_list: list[tuple]) -> list[tuple]:
+        """Like ``map`` but per-shard: ``("ok", result)`` / ``("error", exc)``.
+
+        Every error is a :class:`ShardWorkerError`; the degraded
+        coordinator merges the ``"ok"`` shards instead of failing the
+        batch.
+        """
+        outcomes: list[tuple] = []
+        for shard_id, (runtime, args) in enumerate(
+            zip(self.runtimes, args_list)
+        ):
+            try:
+                outcomes.append(("ok", getattr(runtime, method)(*args)))
+            except Exception as exc:  # noqa: BLE001 — typed for the caller
+                outcomes.append(("error", _wrap_error(shard_id, exc)))
+        return outcomes
 
     def close(self) -> None:
         self.runtimes = []
@@ -95,13 +148,21 @@ class ThreadExecutor:
         )
 
     def map(self, method: str, args_list: list[tuple]) -> list:
+        return _raise_first_error(self.map_outcomes(method, args_list))
+
+    def map_outcomes(self, method: str, args_list: list[tuple]) -> list[tuple]:
+        """Per-shard outcomes; see :meth:`SerialExecutor.map_outcomes`."""
         futures = [
             self._pool.submit(getattr(runtime, method), *args)
             for runtime, args in zip(self.runtimes, args_list)
         ]
-        # result() re-raises a worker exception in the coordinator:
-        # fail fast, no partial results.
-        return [future.result() for future in futures]
+        outcomes: list[tuple] = []
+        for shard_id, future in enumerate(futures):
+            try:
+                outcomes.append(("ok", future.result()))
+            except Exception as exc:  # noqa: BLE001 — typed for the caller
+                outcomes.append(("error", _wrap_error(shard_id, exc)))
+        return outcomes
 
     def close(self) -> None:
         if self._pool is not None:
@@ -152,14 +213,33 @@ class ProcessExecutor:
             Task exceptions are never retried — they fail fast.
         mp_context: optional ``multiprocessing`` context (tests may force
             ``spawn``; the platform default is used otherwise).
+        recv_timeout_s: how long to wait for a worker's reply before
+            declaring it hung (the worker is then terminated and the call
+            raises :class:`ShardWorkerError`).  ``None`` waits forever —
+            the historical behavior, but a wedged worker then wedges the
+            coordinator with it.
+        join_timeout_s: grace period at each step of the shutdown
+            escalation (join -> terminate -> kill).
     """
 
     name = "process"
 
-    def __init__(self, max_retries: int = 0, mp_context=None) -> None:
+    def __init__(
+        self,
+        max_retries: int = 0,
+        mp_context=None,
+        recv_timeout_s: float | None = None,
+        join_timeout_s: float = 5.0,
+    ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if recv_timeout_s is not None and recv_timeout_s <= 0:
+            raise ValueError("recv_timeout_s must be positive (or None)")
+        if join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
         self.max_retries = max_retries
+        self.recv_timeout_s = recv_timeout_s
+        self.join_timeout_s = join_timeout_s
         self._ctx = mp_context or multiprocessing.get_context()
         self._specs: list[ShardSpec] = []
         self._workers: list[list] = []  # [process, parent_conn]
@@ -192,25 +272,59 @@ class ProcessExecutor:
         return [process, parent_conn]
 
     def map(self, method: str, args_list: list[tuple]) -> list:
+        return _raise_first_error(self.map_outcomes(method, args_list))
+
+    def map_outcomes(self, method: str, args_list: list[tuple]) -> list[tuple]:
+        """Per-shard outcomes; see :meth:`SerialExecutor.map_outcomes`.
+
+        A shard whose worker already died (pipe closed by an earlier
+        reap) fails immediately instead of raising from ``send`` — the
+        degraded coordinator keeps using the surviving shards.
+        """
+        sent: list[bool] = []
         for worker, args in zip(self._workers, args_list):
-            worker[1].send(("call", method, args))
-        # Drain EVERY worker's reply before raising: leaving a queued
+            try:
+                worker[1].send(("call", method, args))
+                sent.append(True)
+            except (BrokenPipeError, OSError):
+                sent.append(False)
+        # Drain EVERY worker's reply before returning: leaving a queued
         # response in a sibling's pipe would desynchronize the next call.
         outcomes: list[tuple] = []
         for shard_id, args in enumerate(args_list):
+            if not sent[shard_id]:
+                outcomes.append(
+                    (
+                        "error",
+                        ShardWorkerError(
+                            shard_id, "worker unavailable (pipe closed)"
+                        ),
+                    )
+                )
+                continue
             try:
                 outcomes.append(("ok", self._receive(shard_id, method, args)))
             except ShardWorkerError as exc:
                 outcomes.append(("error", exc))
-        for kind, payload in outcomes:
-            if kind == "error":
-                raise payload
-        return [payload for _, payload in outcomes]
+        return outcomes
 
     def _receive(self, shard_id: int, method: str, args: tuple):
         attempts = 0
         while True:
             worker = self._workers[shard_id]
+            if self.recv_timeout_s is not None and not worker[1].poll(
+                self.recv_timeout_s
+            ):
+                # Hung worker: no reply within the budget.  Terminate it
+                # (join first would wait on the hang) and surface a
+                # detected failure — never retried, a deterministic hang
+                # would just hang again.
+                self._reap(worker)
+                raise ShardWorkerError(
+                    shard_id,
+                    f"no reply to {method!r} within "
+                    f"{self.recv_timeout_s:g}s; worker terminated",
+                )
             try:
                 msg = worker[1].recv()
             except (EOFError, OSError):
@@ -232,12 +346,16 @@ class ProcessExecutor:
             _, etype, erepr, tb = msg
             raise ShardWorkerError(shard_id, f"{etype}: {erepr}", tb)
 
-    @staticmethod
-    def _reap(worker: list) -> None:
+    def _reap(self, worker: list) -> None:
+        """Escalating teardown: close pipe, join, terminate, kill."""
         worker[1].close()
-        worker[0].join(timeout=5)
+        worker[0].join(timeout=self.join_timeout_s)
         if worker[0].is_alive():
             worker[0].terminate()
+            worker[0].join(timeout=self.join_timeout_s)
+        if worker[0].is_alive():
+            worker[0].kill()
+            worker[0].join(timeout=self.join_timeout_s)
 
     def close(self) -> None:
         for worker in self._workers:
@@ -246,21 +364,37 @@ class ProcessExecutor:
             except (BrokenPipeError, OSError):
                 pass
         for worker in self._workers:
-            worker[0].join(timeout=5)
+            worker[0].join(timeout=self.join_timeout_s)
             if worker[0].is_alive():
                 worker[0].terminate()
-            worker[1].close()
+                worker[0].join(timeout=self.join_timeout_s)
+            if worker[0].is_alive():
+                worker[0].kill()
+                worker[0].join(timeout=self.join_timeout_s)
+            try:
+                worker[1].close()
+            except OSError:
+                pass
         self._workers = []
 
 
-def make_executor(name: str, max_retries: int = 0):
+def make_executor(
+    name: str,
+    max_retries: int = 0,
+    recv_timeout_s: float | None = None,
+    join_timeout_s: float = 5.0,
+):
     """Build an executor by CLI name."""
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor()
     if name == "process":
-        return ProcessExecutor(max_retries=max_retries)
+        return ProcessExecutor(
+            max_retries=max_retries,
+            recv_timeout_s=recv_timeout_s,
+            join_timeout_s=join_timeout_s,
+        )
     raise ValueError(
         f"unknown executor {name!r}; choices: {EXECUTOR_NAMES}"
     )

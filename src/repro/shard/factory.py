@@ -126,6 +126,8 @@ def build_shard_specs(
     value_bytes: int = 4,
     seed: int = 0,
     metrics: bool = True,
+    faults=None,
+    resilience=None,
 ) -> list[ShardSpec]:
     """Partition ``points`` into picklable shard build specs.
 
@@ -146,6 +148,11 @@ def build_shard_specs(
             member.
         budget_mode: ``global-hff`` (content split, byte-identical
             bounds), ``proportional`` or ``workload``.
+        faults: optional :class:`~repro.faults.FaultSpec` applied to
+            every shard's simulated disk (each shard builds its own
+            schedule from the same frozen spec).
+        resilience: optional :class:`~repro.faults.ResiliencePolicy`
+            forwarded to every shard's engine.
     """
     points = np.asarray(points, dtype=np.float64)
     index_params = dict(index_params or {})
@@ -182,6 +189,8 @@ def build_shard_specs(
             value_bytes=value_bytes,
             seed=seed,
             metrics=metrics,
+            faults=faults,
+            resilience=resilience,
         )
         for s, group in enumerate(groups)
     ]
@@ -238,6 +247,8 @@ def specs_from_method(
     disk: DiskConfig | None = None,
     seed: int = 0,
     metrics: bool = True,
+    faults=None,
+    resilience=None,
 ) -> list[ShardSpec]:
     """Shard specs matching an unsharded method configuration.
 
@@ -259,6 +270,8 @@ def specs_from_method(
         value_bytes=dataset.value_bytes,
         seed=seed,
         metrics=metrics,
+        faults=faults,
+        resilience=resilience,
     )
 
 
@@ -266,6 +279,18 @@ def make_sharded_engine(
     specs: list[ShardSpec],
     executor: str = "serial",
     max_retries: int = 0,
+    degraded: bool = False,
+    deadline_s: float | None = None,
+    recv_timeout_s: float | None = None,
+    join_timeout_s: float = 5.0,
 ) -> ShardedEngine:
     """Build a :class:`ShardedEngine` over pre-built specs."""
-    return ShardedEngine(specs, executor=executor, max_retries=max_retries)
+    return ShardedEngine(
+        specs,
+        executor=executor,
+        max_retries=max_retries,
+        degraded=degraded,
+        deadline_s=deadline_s,
+        recv_timeout_s=recv_timeout_s,
+        join_timeout_s=join_timeout_s,
+    )

@@ -38,6 +38,9 @@ from repro.core.cache import (
 from repro.core.multistep import multistep_knn
 from repro.engine.engine import QueryEngine
 from repro.engine.stats import QueryStats
+from repro.faults.disk import FaultyDisk
+from repro.faults.plan import FaultSpec
+from repro.faults.policy import ResiliencePolicy
 from repro.index.idistance import IDistanceIndex
 from repro.index.linear_scan import LinearScanIndex
 from repro.index.mtree import MTreeIndex
@@ -73,6 +76,15 @@ class ShardSpec:
         value_bytes: stored bytes per coordinate.
         seed: RNG seed forwarded to index builders.
         metrics: build a per-shard ``MetricsRegistry`` when True.
+        faults: optional :class:`~repro.faults.FaultSpec` — the shard's
+            simulated disk is wrapped in a
+            :class:`~repro.faults.FaultyDisk` built from it, so process
+            workers reconstruct the exact same fault schedule the
+            coordinator would (the spec is frozen and picklable).
+        resilience: optional :class:`~repro.faults.ResiliencePolicy`
+            forwarded to the shard's ``QueryEngine`` and applied to the
+            shard-local refinement fetches; each runtime builds its own
+            private breaker/retry state from it.
     """
 
     shard_id: int
@@ -85,6 +97,8 @@ class ShardSpec:
     value_bytes: int = 4
     seed: int = 0
     metrics: bool = True
+    faults: FaultSpec | None = None
+    resilience: ResiliencePolicy | None = None
 
     def __post_init__(self) -> None:
         member_ids = np.asarray(self.member_ids, dtype=np.int64)
@@ -270,14 +284,21 @@ class ShardRuntime:
                 index, self.cache, metrics=metrics
             )
         else:
+            disk = SimulatedDisk(spec.disk)
+            if spec.faults is not None and spec.faults.active:
+                disk = FaultyDisk(disk, spec.faults.build(), registry=metrics)
             self.point_file = PointFile(
                 spec.points,
-                disk=SimulatedDisk(spec.disk),
+                disk=disk,
                 value_bytes=spec.value_bytes,
             )
             self.cache = _build_point_cache(spec)
             self.engine = QueryEngine.for_index(
-                index, self.point_file, self.cache, metrics=metrics
+                index,
+                self.point_file,
+                self.cache,
+                metrics=metrics,
+                resilience=spec.resilience,
             )
         #: query index -> (ctx, own cache hits, own candidate count),
         #: carried from probe_batch to the matching refine_batch.
@@ -292,6 +313,34 @@ class ShardRuntime:
 
     def _fetch_global(self, global_ids: np.ndarray, tracker):
         return self.point_file.fetch(self.to_local(global_ids), tracker)
+
+    def _refine_fetcher(self):
+        """The fetcher ``refine_batch`` hands to ``multistep_knn``.
+
+        With a resilience policy on the spec, each point fetch runs
+        under the shard engine's breaker + bounded retries, so transient
+        disk faults are masked inside the shard (bit-identical results);
+        exhausted retries or an open breaker propagate out of
+        ``refine_batch`` and the executor reports the shard failed —
+        shard-granular degradation is the coordinator's job.
+        """
+        runtime = self.engine.resilience
+        if runtime is None:
+            return self._fetch_global
+
+        def fetch(global_ids, tracker=None):
+            gids = np.atleast_1d(np.asarray(global_ids, dtype=np.int64))
+            rows = [
+                runtime.protected_call(
+                    lambda g=g: self._fetch_global(np.asarray([g]), tracker)
+                )
+                for g in gids.tolist()
+            ]
+            if rows:
+                return np.concatenate(rows, axis=0)
+            return self.points[:0]
+
+        return fetch
 
     # ------------------------------------------------------------------
     def probe_batch(self, queries: np.ndarray, k: int) -> list[tuple]:
@@ -342,7 +391,7 @@ class ShardRuntime:
                         task.remaining_gids,
                         task.remaining_lb,
                         task.k,
-                        fetcher=self._fetch_global,
+                        fetcher=self._refine_fetcher(),
                         confirmed_ids=task.seed_ids,
                         confirmed_ubs=task.seed_ubs,
                         tracker=ctx.refine_tracker,

@@ -4,7 +4,7 @@ These are referenced by ``module:attr`` name in ``ShardSpec.index_name``
 (``"repro.shard.testing:build_faulty"``), so process workers can import
 and build them without the coordinator shipping code objects.
 
-Two failure shapes:
+Three failure shapes:
 
 * :func:`build_faulty` — a linear-scan index that *raises* from
   ``candidates`` on a chosen shard after a chosen number of calls.  The
@@ -15,11 +15,17 @@ Two failure shapes:
   exists; the test removes re-creation by having the *first* call unlink
   the flag, so the respawned worker succeeds.  Exercises the
   ``max_retries`` crash-recovery path.
+* :func:`build_hanging` — an index whose ``candidates`` *sleeps* far
+  past any reasonable reply window on a chosen shard, but only while a
+  sentinel flag file exists.  Exercises the executor's
+  ``recv_timeout_s`` hang detection (the coordinator must terminate the
+  worker and surface a ``ShardWorkerError``, never wedge).
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
@@ -84,3 +90,36 @@ def build_dying(spec) -> _DyingLinearScan:
     worker completes.
     """
     return _DyingLinearScan(len(spec.points), spec.shard_id, spec.index_params)
+
+
+class _HangingLinearScan:
+    """Linear scan that sleeps ~forever while a flag file exists."""
+
+    def __init__(self, n_points: int, shard_id: int, params: dict) -> None:
+        self.n_points = n_points
+        self.shard_id = shard_id
+        self.hang_shard = params.get("hang_shard", 0)
+        self.hang_s = float(params.get("hang_s", 3600.0))
+        self.flag_path = params.get("flag_path")
+
+    def candidates(self, query, k, tracker=None) -> np.ndarray:
+        hang = self.shard_id == self.hang_shard and (
+            self.flag_path is None or os.path.exists(self.flag_path)
+        )
+        if hang:
+            time.sleep(self.hang_s)
+        return np.arange(self.n_points, dtype=np.int64)
+
+
+def build_hanging(spec) -> _HangingLinearScan:
+    """Builder for ``index_name="repro.shard.testing:build_hanging"``.
+
+    ``spec.index_params``: ``hang_shard`` (which shard stalls),
+    ``hang_s`` (sleep length, default one hour) and optional
+    ``flag_path`` (hang only while the flag file exists — without it the
+    shard hangs on every call).  The executor's ``recv_timeout_s`` must
+    detect the silence and terminate the worker.
+    """
+    return _HangingLinearScan(
+        len(spec.points), spec.shard_id, spec.index_params
+    )

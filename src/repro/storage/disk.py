@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -18,6 +19,27 @@ DEFAULT_READ_LATENCY_S = 5e-3
 #: ranges) amortize seeks via prefetch; modeled much cheaper than the
 #: random reads of candidate refinement.
 DEFAULT_SEQ_READ_LATENCY_S = 2e-4
+
+#: Environment variable enabling the global chaos mode: a low-rate seeded
+#: fault plan applied to *every* simulated disk, with injected faults
+#: masked by internal retries (see :mod:`repro.faults.chaos`).
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class PageRangeError(ValueError):
+    """A page id outside the device's valid range was requested.
+
+    Subclasses ``ValueError`` (the historical type for a negative id) so
+    existing callers keep working, but stays distinct from ``OSError``:
+    the retry layer classifies it as **non-retryable** — reissuing an
+    invalid request can never succeed.
+    """
+
+    def __init__(self, page_id: int, n_pages: int | None) -> None:
+        self.page_id = page_id
+        self.n_pages = n_pages
+        bound = "unbounded" if n_pages is None else f"0..{n_pages - 1}"
+        super().__init__(f"page_id {page_id} out of range ({bound})")
 
 
 @dataclass(frozen=True)
@@ -58,19 +80,60 @@ class SimulatedDisk:
     paged index nodes) keep their payloads in numpy arrays and only report
     *which page* a record lives on.  The disk's job is to account for reads
     and to convert counts to modeled time.
+
+    Args:
+        config: static device parameters.
+        n_pages: number of valid pages, or None for an unbounded device.
+            Files built on the disk declare their extent through
+            :meth:`extend_pages`; a read beyond it raises
+            :class:`PageRangeError` instead of silently charging I/O.
     """
 
-    def __init__(self, config: DiskConfig | None = None) -> None:
+    def __init__(
+        self, config: DiskConfig | None = None, n_pages: int | None = None
+    ) -> None:
         self.config = config or DiskConfig()
         self.stats = IOStats()
+        if n_pages is not None and n_pages < 0:
+            raise ValueError("n_pages must be non-negative")
+        self.n_pages = n_pages
+        self._chaos = None
+        if os.environ.get(CHAOS_ENV):
+            # Lazy import: repro.faults builds on this module, so the
+            # chaos hook is only pulled in when the env var opts in.
+            from repro.faults.chaos import chaos_from_env
+
+            self._chaos = chaos_from_env()
+
+    def extend_pages(self, n_pages: int) -> None:
+        """Grow the valid page range to at least ``n_pages`` pages.
+
+        Several files may share one device (point file plus paged index
+        nodes), so the range only ever grows; an unbounded device stays
+        unbounded once a caller never declared an extent.
+        """
+        if n_pages < 0:
+            raise ValueError("n_pages must be non-negative")
+        if self.n_pages is None or n_pages > self.n_pages:
+            self.n_pages = n_pages
 
     def read_page(self, page_id: int, tracker: QueryIOTracker | None = None) -> None:
-        """Charge one page read, deduplicated within ``tracker`` if given."""
-        if page_id < 0:
-            raise ValueError(f"page_id must be non-negative, got {page_id}")
+        """Charge one page read, deduplicated within ``tracker`` if given.
+
+        Raises:
+            PageRangeError: negative ``page_id``, or beyond the declared
+                extent — classified non-retryable by the fault layer.
+        """
+        if page_id < 0 or (self.n_pages is not None and page_id >= self.n_pages):
+            raise PageRangeError(page_id, self.n_pages)
         if tracker is not None:
             if not tracker.needs_read(page_id):
                 return
+        if self._chaos is not None:
+            # Chaos mode: injected transient faults are masked here by
+            # the plan's internal bounded retry (counted, never raised),
+            # so every caller sees a successful — accounted — read.
+            self._chaos.attempt(page_id)
         self.stats.page_reads += 1
         if self.config.blocking and self.config.read_latency_s > 0:
             time.sleep(self.config.read_latency_s)

@@ -53,6 +53,19 @@ class PointFile:
         self._order = order
         self._position_of = np.empty(n, dtype=np.int64)
         self._position_of[order] = np.arange(n, dtype=np.int64)
+        # Declare the file's page extent so the device can reject reads
+        # beyond it (PageRangeError) instead of charging them silently.
+        self.disk.extend_pages(self.num_pages)
+
+    @property
+    def num_pages(self) -> int:
+        """Pages the file occupies on the device."""
+        n = self.num_points
+        if n == 0:
+            return 0
+        if self.point_size >= self.disk.config.page_size:
+            return n * self.pages_per_point
+        return -(-n // self.points_per_page)
 
     @property
     def num_points(self) -> int:

@@ -13,12 +13,19 @@ Covers:
   retried, recovering the correct answer;
 * two threads driving separate shard engines concurrently never corrupt
   each other's cache telemetry or metrics registries (exact
-  reconciliation of every counter afterwards).
+  reconciliation of every counter afterwards);
+* a *hung* worker (sleeping forever in ``candidates``) is detected by
+  ``recv_timeout_s``, terminated, and surfaced as a ``ShardWorkerError``
+  — never retried, never a coordinator hang;
+* shutdown escalates join → terminate → kill so ``close()`` leaks no
+  processes even mid-hang, and a second engine sharing nothing with the
+  crashed one keeps answering.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -275,3 +282,118 @@ def _fresh_cache(encoder, frequencies, points):
     cache = ApproximateCache(encoder, 1 << 10, N_POINTS, CachePolicy.HFF)
     cache.populate_hff(frequencies, points)
     return cache
+
+
+# ----------------------------------------------------------------------
+# Hung workers: recv_timeout_s detection + shutdown escalation
+# ----------------------------------------------------------------------
+def hanging_specs(data, hang_shard=0, n_shards=2, **params):
+    return build_shard_specs(
+        data["points"],
+        n_shards,
+        index_name="repro.shard.testing:build_hanging",
+        index_params={"hang_shard": hang_shard, "hang_s": 120.0, **params},
+    )
+
+
+def _worker_processes(engine):
+    return [w[0] for w in engine.executor._workers]
+
+
+def test_hung_worker_detected_and_terminated(data) -> None:
+    engine = ShardedEngine(
+        hanging_specs(data), executor="process",
+        recv_timeout_s=0.5, join_timeout_s=0.5,
+    )
+    procs = _worker_processes(engine)
+    try:
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="no reply"):
+            engine.search_many(data["queries"], K)
+        elapsed = time.monotonic() - started
+        assert elapsed < 30, "hang detection took far longer than the budget"
+        assert not procs[0].is_alive(), "hung worker was not terminated"
+    finally:
+        engine.close()
+    assert all(not p.is_alive() for p in procs), "close() leaked a process"
+
+
+def test_hang_never_retried(data) -> None:
+    """A deterministic hang would hang again: exactly one detection, no
+    respawn attempts even with a retry budget."""
+    engine = ShardedEngine(
+        hanging_specs(data), executor="process",
+        max_retries=3, recv_timeout_s=0.5, join_timeout_s=0.5,
+    )
+    n_procs = len(_worker_processes(engine))
+    try:
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="no reply"):
+            engine.search_many(data["queries"], K)
+        # Retries would multiply the wait by (1 + max_retries).
+        assert time.monotonic() - started < 3 * 0.5 + 10
+        assert len(_worker_processes(engine)) == n_procs
+    finally:
+        engine.close()
+
+
+def test_close_escalates_while_worker_hangs(data) -> None:
+    """close() during an un-consumed hang must still reap every process."""
+    engine = ShardedEngine(
+        hanging_specs(data), executor="process", join_timeout_s=0.5
+    )
+    procs = _worker_processes(engine)
+    # Fire a call but never wait for the reply: shard 0 is now hanging.
+    engine.executor._workers[0][1].send(
+        ("call", "ping", ())
+    )
+    time.sleep(0.1)
+    engine.close()
+    for p in procs:
+        p.join(timeout=10)
+        assert not p.is_alive(), "close() leaked a hung process"
+
+
+def test_second_engine_unaffected_by_crash(data) -> None:
+    """One engine's worker hang/teardown must not disturb an independent
+    engine's workers or answers."""
+    healthy = ShardedEngine(
+        build_shard_specs(data["points"], 2), executor="process"
+    )
+    crashing = ShardedEngine(
+        hanging_specs(data), executor="process",
+        recv_timeout_s=0.5, join_timeout_s=0.5,
+    )
+    try:
+        before = healthy.search_many(data["queries"], K)
+        with pytest.raises(ShardWorkerError):
+            crashing.search_many(data["queries"], K)
+        crashing.close()
+        after = healthy.search_many(data["queries"], K)
+        assert healthy.ping() == [0, 1]
+        for a, b in zip(before, after):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+    finally:
+        crashing.close()
+        healthy.close()
+
+
+def test_degraded_coordinator_survives_hung_shard(data) -> None:
+    """degraded=True: the hung shard is dropped and the survivors answer
+    with an explicit incompleteness record."""
+    engine = ShardedEngine(
+        hanging_specs(data), executor="process",
+        recv_timeout_s=0.5, join_timeout_s=0.5, degraded=True,
+    )
+    try:
+        results = engine.search_many(data["queries"], K)
+    finally:
+        engine.close()
+    surviving = set(engine.specs[1].member_ids)
+    for r in results:
+        assert not r.outcome.complete
+        assert r.outcome.reason == "shard_failure"
+        assert r.outcome.shards_failed == 1
+        assert r.outcome.shards_total == 2
+        assert set(r.ids) <= surviving
