@@ -39,11 +39,16 @@ _EXPORTS = {
     "ExactCache": "repro.core.cache",
     "Experiment": "repro.eval.runner",
     "ExperimentResult": "repro.eval.runner",
+    "FormatVersionError": "repro.artifacts.errors",
     "Histogram": "repro.core.histogram",
+    "PipelineSpec": "repro.spec.sections",
     "SearchResult": "repro.core.search",
     "build_caching_pipeline": "repro.eval.methods",
+    "inspect_snapshot": "repro.artifacts.snapshot",
     "load_dataset": "repro.data.datasets",
+    "load_snapshot": "repro.artifacts.snapshot",
     "optimal_tau": "repro.core.cost_model",
+    "save_snapshot": "repro.artifacts.snapshot",
 }
 
 __all__ = sorted(_EXPORTS) + ["__version__"]

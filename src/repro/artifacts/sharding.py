@@ -1,0 +1,180 @@
+"""Shard snapshots: ship paths to workers, not pickled arrays.
+
+``save_shard_snapshots`` writes every shard's arrays (member ids, point
+rows, cache-recipe arrays) into one shared content-addressed object
+store plus one small JSON manifest per shard, and returns *lightweight*
+:class:`~repro.shard.spec.ShardSpec`\\ s whose ``member_ids``/``points``
+are None and whose ``snapshot_path`` names the store.  Pickling such a
+spec costs a few hundred bytes regardless of shard size; each worker
+process hydrates its arrays with ``np.load(mmap_mode="r")``, so all
+workers serve one physical, page-cache-shared copy of the data instead
+of each holding a private unpickled duplicate.
+
+The store is shared across shards, so arrays common to several shards
+(e.g. one encoder's histogram tables, the populate workload) are written
+exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.errors import ArtifactError, FormatVersionError
+from repro.artifacts.snapshot import SNAPSHOT_FORMAT_VERSION
+from repro.artifacts.state import encoder_state, restore_encoder
+from repro.artifacts.store import ObjectStore, write_atomic
+from repro.shard.spec import ShardSpec
+from repro.storage.disk import DiskConfig
+
+
+def _manifest_name(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}.json"
+
+
+#: cache_spec keys carried verbatim (JSON scalars only).
+_SCALAR_KEYS = ("kind", "capacity_bytes", "policy", "k", "exact")
+
+
+def _cache_spec_manifest(cache_spec: dict | None, store: ObjectStore) -> dict | None:
+    if cache_spec is None:
+        return None
+    out = {k: cache_spec[k] for k in _SCALAR_KEYS if k in cache_spec}
+    if "encoder" in cache_spec and cache_spec["encoder"] is not None:
+        meta, arrays = encoder_state(cache_spec["encoder"])
+        out["encoder"] = {"meta": meta, "members": store.put_members(arrays)}
+    for key in ("populate_gids", "populate_workload"):
+        if cache_spec.get(key) is not None:
+            out[key] = store.put_array(np.asarray(cache_spec[key]))
+    return out
+
+
+def _cache_spec_restore(
+    entry: dict | None, store: ObjectStore, points: np.ndarray, mmap: bool
+) -> dict | None:
+    if entry is None:
+        return None
+    out = {k: v for k, v in entry.items() if k in _SCALAR_KEYS}
+    if "encoder" in entry:
+        enc = entry["encoder"]
+        out["encoder"] = restore_encoder(
+            enc["meta"], store.load_members(enc["members"], mmap=mmap), points
+        )
+    for key in ("populate_gids", "populate_workload"):
+        if key in entry:
+            out[key] = store.load(entry[key], mmap=mmap)
+    return out
+
+
+def save_shard_snapshots(
+    specs: list[ShardSpec], root: str | Path
+) -> list[ShardSpec]:
+    """Persist the shards' arrays under ``root``; return lightweight specs.
+
+    The returned specs are drop-in replacements for the originals on any
+    executor (``build_shard_runtime`` hydrates them), but pickle to a few
+    hundred bytes because the arrays travel as a path.
+    """
+    root = Path(root)
+    store = ObjectStore(root)
+    light: list[ShardSpec] = []
+    for spec in specs:
+        if spec.member_ids is None or spec.points is None:
+            raise ArtifactError(
+                f"shard {spec.shard_id} is already snapshot-backed"
+            )
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "kind": "shard",
+            "shard_id": int(spec.shard_id),
+            "index_name": spec.index_name,
+            "index_params": dict(spec.index_params),
+            "value_bytes": int(spec.value_bytes),
+            "seed": int(spec.seed),
+            "metrics": bool(spec.metrics),
+            "disk": {
+                "page_size": int(spec.disk.page_size),
+                "read_latency_s": float(spec.disk.read_latency_s),
+                "seq_read_latency_s": float(spec.disk.seq_read_latency_s),
+                "blocking": bool(spec.disk.blocking),
+            },
+            "members": {
+                "member_ids": store.put_array(spec.member_ids),
+                "points": store.put_array(
+                    np.ascontiguousarray(spec.points, dtype=np.float64)
+                ),
+            },
+            "cache_spec": _cache_spec_manifest(spec.cache_spec, store),
+        }
+        payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        write_atomic(root / _manifest_name(spec.shard_id), payload.encode())
+        light.append(
+            replace(
+                spec,
+                member_ids=None,
+                points=None,
+                cache_spec=None,
+                snapshot_path=str(root),
+            )
+        )
+    return light
+
+
+def load_shard_member_ids(
+    root: str | Path, shard_id: int, mmap: bool = True
+) -> np.ndarray:
+    """Just one shard's member ids (the coordinator's routing map)."""
+    root = Path(root)
+    manifest_path = root / _manifest_name(shard_id)
+    if not manifest_path.exists():
+        raise ArtifactError(f"no shard snapshot {manifest_path}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    return ObjectStore(root).load(manifest["members"]["member_ids"], mmap=mmap)
+
+
+def load_shard_spec(
+    root: str | Path,
+    shard_id: int,
+    template: ShardSpec | None = None,
+    mmap: bool = True,
+) -> ShardSpec:
+    """Hydrate one shard's full spec from its snapshot.
+
+    ``template`` (the lightweight spec, when hydrating inside a worker)
+    contributes the non-JSON runtime fields — fault schedule and
+    resilience policy — that snapshots do not persist.
+    """
+    root = Path(root)
+    manifest_path = root / _manifest_name(shard_id)
+    if not manifest_path.exists():
+        raise ArtifactError(f"no shard snapshot {manifest_path}")
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    found = manifest.get("format_version")
+    if found != SNAPSHOT_FORMAT_VERSION:
+        raise FormatVersionError(found, SNAPSHOT_FORMAT_VERSION, manifest_path)
+    store = ObjectStore(root)
+    member_ids = store.load(manifest["members"]["member_ids"], mmap=mmap)
+    points = store.load(manifest["members"]["points"], mmap=mmap)
+    cache_spec = _cache_spec_restore(
+        manifest.get("cache_spec"), store, points, mmap
+    )
+    return ShardSpec(
+        shard_id=int(manifest["shard_id"]),
+        member_ids=member_ids,
+        points=points,
+        index_name=manifest["index_name"],
+        index_params=manifest["index_params"],
+        cache_spec=cache_spec,
+        disk=DiskConfig(**manifest["disk"]),
+        value_bytes=int(manifest["value_bytes"]),
+        seed=int(manifest["seed"]),
+        metrics=bool(manifest["metrics"]),
+        faults=template.faults if template is not None else None,
+        resilience=template.resilience if template is not None else None,
+        snapshot_path=str(root),
+    )

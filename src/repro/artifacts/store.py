@@ -1,0 +1,147 @@
+"""Content-addressed array store + atomic publication primitives.
+
+A snapshot directory holds one ``manifest.json`` plus an ``objects/``
+store of content-hashed ``.npy`` members::
+
+    snap-000001/
+        manifest.json
+        objects/
+            3f2a…c9.npy
+            81b0…4d.npy
+
+Members are individual ``.npy`` files (not ``.npz`` archives) because
+zip members cannot be memory-mapped: ``np.load(member, mmap_mode="r")``
+maps the array's pages straight from the page cache, so every process
+serving the same snapshot shares one physical copy.
+
+Content addressing (sha-256 of the serialized array) deduplicates
+members across snapshots that share a root and makes writes idempotent:
+an object that already exists is never rewritten.  Publication is
+atomic — arrays and manifests are written to a temporary name, fsynced
+and ``os.replace``d into place, and the ``CURRENT`` pointer file used by
+hot-swap maintenance is republished the same way, so a reader either
+sees the previous complete snapshot or the new complete snapshot, never
+a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.errors import ArtifactError
+
+#: Name of the pointer file naming the snapshot currently being served.
+CURRENT_POINTER = "CURRENT"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry so a rename survives a crash."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp + fsync + rename."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+class ObjectStore:
+    """Content-addressed ``.npy`` members under ``<root>/objects/``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+
+    def _path(self, digest: str) -> Path:
+        return self.objects / f"{digest}.npy"
+
+    def put_array(self, array: np.ndarray) -> str:
+        """Store one array; returns its content digest (idempotent)."""
+        buf = io.BytesIO()
+        np.save(buf, np.ascontiguousarray(array), allow_pickle=False)
+        data = buf.getvalue()
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._path(digest)
+        if not path.exists():
+            self.objects.mkdir(parents=True, exist_ok=True)
+            write_atomic(path, data)
+        return digest
+
+    def load(self, digest: str, mmap: bool = True) -> np.ndarray:
+        """Load a member; ``mmap=True`` gives a read-only zero-copy view."""
+        path = self._path(digest)
+        if not path.exists():
+            raise ArtifactError(f"missing snapshot member {digest} ({path})")
+        return np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+
+    def member_bytes(self, digest: str) -> int:
+        return self._path(digest).stat().st_size
+
+    # ------------------------------------------------------------------
+    def put_members(self, arrays: dict[str, np.ndarray]) -> dict[str, str]:
+        """Store a named array bundle; returns ``name -> digest``."""
+        return {name: self.put_array(a) for name, a in arrays.items()}
+
+    def load_members(
+        self, members: dict[str, str], mmap: bool = True
+    ) -> dict[str, np.ndarray]:
+        return {name: self.load(d, mmap=mmap) for name, d in members.items()}
+
+
+def write_manifest(path: Path, manifest: dict) -> None:
+    """Atomically write a snapshot's ``manifest.json``."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    write_atomic(path / "manifest.json", payload.encode())
+
+
+def read_manifest(path: str | Path) -> dict:
+    manifest_path = Path(path) / "manifest.json"
+    if not manifest_path.exists():
+        raise ArtifactError(f"not a snapshot directory (no manifest): {path}")
+    with open(manifest_path) as fh:
+        return json.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Hot-swap pointer
+# ----------------------------------------------------------------------
+def publish_current(root: str | Path, snapshot_name: str) -> Path:
+    """Atomically point ``<root>/CURRENT`` at a published snapshot.
+
+    The hot-swap protocol: build the new snapshot under its own
+    directory, fsync everything, then republish the pointer — readers
+    resolving the pointer always land on a complete snapshot.
+    """
+    root = Path(root)
+    target = root / snapshot_name
+    if not (target / "manifest.json").exists():
+        raise ArtifactError(f"cannot publish incomplete snapshot {target}")
+    write_atomic(root / CURRENT_POINTER, (snapshot_name + "\n").encode())
+    return root / CURRENT_POINTER
+
+
+def read_current(root: str | Path) -> Path:
+    """Resolve ``<root>/CURRENT`` to the served snapshot directory."""
+    pointer = Path(root) / CURRENT_POINTER
+    if not pointer.exists():
+        raise ArtifactError(f"no CURRENT pointer under {root}")
+    name = pointer.read_text().strip()
+    return Path(root) / name

@@ -7,7 +7,9 @@ Commands:
 * ``compare``     — run several methods under one budget and print the
   comparison table;
 * ``tune``        — report the cost model's optimal code length for a
-  cache budget sweep.
+  cache budget sweep;
+* ``snapshot``    — build, inspect, serve and differentially verify
+  versioned pipeline snapshot artifacts (``repro.artifacts``).
 """
 
 from __future__ import annotations
@@ -304,6 +306,146 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def _build_spec(args):
+    """A ``PipelineSpec`` recording exactly how the snapshot was built.
+
+    The spec names the dataset (registry name + scale + seed) rather
+    than embedding it, so ``snapshot verify`` can re-materialize the
+    identical dataset and rebuild the pipeline through the single
+    build path.
+    """
+    from repro.spec.sections import (
+        CacheSection,
+        DatasetSection,
+        IndexSection,
+        PipelineSpec,
+    )
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    spec = PipelineSpec(
+        dataset=DatasetSection(
+            name=args.dataset, seed=args.seed, scale=args.scale
+        ),
+        index=IndexSection(name=args.index),
+        cache=CacheSection(
+            method=args.method,
+            tau=args.tau,
+            cache_bytes=_resolve_cache(args, dataset),
+        ),
+        k=args.k,
+        seed=args.seed,
+    )
+    return spec, dataset
+
+
+def cmd_snapshot_build(args) -> int:
+    """Build a pipeline from the flags and persist it as a snapshot."""
+    from repro.artifacts.snapshot import inspect_snapshot, save_snapshot
+    from repro.spec.build import build_pipeline
+
+    registry = _metrics_registry(args)
+    spec, dataset = _build_spec(args)
+    pipeline = build_pipeline(spec, dataset=dataset)
+    queries = (
+        dataset.query_log.test if dataset.query_log is not None else None
+    )
+    path = save_snapshot(args.out, pipeline, queries=queries, metrics=registry)
+    report = inspect_snapshot(path)
+    print(f"snapshot written to {path}")
+    print(f"  method={pipeline.method} index={args.index} tau={args.tau} "
+          f"k={args.k} members={report['total_bytes']} bytes")
+    if registry is not None:
+        _emit_metrics(args, registry, registry.snapshot())
+    return 0
+
+
+def cmd_snapshot_inspect(args) -> int:
+    """Print a snapshot's manifest summary and member sizes."""
+    from repro.artifacts.snapshot import inspect_snapshot
+
+    report = inspect_snapshot(args.path)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"snapshot {report['path']}")
+    for key in ("format_version", "kind", "method", "tau", "k",
+                "index_family", "cache_kind", "has_spec"):
+        print(f"  {key}: {report[key]}")
+    rows = [
+        [name, member["bytes"], member["digest"][:12]]
+        for name, member in sorted(report["members"].items())
+    ]
+    print(format_table(["member", "bytes", "digest"], rows, title="members"))
+    print(f"total member bytes: {report['total_bytes']}")
+    return 0
+
+
+def cmd_snapshot_serve(args) -> int:
+    """Open a snapshot zero-copy (mmap) and run its stored queries."""
+    from repro.artifacts.snapshot import load_queries, load_snapshot
+    from repro.artifacts.store import read_manifest
+    from repro.eval.runner import summarize
+    from repro.storage.disk import DiskConfig
+
+    registry = _metrics_registry(args)
+    pipeline = load_snapshot(args.path, mmap=not args.no_mmap,
+                             metrics=registry)
+    queries = load_queries(args.path)
+    if queries is None:
+        print("error: snapshot stores no queries to serve", file=sys.stderr)
+        return 2
+    if args.limit:
+        queries = queries[: args.limit]
+    manifest = read_manifest(args.path)
+    k = args.k or int(manifest["k"])
+    stats = [pipeline.search(q, k).stats for q in queries]
+    spec = getattr(pipeline, "spec", None)
+    disk = manifest.get("disk") or {}
+    defaults = DiskConfig()
+    result = summarize(
+        stats,
+        method=manifest["method"],
+        tau=int(manifest["tau"] or 0),
+        cache_bytes=spec.cache.cache_bytes if spec is not None else 0,
+        k=k,
+        read_latency_s=disk.get("read_latency_s", defaults.read_latency_s),
+        seq_read_latency_s=disk.get(
+            "seq_read_latency_s", defaults.seq_read_latency_s
+        ),
+    )
+    print(format_table(_RESULT_HEADERS, _result_rows([result]),
+                       title=f"served from {args.path}"))
+    if registry is not None:
+        _emit_metrics(args, registry, registry.snapshot())
+    return 0
+
+
+def cmd_snapshot_verify(args) -> int:
+    """Differentially verify a snapshot against a fresh spec rebuild.
+
+    Exits non-zero on any id/distance/page-read mismatch or on a
+    manifest format-version drift, so CI can gate on it.
+    """
+    from repro.artifacts.errors import ArtifactError, FormatVersionError
+    from repro.artifacts.snapshot import verify_snapshot
+
+    try:
+        report = verify_snapshot(args.path, k=args.k or None,
+                                 limit=args.limit or None)
+    except (FormatVersionError, ArtifactError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    status = "ok" if report["ok"] else "MISMATCH"
+    print(f"verify {args.path}: {status} "
+          f"({report['queries']} queries, kind={report['kind']}, "
+          f"method={report['method']}, v{report['format_version']})")
+    if not report["ok"]:
+        print(f"  mismatching query indexes: {report['mismatches']}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -327,12 +469,82 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tune = sub.add_parser("tune", help="cost-model tau tuning sweep")
     _add_common(p_tune)
+
+    p_snap = sub.add_parser(
+        "snapshot", help="build / inspect / serve / verify snapshot artifacts"
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+
+    p_build = snap_sub.add_parser(
+        "build", help="build a pipeline and persist it as a snapshot"
+    )
+    p_build.add_argument("out", help="snapshot directory to write")
+    p_build.add_argument("--dataset", default="tiny", choices=sorted(REGISTRY))
+    p_build.add_argument("--scale", type=float, default=1.0)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument("--k", type=int, default=10)
+    p_build.add_argument("--tau", type=int, default=8)
+    p_build.add_argument("--cache-kb", type=int, default=0,
+                         help="cache size in KB (0 = 30%% of the file)")
+    p_build.add_argument(
+        "--index", default="c2lsh",
+        choices=("c2lsh", "e2lsh", "multiprobe", "sklsh", "vafile",
+                 "vaplus", "linear", "idistance", "vptree", "mtree"),
+    )
+    p_build.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+    _add_snapshot_metrics(p_build)
+
+    p_inspect = snap_sub.add_parser(
+        "inspect", help="print a snapshot's manifest and member sizes"
+    )
+    p_inspect.add_argument("path", help="snapshot directory")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+
+    p_serve = snap_sub.add_parser(
+        "serve", help="mmap-load a snapshot and run its stored queries"
+    )
+    p_serve.add_argument("path", help="snapshot directory")
+    p_serve.add_argument("--k", type=int, default=0,
+                         help="result size (0 = the snapshot's k)")
+    p_serve.add_argument("--limit", type=int, default=0,
+                         help="serve only the first N stored queries")
+    p_serve.add_argument("--no-mmap", action="store_true",
+                         help="load members into memory instead of mmap")
+    _add_snapshot_metrics(p_serve)
+
+    p_verify = snap_sub.add_parser(
+        "verify", help="differential check vs a fresh spec rebuild "
+                       "(non-zero exit on mismatch)"
+    )
+    p_verify.add_argument("path", help="snapshot directory")
+    p_verify.add_argument("--k", type=int, default=0,
+                          help="result size (0 = the snapshot's k)")
+    p_verify.add_argument("--limit", type=int, default=0,
+                          help="verify only the first N stored queries")
     return parser
+
+
+def _add_snapshot_metrics(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect and print telemetry (repro.obs)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the metrics snapshot as JSON")
+    parser.add_argument("--metrics-format", choices=("table", "prom"),
+                        default="table")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "snapshot":
+        handlers = {
+            "build": cmd_snapshot_build,
+            "inspect": cmd_snapshot_inspect,
+            "serve": cmd_snapshot_serve,
+            "verify": cmd_snapshot_verify,
+        }
+        return handlers[args.snapshot_command](args)
     handlers = {
         "info": cmd_info,
         "experiment": cmd_experiment,

@@ -20,7 +20,6 @@ tree-based indexes (Section 3.6.1), caching whole leaf nodes.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
 
 import numpy as np
 
@@ -92,6 +91,36 @@ class PointCache:
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
         """Offer freshly fetched points (no-op for static policies)."""
 
+    # ------------------------------------------------------------------
+    # LRU recency bookkeeping (stamp clock), shared by the slot caches.
+    #
+    # Each cached id carries a stamp drawn from a strictly increasing
+    # clock; the LRU victim is the cached id with the smallest stamp.
+    # Stamps are assigned in array order, so one vectorized assignment
+    # reproduces exactly what per-element ``OrderedDict.move_to_end``
+    # calls would: later duplicates overwrite earlier stamps, and all
+    # stamps stay distinct (the clock never repeats).
+    # ------------------------------------------------------------------
+    def _touch(self, ids: np.ndarray) -> None:
+        """Mark ``ids`` most-recently-used, in array order (vectorized)."""
+        n = len(ids)
+        if n == 0:
+            return
+        self._stamp[ids] = np.arange(
+            self._clock + 1, self._clock + n + 1, dtype=np.int64
+        )
+        self._clock += n
+
+    def _evict_lru(self) -> int:
+        """Free the least-recently-used slot and return it."""
+        cached = self._id_of_slot[self._id_of_slot >= 0]
+        victim = int(cached[np.argmin(self._stamp[cached])])
+        slot = int(self._slot_of[victim])
+        self._slot_of[victim] = -1
+        self._id_of_slot[slot] = -1
+        self.telemetry.evictions += 1
+        return slot
+
 
 def _normalize_ids(ids: np.ndarray) -> np.ndarray:
     return np.atleast_1d(np.asarray(ids, dtype=np.int64))
@@ -149,7 +178,8 @@ class ApproximateCache(PointCache):
         self._slot_of = np.full(n_points, -1, dtype=np.int64)
         self._id_of_slot = np.full(self._max_items, -1, dtype=np.int64)
         self._free: list[int] = list(range(self._max_items - 1, -1, -1))
-        self._lru: OrderedDict[int, int] = OrderedDict()
+        self._stamp = np.zeros(n_points, dtype=np.int64)
+        self._clock = 0
         self.telemetry = CacheTelemetry()
 
     # ------------------------------------------------------------------
@@ -179,18 +209,14 @@ class ApproximateCache(PointCache):
                 if self.policy is not CachePolicy.LRU:
                     self.telemetry.rejections += 1
                     return  # static cache full
-                evict_id, evict_slot = self._lru.popitem(last=False)
-                self._slot_of[evict_id] = -1
-                self._free.append(evict_slot)
-                self.telemetry.evictions += 1
+                self._free.append(self._evict_lru())
             slot = self._free.pop()
             self._slot_of[point_id] = slot
             self._id_of_slot[slot] = point_id
             self._store.set_rows(np.asarray([slot]), codes_row[None, :])
             self.telemetry.admissions += 1
         if self.policy is CachePolicy.LRU:
-            self._lru[point_id] = int(self._slot_of[point_id])
-            self._lru.move_to_end(point_id)
+            self._touch(np.asarray([point_id]))
 
     def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
         """Bulk-load entries (in priority order); returns how many fit.
@@ -261,8 +287,7 @@ class ApproximateCache(PointCache):
             lo, hi = self.encoder.rectangles(codes)
             lb[hits], ub[hits] = rectangle_bounds(query, lo, hi)
             if self.policy is CachePolicy.LRU:
-                for pid in ids[hits].tolist():
-                    self._lru.move_to_end(pid)
+                self._touch(ids[hits])
         return hits, lb, ub
 
     def lookup_batch(
@@ -283,8 +308,7 @@ class ApproximateCache(PointCache):
             lo, hi = self.encoder.rectangles(codes)
             lb[:, hits], ub[:, hits] = batch_rectangle_bounds(queries, lo, hi)
             if self.policy is CachePolicy.LRU:
-                for pid in ids[hits].tolist():
-                    self._lru.move_to_end(pid)
+                self._touch(ids[hits])
         return hits, lb, ub
 
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:
@@ -324,8 +348,10 @@ class ExactCache(PointCache):
         self._max_items = min(capacity_bytes // self._item_bytes, n_points)
         self._data = np.zeros((self._max_items, dim), dtype=np.float64)
         self._slot_of = np.full(n_points, -1, dtype=np.int64)
+        self._id_of_slot = np.full(self._max_items, -1, dtype=np.int64)
         self._free: list[int] = list(range(self._max_items - 1, -1, -1))
-        self._lru: OrderedDict[int, int] = OrderedDict()
+        self._stamp = np.zeros(n_points, dtype=np.int64)
+        self._clock = 0
         self.telemetry = CacheTelemetry()
 
     @property
@@ -352,17 +378,14 @@ class ExactCache(PointCache):
                 if self.policy is not CachePolicy.LRU:
                     self.telemetry.rejections += 1
                     return
-                evict_id, evict_slot = self._lru.popitem(last=False)
-                self._slot_of[evict_id] = -1
-                self._free.append(evict_slot)
-                self.telemetry.evictions += 1
+                self._free.append(self._evict_lru())
             slot = self._free.pop()
             self._slot_of[point_id] = slot
+            self._id_of_slot[slot] = point_id
             self._data[slot] = point
             self.telemetry.admissions += 1
         if self.policy is CachePolicy.LRU:
-            self._lru[point_id] = int(self._slot_of[point_id])
-            self._lru.move_to_end(point_id)
+            self._touch(np.asarray([point_id]))
 
     def populate(self, ids: np.ndarray, points: np.ndarray) -> int:
         """Bulk-load entries; only genuinely new ids consume capacity."""
@@ -384,6 +407,7 @@ class ExactCache(PointCache):
             [self._free.pop() for _ in range(take)], dtype=np.int64
         )
         self._slot_of[ids] = slots
+        self._id_of_slot[slots] = ids
         self._data[slots] = points[:take]
         self.telemetry.admissions += take
         return take
@@ -412,8 +436,7 @@ class ExactCache(PointCache):
             lb[hits] = dist
             ub[hits] = dist
             if self.policy is CachePolicy.LRU:
-                for pid in ids[hits].tolist():
-                    self._lru.move_to_end(pid)
+                self._touch(ids[hits])
         return hits, lb, ub
 
     def lookup_batch(
@@ -436,8 +459,7 @@ class ExactCache(PointCache):
                 lb[i, hits] = dist
                 ub[i, hits] = dist
             if self.policy is CachePolicy.LRU:
-                for pid in ids[hits].tolist():
-                    self._lru.move_to_end(pid)
+                self._touch(ids[hits])
         return hits, lb, ub
 
     def admit(self, ids: np.ndarray, points: np.ndarray) -> None:

@@ -52,11 +52,14 @@ class RebuildReport:
         window_size: queries the rebuild was based on.
         cache_items: entries in the rebuilt cache.
         histogram_buckets: bucket count of the rebuilt histogram.
+        snapshot_path: where the rebuilt cache was published (None when
+            the maintainer runs without a snapshot root).
     """
 
     window_size: int
     cache_items: int
     histogram_buckets: int
+    snapshot_path: str | None = None
 
 
 class CacheMaintainer:
@@ -73,6 +76,17 @@ class CacheMaintainer:
             omitted).
         rebuild_every: automatic rebuild period in recorded queries
             (0 disables auto-rebuild).
+        snapshot_root: optional directory for versioned rebuild
+            artifacts.  Each rebuild then writes a ``snap-NNNNNN``
+            cache snapshot, fsyncs it, atomically republishes the
+            ``CURRENT`` pointer, and serves the cache *loaded back from
+            the snapshot* (mmap) — the paper's Section-3.5 daily-rebuild
+            deployment: serving processes only ever see complete,
+            published artifacts.
+        engine: optional live ``QueryEngine``; after a publish, the new
+            cache is hot-swapped into it between queries.
+        metrics: optional ``MetricsRegistry`` counting rebuilds,
+            snapshot saves/loads and hot swaps.
     """
 
     def __init__(
@@ -84,6 +98,9 @@ class CacheMaintainer:
         cache_bytes: int,
         window: SlidingWindowWorkload | None = None,
         rebuild_every: int = 0,
+        snapshot_root=None,
+        engine=None,
+        metrics=None,
     ) -> None:
         if tau <= 0 or k <= 0:
             raise ValueError("tau and k must be positive")
@@ -94,6 +111,9 @@ class CacheMaintainer:
         self.cache_bytes = cache_bytes
         self.window = window or SlidingWindowWorkload()
         self.rebuild_every = rebuild_every
+        self.snapshot_root = snapshot_root
+        self.engine = engine
+        self.metrics = metrics
         self.cache: ApproximateCache | None = None
         self._since_rebuild = 0
         self.rebuilds = 0
@@ -127,11 +147,48 @@ class CacheMaintainer:
         encoder = GlobalHistogramEncoder(histogram, self.points.shape[1])
         cache = ApproximateCache(encoder, self.cache_bytes, len(self.points))
         cache.populate_hff(frequencies, self.points)
-        self.cache = cache
         self._since_rebuild = 0
         self.rebuilds += 1
+        snapshot_path = None
+        if self.snapshot_root is not None:
+            cache, snapshot_path = self._publish(cache)
+        self.cache = cache
+        if self.engine is not None:
+            self.engine.swap_cache(cache)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "cache_swap_total", "hot swaps into a live engine"
+                ).inc()
+        if self.metrics is not None:
+            self.metrics.counter("cache_rebuild_total", "maintenance rebuilds").inc()
         return RebuildReport(
             window_size=len(queries),
             cache_items=cache.num_items,
             histogram_buckets=histogram.num_buckets,
+            snapshot_path=snapshot_path,
         )
+
+    def _publish(self, cache: ApproximateCache):
+        """Snapshot the rebuilt cache, publish it, reload it mmapped.
+
+        Build → fsync → atomic ``CURRENT`` republish → serve from the
+        published artifact: a crash at any point leaves either the old
+        or the new complete snapshot current, never a torn one.
+        """
+        from repro.artifacts.snapshot import (
+            load_cache_snapshot,
+            save_cache_snapshot,
+        )
+        from repro.artifacts.store import publish_current
+
+        name = f"snap-{self.rebuilds:06d}"
+        path = save_cache_snapshot(
+            self.snapshot_root, name, cache, metrics=self.metrics
+        )
+        publish_current(self.snapshot_root, name)
+        served = load_cache_snapshot(path, mmap=True, points=self.points)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "snapshot_load_total", "snapshots opened", kind="cache"
+            ).inc()
+        return served, str(path)

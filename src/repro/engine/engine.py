@@ -145,6 +145,26 @@ class QueryEngine:
     def is_tree(self) -> bool:
         return self.source.is_tree
 
+    def swap_cache(self, cache: PointCache) -> PointCache:
+        """Replace the engine's cache under live traffic; returns the old one.
+
+        The hot-swap step of snapshot maintenance: after a rebuild is
+        published, the maintainer loads the new cache (typically mmapped
+        from the snapshot) and swaps it in between queries.  All three
+        phase objects hold a reference to the cache, so every one is
+        repointed; in-flight queries keep the reference they started with.
+        """
+        if self.source.is_tree:
+            raise ValueError(
+                "tree engines keep their leaf cache inside the source; "
+                "build a new source instead of swapping"
+            )
+        old = self.cache
+        self.cache = cache
+        self.reduce.cache = cache
+        self.refine.cache = cache
+        return old
+
     def make_context(self) -> ExecutionContext:
         """A fresh per-query context carrying this engine's hooks."""
         return ExecutionContext(hooks=self.hooks)

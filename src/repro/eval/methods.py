@@ -31,14 +31,7 @@ from repro.core.builders import (
     build_knn_optimal,
     build_voptimal,
 )
-from repro.core.cache import (
-    ApproximateCache,
-    CachePolicy,
-    ExactCache,
-    LeafNodeCache,
-    NoCache,
-    PointCache,
-)
+from repro.core.cache import CachePolicy, LeafNodeCache, PointCache
 from repro.core.cost_model import CostModel
 from repro.core.encoder import (
     GlobalHistogramEncoder,
@@ -56,17 +49,12 @@ from repro.core.multidim import RTreeBucketEncoder
 from repro.core.search import CachedKNNSearch, SearchResult
 from repro.data.datasets import Dataset
 from repro.engine.engine import QueryEngine
-from repro.index.idistance import IDistanceIndex
-from repro.index.linear_scan import LinearScanIndex
-from repro.index.mtree import MTreeIndex
 from repro.index.treesearch import TreeSearchResult
-from repro.index.vafile import VAFileIndex
-from repro.index.vaplus import VAPlusFileIndex
-from repro.index.vptree import VPTreeIndex
-from repro.lsh.c2lsh import C2LSHIndex
-from repro.lsh.e2lsh import E2LSHIndex
-from repro.lsh.multiprobe import MultiProbeLSHIndex
-from repro.lsh.sklsh import SKLSHIndex
+from repro.spec.registry import (
+    INDEX_NAMES,
+    TREE_INDEX_NAMES,
+    build_index,
+)
 from repro.storage.disk import DiskConfig, SimulatedDisk
 from repro.storage.iostats import QueryIOTracker
 from repro.storage.ordering import make_order
@@ -85,27 +73,6 @@ METHOD_NAMES = (
     "iHC-O",
     "mHC-R",
 )
-
-INDEX_NAMES = ("c2lsh", "e2lsh", "multiprobe", "sklsh", "vafile", "vaplus", "linear")
-TREE_INDEX_NAMES = ("idistance", "vptree", "mtree")
-
-
-def _build_index(name: str, dataset: Dataset, seed: int):
-    if name == "c2lsh":
-        return C2LSHIndex(dataset.points, seed=seed)
-    if name == "e2lsh":
-        return E2LSHIndex(dataset.points, seed=seed)
-    if name == "multiprobe":
-        return MultiProbeLSHIndex(dataset.points, seed=seed)
-    if name == "sklsh":
-        return SKLSHIndex(dataset.points, seed=seed)
-    if name == "vafile":
-        return VAFileIndex(dataset.points)
-    if name == "vaplus":
-        return VAPlusFileIndex(dataset.points)
-    if name == "linear":
-        return LinearScanIndex(dataset.num_points)
-    raise ValueError(f"unknown index {name!r}; choices: {INDEX_NAMES}")
 
 
 @dataclass
@@ -140,11 +107,22 @@ class WorkloadContext:
         k: int = 10,
         seed: int = 0,
         disk: DiskConfig | None = None,
+        index_params: dict | None = None,
     ) -> "WorkloadContext":
         """Build the index, run the workload and collect cache inputs."""
         if dataset.query_log is None:
             raise ValueError("dataset needs a query log")
-        index = _build_index(index_name, dataset, seed)
+        if index_name not in INDEX_NAMES:
+            raise ValueError(
+                f"unknown index {index_name!r}; choices: {INDEX_NAMES}"
+            )
+        index = build_index(
+            index_name,
+            dataset.points,
+            seed=seed,
+            value_bytes=dataset.value_bytes,
+            params=index_params,
+        )
         order = make_order(ordering, dataset.points, seed=seed)
         point_file = PointFile(
             dataset.points,
@@ -322,6 +300,9 @@ class CachingPipeline:
     method: str
     tau: int | None
     searcher: CachedKNNSearch
+    #: The ``PipelineSpec`` this pipeline was built from (None for
+    #: hand-assembled pipelines); embedded in snapshot manifests.
+    spec: object | None = None
 
     @property
     def engine(self) -> QueryEngine:
@@ -352,45 +333,16 @@ def make_cache(
     cache_bytes: int = 1 << 20,
     policy: CachePolicy = CachePolicy.HFF,
 ) -> PointCache:
-    """Build and (for HFF) populate the cache of a named method."""
-    dataset = context.dataset
-    if method == "NO-CACHE":
-        return NoCache()
-    if method == "EXACT":
-        cache = ExactCache(
-            dataset.dim,
-            cache_bytes,
-            dataset.num_points,
-            value_bytes=dataset.value_bytes,
-            policy=policy,
-        )
-        if policy is CachePolicy.HFF:
-            cache.populate_hff(context.frequencies, dataset.points)
-        return cache
-    if method == "C-VA":
-        # Tune bits so the whole (word-rounded) VA-file fits in cache;
-        # fall back to 1 bit/dim when even that does not fit everything.
-        from repro.core.cost_model import packed_row_bytes
+    """Build and (for HFF) populate the cache of a named method.
 
-        bits = 1
-        for candidate in range(16, 0, -1):
-            if dataset.num_points * packed_row_bytes(dataset.dim, candidate) <= cache_bytes:
-                bits = candidate
-                break
-        histograms = []
-        for j in range(dataset.dim):
-            domain = dataset.dimension_domain(j)
-            histograms.append(build_equidepth(domain, 2**bits))
-        encoder = IndividualHistogramEncoder(histograms)
-        cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
-        order = np.argsort(-context.frequencies, kind="stable")
-        cache.populate(order, dataset.points[order])
-        return cache
-    encoder = context.encoder(method, tau)
-    cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
-    if policy is CachePolicy.HFF:
-        cache.populate_hff(context.frequencies, dataset.points)
-    return cache
+    Thin wrapper over the single construction implementation in
+    :func:`repro.spec.build.make_method_cache`.
+    """
+    from repro.spec.build import make_method_cache
+
+    return make_method_cache(
+        context, method, tau=tau, cache_bytes=cache_bytes, policy=policy
+    )
 
 
 def build_caching_pipeline(
@@ -409,26 +361,35 @@ def build_caching_pipeline(
 ) -> CachingPipeline:
     """One-call assembly of a complete cached-search configuration.
 
-    Pass a pre-built ``context`` to reuse the index and workload scans
-    across methods (recommended in benchmarks).  ``metrics`` is an
-    optional ``MetricsRegistry`` (see ``repro.obs``) the engine will
-    aggregate phase timings and per-query stats into.  ``resilience``
-    is an optional ``repro.faults.ResiliencePolicy`` guarding the
-    refinement I/O (retries, breaker, deadline, degraded answers).
+    Thin adapter: folds the keyword arguments into a declarative
+    :class:`~repro.spec.PipelineSpec` and delegates to the single build
+    path (:func:`repro.spec.build.build_pipeline`).  Pass a pre-built
+    ``context`` to reuse the index and workload scans across methods
+    (recommended in benchmarks).  ``metrics`` is an optional
+    ``MetricsRegistry`` (see ``repro.obs``) the engine will aggregate
+    phase timings and per-query stats into.  ``resilience`` is an
+    optional ``repro.faults.ResiliencePolicy`` guarding the refinement
+    I/O (retries, breaker, deadline, degraded answers).
     """
-    if method not in METHOD_NAMES:
-        raise ValueError(f"unknown method {method!r}; choices: {METHOD_NAMES}")
-    if context is None:
-        context = WorkloadContext.prepare(
-            dataset, index_name=index_name, ordering=ordering, k=k, seed=seed
-        )
-    cache = make_cache(context, method, tau=tau, cache_bytes=cache_bytes, policy=policy)
-    searcher = CachedKNNSearch(
-        context.index, context.point_file, cache, metrics=metrics,
-        resilience=resilience,
+    from repro.spec.build import build_pipeline, spec_from_kwargs
+
+    spec = spec_from_kwargs(
+        dataset=dataset,
+        method=method,
+        tau=tau,
+        cache_bytes=cache_bytes,
+        index_name=index_name,
+        ordering=ordering,
+        k=k,
+        policy=policy,
+        seed=seed,
     )
-    return CachingPipeline(
-        context=context, cache=cache, method=method, tau=tau, searcher=searcher
+    return build_pipeline(
+        spec,
+        dataset=dataset,
+        context=context,
+        metrics=metrics,
+        resilience=resilience,
     )
 
 
@@ -451,6 +412,9 @@ class TreePipeline:
     read_latency_s: float = 5e-3
     engine: QueryEngine | None = None
     metrics: object = None
+    #: The ``PipelineSpec`` this pipeline was built from (None for
+    #: hand-assembled pipelines); embedded in snapshot manifests.
+    spec: object | None = None
 
     def __post_init__(self) -> None:
         if self.engine is None:
@@ -483,34 +447,25 @@ def build_tree_pipeline(
 ) -> TreePipeline:
     """Assemble a tree index with the Section-3.6.1 leaf cache.
 
-    ``method`` may be NO-CACHE, EXACT, or any global/per-dimension HC-*
-    method (the leaf cache stores approximate representations of all
-    points of each cached leaf).
+    Thin adapter over the single build path (see
+    :func:`repro.spec.build.build_pipeline`).  ``method`` may be
+    NO-CACHE, EXACT, or any global/per-dimension HC-* method (the leaf
+    cache stores approximate representations of all points of each
+    cached leaf).
     """
-    if index_name == "idistance":
-        index = IDistanceIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
-    elif index_name == "vptree":
-        index = VPTreeIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
-    elif index_name == "mtree":
-        index = MTreeIndex(dataset.points, seed=seed, value_bytes=dataset.value_bytes)
-    else:
+    if index_name not in TREE_INDEX_NAMES:
         raise ValueError(
             f"unknown tree index {index_name!r}; choices: {TREE_INDEX_NAMES}"
         )
-    if method == "NO-CACHE":
-        return TreePipeline(index=index, cache=None, method=method, metrics=metrics)
-    if method == "EXACT":
-        cache = LeafNodeCache(
-            None, cache_bytes, exact=True, value_bytes=dataset.value_bytes
-        )
-    else:
-        if context is None:
-            context = WorkloadContext.prepare(
-                dataset, index_name="linear", ordering="raw", k=k, seed=seed
-            )
-        encoder = context.encoder(method, tau)
-        cache = LeafNodeCache(encoder, cache_bytes)
-    if dataset.query_log is not None:
-        freqs = index.leaf_access_frequencies(dataset.query_log.workload, k)
-        cache.populate_by_frequency(freqs, index.leaf_contents)
-    return TreePipeline(index=index, cache=cache, method=method, metrics=metrics)
+    from repro.spec.build import build_pipeline, spec_from_kwargs
+
+    spec = spec_from_kwargs(
+        dataset=dataset,
+        method=method,
+        tau=tau,
+        cache_bytes=cache_bytes,
+        index_name=index_name,
+        k=k,
+        seed=seed,
+    )
+    return build_pipeline(spec, dataset=dataset, context=context, metrics=metrics)

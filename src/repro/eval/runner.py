@@ -21,8 +21,9 @@ from repro.core.encoder import PointEncoder
 from repro.core.reduction import reduce_candidates
 from repro.core.search import QueryStats
 from repro.data.datasets import Dataset
-from repro.eval.methods import WorkloadContext, build_caching_pipeline
+from repro.eval.methods import WorkloadContext
 from repro.obs.registry import MetricsRegistry
+from repro.spec.sections import PipelineSpec
 from repro.obs.reporter import observed_vs_predicted, publish_cache_metrics
 
 
@@ -109,26 +110,17 @@ class Experiment:
     #: cache-only answers.  Required to mask injected faults.
     resilience: object | None = None
 
-    def run(
-        self,
-        queries: np.ndarray | None = None,
-        context: WorkloadContext | None = None,
-    ) -> ExperimentResult:
-        """Execute the test queries and aggregate statistics.
+    def to_spec(self) -> PipelineSpec:
+        """The declarative :class:`PipelineSpec` of this configuration.
 
-        Args:
-            queries: query points (defaults to the dataset's ``Qtest``).
-            context: pre-built workload context to share across methods.
+        Faults/resilience/metrics are live objects on the experiment and
+        are passed alongside the spec at build time, so the spec records
+        only the serializable configuration.
         """
-        registry: MetricsRegistry | None = None
-        if self.metrics:
-            registry = (
-                self.metrics
-                if isinstance(self.metrics, MetricsRegistry)
-                else MetricsRegistry()
-            )
-        pipeline = build_caching_pipeline(
-            self.dataset,
+        from repro.spec.build import spec_from_kwargs
+
+        return spec_from_kwargs(
+            dataset=self.dataset,
             method=self.method,
             tau=self.tau,
             cache_bytes=self.cache_bytes,
@@ -137,6 +129,52 @@ class Experiment:
             k=self.k,
             policy=self.policy,
             seed=self.seed,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: PipelineSpec, dataset: Dataset, **kwargs):
+        """An experiment mirroring a spec's configuration."""
+        from repro.spec.build import resolve_policy
+
+        return cls(
+            dataset,
+            method=spec.cache.method,
+            k=spec.k,
+            tau=spec.cache.tau,
+            cache_bytes=spec.cache.cache_bytes,
+            index_name=spec.index.name,
+            ordering=spec.ordering,
+            policy=resolve_policy(spec.cache.policy),
+            seed=spec.seed,
+            **kwargs,
+        )
+
+    def run(
+        self,
+        queries: np.ndarray | None = None,
+        context: WorkloadContext | None = None,
+    ) -> ExperimentResult:
+        """Execute the test queries and aggregate statistics.
+
+        Construction goes through the single spec build path
+        (:func:`repro.spec.build.build_pipeline`) via :meth:`to_spec`.
+
+        Args:
+            queries: query points (defaults to the dataset's ``Qtest``).
+            context: pre-built workload context to share across methods.
+        """
+        from repro.spec.build import build_pipeline
+
+        registry: MetricsRegistry | None = None
+        if self.metrics:
+            registry = (
+                self.metrics
+                if isinstance(self.metrics, MetricsRegistry)
+                else MetricsRegistry()
+            )
+        pipeline = build_pipeline(
+            self.to_spec(),
+            dataset=self.dataset,
             context=context,
             metrics=registry,
             resilience=self.resilience,

@@ -63,13 +63,50 @@ class IDistanceIndex:
         self.points = points
         self.n_points, self.dim = points.shape
         self.page_size = page_size
-        self.centers, labels = kmeans(points, n_refs, seed=seed)
-        radii = np.linalg.norm(points - self.centers[labels], axis=1)
+        self.value_bytes = value_bytes
+        self.btree_order = btree_order
+        centers, labels = kmeans(points, n_refs, seed=seed)
+        self.centers = centers
+        self._labels = np.asarray(labels, dtype=np.int64)
+        self._build_layout()
+
+    @classmethod
+    def from_state(
+        cls,
+        points: np.ndarray,
+        centers: np.ndarray,
+        labels: np.ndarray,
+        page_size: int = 4096,
+        value_bytes: int = 4,
+        btree_order: int = 32,
+    ) -> "IDistanceIndex":
+        """Rebuild from a persisted clustering, skipping k-means.
+
+        Radii, stride, leaf layout and the B+-tree are deterministic
+        functions of ``(points, centers, labels)``, so only the cluster
+        assignment needs persisting — the rest is recomputed bit-identically
+        in milliseconds.
+        """
+        index = cls.__new__(cls)
+        index.points = np.asarray(points, dtype=np.float64)
+        index.n_points, index.dim = index.points.shape
+        index.page_size = page_size
+        index.value_bytes = value_bytes
+        index.btree_order = btree_order
+        index.centers = np.asarray(centers, dtype=np.float64)
+        index._labels = np.asarray(labels, dtype=np.int64)
+        index._build_layout()
+        return index
+
+    def _build_layout(self) -> None:
+        """Derive radii, stride, leaf layout and the key B+-tree."""
+        labels = self._labels
+        radii = np.linalg.norm(self.points - self.centers[labels], axis=1)
         # The key-space stride C must exceed any within-cluster radius.
         self.stride = float(radii.max()) * 2.0 + 1.0
-        point_bytes = self.dim * value_bytes
-        per_leaf = max(1, page_size // point_bytes)
-        pages_per_leaf = max(1, -(-point_bytes * per_leaf // page_size))
+        point_bytes = self.dim * self.value_bytes
+        per_leaf = max(1, self.page_size // point_bytes)
+        pages_per_leaf = max(1, -(-point_bytes * per_leaf // self.page_size))
         order = np.lexsort((radii, labels))
         self.leaves: list[_Leaf] = []
         next_page = 0
@@ -103,7 +140,7 @@ class IDistanceIndex:
                 (leaf.cluster * self.stride + leaf.r_min, leaf.leaf_id)
                 for leaf in self.leaves
             ],
-            order=btree_order,
+            order=self.btree_order,
         )
 
     # ------------------------------------------------------------------

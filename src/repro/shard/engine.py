@@ -119,15 +119,19 @@ class ShardedEngine:
             raise ValueError("need at least one shard spec")
         self.specs = list(specs)
         self.n_shards = len(self.specs)
-        self.n_points = sum(len(s.member_ids) for s in self.specs)
+        # Snapshot-backed specs ship no arrays; the coordinator needs the
+        # ownership map for routing, so it mmaps just the member ids from
+        # the snapshot (workers hydrate the rest themselves).
+        member_sets = [self._spec_member_ids(spec) for spec in self.specs]
+        self.n_points = sum(len(ids) for ids in member_sets)
         #: global point id -> owning shard index.
         self.shard_of = np.full(self.n_points, -1, dtype=np.int64)
-        for s, spec in enumerate(self.specs):
-            if np.any(spec.member_ids >= self.n_points) or np.any(
-                self.shard_of[spec.member_ids] != -1
+        for s, member_ids in enumerate(member_sets):
+            if np.any(member_ids >= self.n_points) or np.any(
+                self.shard_of[member_ids] != -1
             ):
                 raise ValueError("shard member ids must partition 0..n-1")
-            self.shard_of[spec.member_ids] = s
+            self.shard_of[member_ids] = s
         self.is_tree = self.specs[0].index_name in TREE_INDEX_NAMES
         #: dynamic caches mutate on every lookup/admission, so query
         #: order is observable — mirror QueryEngine.search_many's
@@ -147,6 +151,16 @@ class ShardedEngine:
             )
         self.executor = executor
         self.executor.start(self.specs)
+
+    @staticmethod
+    def _spec_member_ids(spec: ShardSpec) -> np.ndarray:
+        """A spec's member ids, mmapped from its snapshot when absent."""
+        if spec.member_ids is not None:
+            return spec.member_ids
+        # Lazy import: artifacts.sharding imports shard.spec.
+        from repro.artifacts.sharding import load_shard_member_ids
+
+        return load_shard_member_ids(spec.snapshot_path, spec.shard_id)
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedEngine":

@@ -204,34 +204,13 @@ def method_cache_spec(
 ) -> dict | None:
     """The global cache recipe of a paper method name.
 
-    Mirrors :func:`repro.eval.methods.make_cache` (and the tree leaf
-    cache of ``build_tree_pipeline``) onto the picklable ``cache_spec``
-    shape shards understand.
+    Thin wrapper over :func:`repro.spec.build.cache_recipe` — the same
+    implementation that backs the unsharded ``make_cache``, so sharded
+    runs cache exactly what the unsharded build would.
     """
-    if method == "NO-CACHE":
-        return None
-    if index_name in TREE_INDEX_NAMES:
-        spec = {"kind": "leaf", "capacity_bytes": cache_bytes, "k": context.k}
-        if method == "EXACT":
-            spec["exact"] = True
-        else:
-            spec["encoder"] = context.encoder(method, tau)
-        if context.dataset.query_log is not None:
-            spec["populate_workload"] = context.dataset.query_log.workload
-        return spec
-    if method == "EXACT":
-        return {"kind": "exact", "capacity_bytes": cache_bytes, "policy": "hff"}
-    if method == "C-VA":
-        raise ValueError(
-            "C-VA tunes its encoder to the total budget and is not "
-            "supported with --shards"
-        )
-    return {
-        "kind": "approx",
-        "capacity_bytes": cache_bytes,
-        "policy": "hff",
-        "encoder": context.encoder(method, tau),
-    }
+    from repro.spec.build import cache_recipe
+
+    return cache_recipe(context, method, tau, cache_bytes, index_name)
 
 
 def specs_from_method(

@@ -41,12 +41,11 @@ from repro.engine.stats import QueryStats
 from repro.faults.disk import FaultyDisk
 from repro.faults.plan import FaultSpec
 from repro.faults.policy import ResiliencePolicy
-from repro.index.idistance import IDistanceIndex
-from repro.index.linear_scan import LinearScanIndex
-from repro.index.mtree import MTreeIndex
-from repro.index.vafile import VAFileIndex
-from repro.index.vptree import VPTreeIndex
-from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams
+from repro.spec.registry import (
+    INDEX_REGISTRY,
+    TREE_INDEX_NAMES as REGISTRY_TREE_INDEX_NAMES,
+)
+from repro.spec.registry import build_index as registry_build_index
 from repro.storage.disk import DiskConfig, SimulatedDisk
 from repro.storage.pointfile import PointFile
 
@@ -61,7 +60,8 @@ class ShardSpec:
             shard.  Sorted membership makes the global<->local mapping
             monotone, preserving relative id order for tie-breaking.
         points: ``(len(member_ids), d)`` rows aligned with ``member_ids``.
-        index_name: a key of ``INDEX_BUILDERS`` or a ``module:attr``
+        index_name: a key of the shared component registry
+            (``repro.spec.registry.INDEX_REGISTRY``) or a ``module:attr``
             reference to a builder callable (used by tests to inject
             custom indexes into process workers).
         index_params: builder-specific parameters (picklable dict).
@@ -85,11 +85,18 @@ class ShardSpec:
             forwarded to the shard's ``QueryEngine`` and applied to the
             shard-local refinement fetches; each runtime builds its own
             private breaker/retry state from it.
+        snapshot_path: optional shard-snapshot root written by
+            ``repro.artifacts.sharding.save_shard_snapshots``.  When set,
+            ``member_ids``/``points`` (and the cache recipe's arrays) may
+            be None — the worker hydrates them from the snapshot via
+            ``np.load(mmap_mode="r")``, so a pickled spec is a few hundred
+            bytes and every worker process shares one physical copy of
+            the arrays through the page cache.
     """
 
     shard_id: int
-    member_ids: np.ndarray
-    points: np.ndarray
+    member_ids: np.ndarray | None = None
+    points: np.ndarray | None = None
     index_name: str = "linear"
     index_params: dict = field(default_factory=dict)
     cache_spec: dict | None = None
@@ -99,8 +106,16 @@ class ShardSpec:
     metrics: bool = True
     faults: FaultSpec | None = None
     resilience: ResiliencePolicy | None = None
+    snapshot_path: str | None = None
 
     def __post_init__(self) -> None:
+        if self.member_ids is None or self.points is None:
+            if self.snapshot_path is None:
+                raise ValueError(
+                    "member_ids/points may only be omitted when "
+                    "snapshot_path names a shard snapshot to hydrate from"
+                )
+            return
         member_ids = np.asarray(self.member_ids, dtype=np.int64)
         points = np.asarray(self.points, dtype=np.float64)
         if member_ids.ndim != 1 or len(member_ids) == 0:
@@ -140,52 +155,35 @@ class RefineTask:
 # ----------------------------------------------------------------------
 # Index builders
 # ----------------------------------------------------------------------
-def _build_c2lsh(spec: ShardSpec):
-    params = C2LSHParams(**spec.index_params.get("params", {}))
-    return C2LSHIndex(
-        spec.points,
-        params=params,
-        seed=spec.seed,
-        base_radius=spec.index_params.get("base_radius"),
-    )
-
-
-INDEX_BUILDERS = {
-    "linear": lambda spec: LinearScanIndex(len(spec.points)),
-    "c2lsh": _build_c2lsh,
-    "vafile": lambda spec: VAFileIndex(
-        spec.points, bits=spec.index_params.get("bits", 6)
-    ),
-    "idistance": lambda spec: IDistanceIndex(
-        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
-    ),
-    "vptree": lambda spec: VPTreeIndex(
-        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
-    ),
-    "mtree": lambda spec: MTreeIndex(
-        spec.points, seed=spec.seed, value_bytes=spec.value_bytes
-    ),
-}
-
-TREE_INDEX_NAMES = ("idistance", "vptree", "mtree")
+TREE_INDEX_NAMES = REGISTRY_TREE_INDEX_NAMES
 
 
 def build_index(spec: ShardSpec):
     """Build the shard's index from its spec.
 
-    ``index_name`` may also be a ``module:attr`` reference resolving to a
-    callable ``spec -> index`` — importable by name, so process workers
-    can construct indexes the registry does not know about.
+    Known family names route through the shared component registry
+    (:data:`repro.spec.registry.INDEX_REGISTRY`) — the same builders the
+    unsharded pipeline uses, which is part of what makes sharded
+    execution executor-invariant.  ``index_name`` may also be a
+    ``module:attr`` reference resolving to a callable ``spec -> index``
+    — importable by name, so process workers can construct indexes the
+    registry does not know about.
     """
-    builder = INDEX_BUILDERS.get(spec.index_name)
-    if builder is None:
-        if ":" not in spec.index_name:
-            raise ValueError(
-                f"unknown index {spec.index_name!r}; choices: "
-                f"{sorted(INDEX_BUILDERS)} or a module:attr reference"
-            )
-        module_name, attr = spec.index_name.split(":", 1)
-        builder = getattr(importlib.import_module(module_name), attr)
+    if spec.index_name in INDEX_REGISTRY:
+        return registry_build_index(
+            spec.index_name,
+            spec.points,
+            seed=spec.seed,
+            value_bytes=spec.value_bytes,
+            params=spec.index_params,
+        )
+    if ":" not in spec.index_name:
+        raise ValueError(
+            f"unknown index {spec.index_name!r}; choices: "
+            f"{sorted(INDEX_REGISTRY)} or a module:attr reference"
+        )
+    module_name, attr = spec.index_name.split(":", 1)
+    builder = getattr(importlib.import_module(module_name), attr)
     return builder(spec)
 
 
@@ -445,5 +443,16 @@ class ShardRuntime:
 
 
 def build_shard_runtime(spec: ShardSpec) -> ShardRuntime:
-    """Construct a shard's runtime — the single path all executors use."""
+    """Construct a shard's runtime — the single path all executors use.
+
+    Snapshot-backed specs (``member_ids is None``) are hydrated first:
+    the worker memory-maps the shard's arrays from ``snapshot_path``
+    instead of unpickling them, so all executors — and all worker
+    processes — serve one physical copy of the shard data.
+    """
+    if spec.member_ids is None or spec.points is None:
+        # Lazy import: artifacts.sharding imports ShardSpec from here.
+        from repro.artifacts.sharding import load_shard_spec
+
+        spec = load_shard_spec(spec.snapshot_path, spec.shard_id, template=spec)
     return ShardRuntime(spec)

@@ -1,0 +1,41 @@
+"""Declarative pipeline specifications — the single build path.
+
+A :class:`PipelineSpec` is a frozen, serializable description of one
+complete cached-search configuration: dataset, index, cache method,
+resilience, sharding and metrics.  It round-trips through JSON and TOML,
+and :meth:`PipelineSpec.build` is the *only* place in the codebase that
+wires an index + cache + point file into a pipeline — the historical
+entry points (``build_caching_pipeline``, ``build_tree_pipeline``,
+``Experiment``, ``shard.factory``, the CLI) are thin adapters over it.
+
+The component registry (:mod:`repro.spec.registry`) maps index family
+names to builder callables and is extensible via :func:`register_index`.
+"""
+
+from repro.spec.registry import (
+    INDEX_REGISTRY,
+    build_index,
+    register_index,
+)
+from repro.spec.sections import (
+    CacheSection,
+    DatasetSection,
+    IndexSection,
+    MetricsSection,
+    PipelineSpec,
+    ResilienceSection,
+    ShardSection,
+)
+
+__all__ = [
+    "CacheSection",
+    "DatasetSection",
+    "INDEX_REGISTRY",
+    "IndexSection",
+    "MetricsSection",
+    "PipelineSpec",
+    "ResilienceSection",
+    "ShardSection",
+    "build_index",
+    "register_index",
+]

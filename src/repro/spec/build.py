@@ -1,0 +1,348 @@
+"""The single pipeline-construction implementation.
+
+Everything that used to wire indexes, caches and point files together —
+``build_caching_pipeline``, ``build_tree_pipeline``, ``make_cache``,
+``shard.factory.method_cache_spec``, ``Experiment.run`` and the CLI —
+now adapts its arguments into a :class:`~repro.spec.PipelineSpec` and
+calls :func:`build_pipeline` / :func:`build_sharded` here.  Keeping one
+copy is what makes snapshot artifacts trustworthy: the spec embedded in
+a manifest rebuilds through exactly the code that built the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import (
+    ApproximateCache,
+    CachePolicy,
+    ExactCache,
+    LeafNodeCache,
+    NoCache,
+    PointCache,
+)
+from repro.core.encoder import IndividualHistogramEncoder
+from repro.core.search import CachedKNNSearch
+from repro.data.datasets import Dataset, load_dataset
+from repro.spec.registry import TREE_INDEX_NAMES, build_index
+from repro.spec.sections import (
+    CacheSection,
+    DatasetSection,
+    IndexSection,
+    PipelineSpec,
+    ResilienceSection,
+)
+
+
+def resolve_dataset(section: DatasetSection) -> Dataset:
+    """Materialize the spec's dataset (saved file wins over registry)."""
+    if section.path is not None:
+        from repro.persist import load_dataset_file
+
+        return load_dataset_file(section.path)
+    return load_dataset(section.name, seed=section.seed, scale=section.scale)
+
+
+def resolve_policy(name: str) -> CachePolicy:
+    """Map a spec policy string onto the ``CachePolicy`` enum."""
+    if name == "lru":
+        return CachePolicy.LRU
+    if name == "hff":
+        return CachePolicy.HFF
+    raise ValueError(f"unknown cache policy {name!r}")
+
+
+def build_resilience(section: ResilienceSection):
+    """``(FaultSpec | None, ResiliencePolicy | None)`` from the section."""
+    if not section.enabled:
+        return None, None
+    from repro.faults import ResiliencePolicy, RetryPolicy, parse_fault_spec
+
+    fault_spec = parse_fault_spec(section.faults) if section.faults else None
+    policy = ResiliencePolicy(
+        retry=RetryPolicy(max_retries=max(0, section.max_retries)),
+        deadline_s=section.deadline_ms / 1e3 if section.deadline_ms > 0 else None,
+        degraded=section.degraded,
+    )
+    return fault_spec, policy
+
+
+def spec_from_kwargs(
+    dataset: Dataset | None = None,
+    method: str = "HC-O",
+    tau: int = 8,
+    cache_bytes: int = 1 << 20,
+    index_name: str = "c2lsh",
+    ordering: str = "raw",
+    k: int = 10,
+    policy: CachePolicy = CachePolicy.HFF,
+    seed: int = 0,
+) -> PipelineSpec:
+    """A spec mirroring the historical ``build_caching_pipeline`` args."""
+    return PipelineSpec(
+        dataset=DatasetSection(
+            name=dataset.name if dataset is not None else "tiny", seed=seed
+        ),
+        index=IndexSection(name=index_name),
+        cache=CacheSection(
+            method=method,
+            tau=tau,
+            cache_bytes=cache_bytes,
+            policy="lru" if policy is CachePolicy.LRU else "hff",
+        ),
+        k=k,
+        ordering=ordering,
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache construction (the one copy)
+# ----------------------------------------------------------------------
+def make_method_cache(
+    context,
+    method: str,
+    tau: int = 8,
+    cache_bytes: int = 1 << 20,
+    policy: CachePolicy = CachePolicy.HFF,
+) -> PointCache:
+    """Build and (for HFF) populate the cache of a named method."""
+    dataset = context.dataset
+    if method == "NO-CACHE":
+        return NoCache()
+    if method == "EXACT":
+        cache = ExactCache(
+            dataset.dim,
+            cache_bytes,
+            dataset.num_points,
+            value_bytes=dataset.value_bytes,
+            policy=policy,
+        )
+        if policy is CachePolicy.HFF:
+            cache.populate_hff(context.frequencies, dataset.points)
+        return cache
+    if method == "C-VA":
+        # Tune bits so the whole (word-rounded) VA-file fits in cache;
+        # fall back to 1 bit/dim when even that does not fit everything.
+        from repro.core.cost_model import packed_row_bytes
+
+        bits = 1
+        for candidate in range(16, 0, -1):
+            if dataset.num_points * packed_row_bytes(dataset.dim, candidate) <= cache_bytes:
+                bits = candidate
+                break
+        histograms = []
+        for j in range(dataset.dim):
+            domain = dataset.dimension_domain(j)
+            histograms.append(build_equidepth(domain, 2**bits))
+        encoder = IndividualHistogramEncoder(histograms)
+        cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
+        order = np.argsort(-context.frequencies, kind="stable")
+        cache.populate(order, dataset.points[order])
+        return cache
+    encoder = context.encoder(method, tau)
+    cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
+    if policy is CachePolicy.HFF:
+        cache.populate_hff(context.frequencies, dataset.points)
+    return cache
+
+
+def cache_recipe(
+    context, method: str, tau: int, cache_bytes: int, index_name: str
+) -> dict | None:
+    """The picklable cache recipe of a paper method name.
+
+    The shard layer's ``cache_spec`` form of :func:`make_method_cache`
+    (and of the tree leaf cache), so sharded runs cache exactly what the
+    unsharded build would.
+    """
+    if method == "NO-CACHE":
+        return None
+    if index_name in TREE_INDEX_NAMES:
+        spec = {"kind": "leaf", "capacity_bytes": cache_bytes, "k": context.k}
+        if method == "EXACT":
+            spec["exact"] = True
+        else:
+            spec["encoder"] = context.encoder(method, tau)
+        if context.dataset.query_log is not None:
+            spec["populate_workload"] = context.dataset.query_log.workload
+        return spec
+    if method == "EXACT":
+        return {"kind": "exact", "capacity_bytes": cache_bytes, "policy": "hff"}
+    if method == "C-VA":
+        raise ValueError(
+            "C-VA tunes its encoder to the total budget and is not "
+            "supported with --shards"
+        )
+    return {
+        "kind": "approx",
+        "capacity_bytes": cache_bytes,
+        "policy": "hff",
+        "encoder": context.encoder(method, tau),
+    }
+
+
+# ----------------------------------------------------------------------
+# Pipeline construction (the one copy)
+# ----------------------------------------------------------------------
+def build_pipeline(
+    spec: PipelineSpec,
+    dataset: Dataset | None = None,
+    context=None,
+    metrics=None,
+    resilience=None,
+):
+    """Materialize the pipeline a :class:`PipelineSpec` describes.
+
+    Returns a ``CachingPipeline`` for candidate-path indexes or a
+    ``TreePipeline`` for tree indexes.  ``dataset``/``context`` override
+    the spec's dataset section with pre-built objects (shared across
+    methods in sweeps); ``metrics`` and ``resilience`` likewise override
+    the spec's sections with live objects.
+    """
+    from repro.eval.methods import METHOD_NAMES
+
+    method = spec.cache.method
+    if method not in METHOD_NAMES:
+        raise ValueError(f"unknown method {method!r}; choices: {METHOD_NAMES}")
+    if dataset is None:
+        dataset = resolve_dataset(spec.dataset)
+    if metrics is None and spec.metrics.enabled:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if resilience is None and spec.resilience.enabled:
+        _, resilience = build_resilience(spec.resilience)
+    if spec.index.name in TREE_INDEX_NAMES:
+        return _build_tree_pipeline(spec, dataset, context, metrics)
+    return _build_point_pipeline(spec, dataset, context, metrics, resilience)
+
+
+def _build_point_pipeline(spec, dataset, context, metrics, resilience):
+    from repro.eval.methods import CachingPipeline, WorkloadContext
+
+    if context is None:
+        context = WorkloadContext.prepare(
+            dataset,
+            index_name=spec.index.name,
+            index_params=spec.index.params,
+            ordering=spec.ordering,
+            k=spec.k,
+            seed=spec.seed,
+        )
+    cache = make_method_cache(
+        context,
+        spec.cache.method,
+        tau=spec.cache.tau,
+        cache_bytes=spec.cache.cache_bytes,
+        policy=resolve_policy(spec.cache.policy),
+    )
+    searcher = CachedKNNSearch(
+        context.index,
+        context.point_file,
+        cache,
+        metrics=metrics,
+        resilience=resilience,
+    )
+    return CachingPipeline(
+        context=context,
+        cache=cache,
+        method=spec.cache.method,
+        tau=spec.cache.tau,
+        searcher=searcher,
+        spec=spec,
+    )
+
+
+def _build_tree_pipeline(spec, dataset, context, metrics):
+    from repro.eval.methods import TreePipeline, WorkloadContext
+
+    method = spec.cache.method
+    index = build_index(
+        spec.index.name,
+        dataset.points,
+        seed=spec.seed,
+        value_bytes=dataset.value_bytes,
+        params=spec.index.params,
+    )
+    if method == "NO-CACHE":
+        return TreePipeline(
+            index=index, cache=None, method=method, metrics=metrics, spec=spec
+        )
+    if method == "EXACT":
+        cache = LeafNodeCache(
+            None,
+            spec.cache.cache_bytes,
+            exact=True,
+            value_bytes=dataset.value_bytes,
+        )
+    else:
+        if context is None:
+            context = WorkloadContext.prepare(
+                dataset,
+                index_name="linear",
+                ordering="raw",
+                k=spec.k,
+                seed=spec.seed,
+            )
+        encoder = context.encoder(method, spec.cache.tau)
+        cache = LeafNodeCache(encoder, spec.cache.cache_bytes)
+    if dataset.query_log is not None:
+        freqs = index.leaf_access_frequencies(
+            dataset.query_log.workload, spec.k
+        )
+        cache.populate_by_frequency(freqs, index.leaf_contents)
+    return TreePipeline(
+        index=index, cache=cache, method=method, metrics=metrics, spec=spec
+    )
+
+
+def build_sharded(spec: PipelineSpec, dataset: Dataset | None = None, context=None):
+    """Materialize the sharded engine for ``shard.n_shards > 0``.
+
+    Returns ``(engine, specs)`` — the coordinator plus the picklable
+    per-shard build specs it was constructed from.
+    """
+    from repro.eval.methods import WorkloadContext
+    from repro.shard.factory import make_sharded_engine, specs_from_method
+
+    if spec.shard.n_shards <= 0:
+        raise ValueError("build_sharded needs shard.n_shards > 0")
+    if dataset is None:
+        dataset = resolve_dataset(spec.dataset)
+    if context is None:
+        ctx_index = (
+            "linear" if spec.index.name in TREE_INDEX_NAMES else spec.index.name
+        )
+        context = WorkloadContext.prepare(
+            dataset,
+            index_name=ctx_index,
+            ordering=spec.ordering,
+            k=spec.k,
+            seed=spec.seed,
+        )
+    fault_spec, policy = build_resilience(spec.resilience)
+    specs = specs_from_method(
+        dataset,
+        context,
+        method=spec.cache.method,
+        tau=spec.cache.tau,
+        cache_bytes=spec.cache.cache_bytes,
+        n_shards=spec.shard.n_shards,
+        index_name=spec.index.name,
+        partition=spec.shard.partition,
+        budget_mode=spec.shard.budget_mode,
+        seed=spec.seed,
+        metrics=spec.metrics.enabled,
+        faults=fault_spec,
+        resilience=policy,
+    )
+    engine_kwargs = {}
+    if policy is not None:
+        engine_kwargs["degraded"] = policy.degraded
+        engine_kwargs["deadline_s"] = policy.deadline_s
+    engine = make_sharded_engine(
+        specs, executor=spec.shard.executor, **engine_kwargs
+    )
+    return engine, specs

@@ -1,0 +1,222 @@
+"""The declarative pipeline spec and its sections.
+
+Every section is a frozen dataclass holding only plain scalars and
+dicts, so a :class:`PipelineSpec` serializes losslessly to JSON or TOML
+and back.  ``from_dict`` is strict: unknown keys are an error, which is
+what lets artifact loaders distinguish a spec written by a newer schema
+from silent misconfiguration.
+
+The spec deliberately knows nothing about how pipelines are built —
+:meth:`PipelineSpec.build` delegates to :mod:`repro.spec.build`, the one
+construction implementation in the codebase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _section_from_dict(cls, data: dict, where: str):
+    if not isinstance(data, dict):
+        raise ValueError(f"spec section {where!r} must be a table/object")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in spec section {where!r}; "
+            f"known keys: {sorted(names)}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class DatasetSection:
+    """Which dataset to materialize (registry name or saved file).
+
+    ``path`` takes precedence: it points at a ``save_dataset`` file and
+    makes the spec reproducible without regenerating synthetic data.
+    """
+
+    name: str = "tiny"
+    scale: float = 1.0
+    seed: int = 0
+    path: str | None = None
+
+
+@dataclass(frozen=True)
+class IndexSection:
+    """Index family plus builder-specific parameters."""
+
+    name: str = "c2lsh"
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CacheSection:
+    """Caching method configuration (paper Section 5 parameters)."""
+
+    method: str = "HC-O"
+    tau: int = 8
+    cache_bytes: int = 1 << 20
+    policy: str = "hff"
+
+
+@dataclass(frozen=True)
+class ResilienceSection:
+    """Fault masking and degraded-answer configuration.
+
+    Disabled by default; ``faults`` is a ``parse_fault_spec`` string
+    (e.g. ``"rate=0.05,seed=7"``) so the whole section stays scalar.
+    """
+
+    enabled: bool = False
+    max_retries: int = 2
+    deadline_ms: float = 0.0
+    degraded: bool = True
+    faults: str | None = None
+
+
+@dataclass(frozen=True)
+class ShardSection:
+    """Sharded-execution configuration (``n_shards == 0`` = unsharded)."""
+
+    n_shards: int = 0
+    executor: str = "serial"
+    partition: str = "contiguous"
+    budget_mode: str = "global-hff"
+
+
+@dataclass(frozen=True)
+class MetricsSection:
+    """Whether builds attach a ``repro.obs`` metrics registry."""
+
+    enabled: bool = False
+
+
+#: section attribute -> section class, in serialization order.
+_SECTIONS = {
+    "dataset": DatasetSection,
+    "index": IndexSection,
+    "cache": CacheSection,
+    "resilience": ResilienceSection,
+    "shard": ShardSection,
+    "metrics": MetricsSection,
+}
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A complete, serializable cached-search configuration.
+
+    ``build()`` (and ``build_sharded()`` for ``shard.n_shards > 0``) is
+    the single pipeline construction path; every other constructor in
+    the repo adapts its arguments into one of these and delegates.
+    """
+
+    dataset: DatasetSection = field(default_factory=DatasetSection)
+    index: IndexSection = field(default_factory=IndexSection)
+    cache: CacheSection = field(default_factory=CacheSection)
+    resilience: ResilienceSection = field(default_factory=ResilienceSection)
+    shard: ShardSection = field(default_factory=ShardSection)
+    metrics: MetricsSection = field(default_factory=MetricsSection)
+    k: int = 10
+    ordering: str = "raw"
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain JSON/TOML-able dict (sections as nested tables)."""
+        out: dict = {}
+        for name in _SECTIONS:
+            section = getattr(self, name)
+            out[name] = {
+                f.name: getattr(section, f.name)
+                for f in dataclasses.fields(section)
+            }
+        out["k"] = self.k
+        out["ordering"] = self.ordering
+        out["seed"] = self.seed
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineSpec":
+        """Strict inverse of :meth:`to_dict` (unknown keys are errors)."""
+        if not isinstance(data, dict):
+            raise ValueError("a pipeline spec must be a table/object")
+        known = set(_SECTIONS) | {"k", "ordering", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown key(s) {unknown} in pipeline spec; "
+                f"known keys: {sorted(known)}"
+            )
+        kwargs: dict = {}
+        for name, section_cls in _SECTIONS.items():
+            if name in data:
+                kwargs[name] = _section_from_dict(
+                    section_cls, data[name], name
+                )
+        for scalar in ("k", "ordering", "seed"):
+            if scalar in data:
+                kwargs[scalar] = data[scalar]
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_toml(cls, text: str) -> "PipelineSpec":
+        import tomllib
+
+        return cls.from_dict(tomllib.loads(text))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineSpec":
+        """Read a spec file, dispatching on the ``.toml``/``.json`` suffix."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".toml":
+            return cls.from_toml(text)
+        return cls.from_json(text)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec as JSON (the artifact-manifest native form)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    # ------------------------------------------------------------------
+    # Construction (delegates to the single build path)
+    # ------------------------------------------------------------------
+    def build(self, dataset=None, context=None, metrics=None, resilience=None):
+        """Materialize the pipeline this spec describes.
+
+        Returns a ``CachingPipeline`` (candidate-path indexes) or a
+        ``TreePipeline`` (tree indexes).  Pass ``dataset``/``context``
+        to reuse pre-built inputs across methods.
+        """
+        from repro.spec.build import build_pipeline
+
+        return build_pipeline(
+            self,
+            dataset=dataset,
+            context=context,
+            metrics=metrics,
+            resilience=resilience,
+        )
+
+    def build_sharded(self, dataset=None, context=None):
+        """Materialize the sharded engine for ``shard.n_shards > 0``."""
+        from repro.spec.build import build_sharded
+
+        return build_sharded(self, dataset=dataset, context=context)

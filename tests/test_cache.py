@@ -268,3 +268,72 @@ class TestLeafNodeCache:
         assert cache.used_bytes == 80
         ids, _, _ = cache.lookup(points[0], 0)
         assert len(ids) == 10
+
+
+class TestVectorizedLRUEquivalence:
+    """The vectorized stamp-clock ``_touch`` must reproduce, element for
+    element, the eviction order a per-hit ``OrderedDict.move_to_end``
+    loop would produce — including duplicate ids within one batch."""
+
+    def _fresh(self, setup, capacity_items=6):
+        points, encoder = setup
+        # 8 bytes/item (8 fields x 4 bits, word-rounded).
+        cache = ApproximateCache(
+            encoder, capacity_items * 8, 200, policy=CachePolicy.LRU
+        )
+        assert cache.max_items == capacity_items
+        return points, cache
+
+    def test_batch_touch_equals_scalar_touches(self, setup):
+        points, cache_a = self._fresh(setup)
+        _, cache_b = self._fresh(setup)
+        ids = np.array([0, 1, 2, 3, 4, 5])
+        cache_a.admit(ids, points[ids])
+        cache_b.admit(ids, points[ids])
+        batch = np.array([3, 1, 3, 5, 1])  # duplicates: later touch wins
+        cache_a._touch(batch)
+        for pid in batch:
+            cache_b._touch(np.asarray([pid]))
+        assert np.array_equal(cache_a._stamp, cache_b._stamp)
+        assert cache_a._clock == cache_b._clock
+
+    def test_eviction_order_matches_ordereddict_reference(self, setup):
+        from collections import OrderedDict
+
+        points, cache = self._fresh(setup)
+        capacity = cache.max_items
+        reference: OrderedDict[int, bool] = OrderedDict()
+
+        def ref_touch(ids):
+            for pid in ids:
+                if pid in reference:
+                    reference.move_to_end(pid)
+
+        def ref_admit(ids):
+            for pid in ids:
+                if pid in reference:
+                    reference.move_to_end(pid)
+                else:
+                    if len(reference) >= capacity:
+                        reference.popitem(last=False)
+                    reference[pid] = True
+
+        rng = np.random.default_rng(99)
+        for _ in range(300):
+            ids = rng.integers(0, 40, size=rng.integers(1, 8))
+            if rng.random() < 0.5:
+                cache.admit(ids, points[ids])
+                ref_admit(ids.tolist())
+            else:
+                # lookup touches only the hits, in array order
+                hits, _, _ = cache.lookup(points[0], ids)
+                ref_touch(ids[hits].tolist())
+            cached = set(np.flatnonzero(cache._slot_of >= 0).tolist())
+            assert cached == set(reference)
+        # Drain both: the full eviction sequence must agree.
+        while cache.num_items:
+            cached = cache._id_of_slot[cache._id_of_slot >= 0]
+            victim = int(cached[np.argmin(cache._stamp[cached])])
+            cache._free.append(cache._evict_lru())
+            expected, _ = reference.popitem(last=False)
+            assert victim == expected

@@ -13,6 +13,8 @@ from repro.core.encoder import (
 from repro.data.datasets import Dataset
 from repro.data.workload import generate_query_log
 from repro.persist import (
+    _FORMAT_VERSION,
+    FormatVersionError,
     load_dataset_file,
     load_encoder,
     load_histogram,
@@ -45,10 +47,32 @@ class TestHistogramRoundtrip:
         loaded = load_histogram(save_histogram(tmp_path / "h.npz", hist))
         assert loaded.frequencies is None
 
-    def test_bad_version(self, tmp_path):
+    def test_missing_version(self, tmp_path):
         np.savez(tmp_path / "bad.npz", lowers=np.zeros(1), uppers=np.ones(1))
-        with pytest.raises(ValueError):
+        with pytest.raises(FormatVersionError) as exc_info:
             load_histogram(tmp_path / "bad.npz")
+        err = exc_info.value
+        assert isinstance(err, ValueError)  # back-compat catch sites
+        assert err.found is None
+        assert err.expected == _FORMAT_VERSION
+        assert "no format version" in str(err)
+        assert "bad.npz" in str(err)
+
+    def test_wrong_version(self, tmp_path):
+        np.savez(
+            tmp_path / "future.npz",
+            version=np.array([99]),
+            lowers=np.zeros(1),
+            uppers=np.ones(1),
+        )
+        with pytest.raises(FormatVersionError) as exc_info:
+            load_histogram(tmp_path / "future.npz")
+        err = exc_info.value
+        assert err.found == 99
+        assert err.expected == _FORMAT_VERSION
+        assert "found format version 99" in str(err)
+        assert f"expected version {_FORMAT_VERSION}" in str(err)
+        assert "future.npz" in str(err)
 
 
 class TestEncoderRoundtrip:
