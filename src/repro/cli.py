@@ -210,6 +210,60 @@ def _run_sharded_experiment(args, dataset, context) -> int:
     return 0
 
 
+def _run_adaptive_experiment(args, dataset, context) -> int:
+    """Experiment branch for ``--adapt``: serve with online retraining.
+
+    The pipeline carries a ``DriftController`` (fed by the engine's
+    ``WorkloadHook``) that retrains the cache from the live workload and
+    hot-swaps it mid-run; the printed row summarizes the whole adaptive
+    run and the retrain count follows.
+    """
+    import dataclasses
+
+    from repro.eval.runner import summarize
+    from repro.spec.build import build_pipeline, spec_from_kwargs
+    from repro.spec.sections import AdaptSection
+
+    registry = _metrics_registry(args)
+    spec = spec_from_kwargs(
+        dataset=dataset, method=args.method, tau=args.tau,
+        cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
+        k=args.k, seed=args.seed,
+    )
+    spec = dataclasses.replace(
+        spec,
+        adapt=AdaptSection(
+            enabled=True, every=args.adapt_every, model=args.adapt_model
+        ),
+    )
+    try:
+        pipeline = build_pipeline(
+            spec, dataset=dataset, context=context, metrics=registry
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stats = [
+        pipeline.search(q, args.k).stats for q in dataset.query_log.test
+    ]
+    result = summarize(
+        stats, method=args.method, tau=args.tau,
+        cache_bytes=spec.cache.cache_bytes, k=args.k,
+        read_latency_s=pipeline.read_latency_s,
+        seq_read_latency_s=pipeline.seq_read_latency_s,
+    )
+    print(format_table(
+        _RESULT_HEADERS, _result_rows([result]),
+        title=f"{args.dataset} / {args.method} (adaptive)",
+    ))
+    controller = pipeline.drift_controller
+    print(f"retrains: {controller.retrains} "
+          f"(model={args.adapt_model}, every={args.adapt_every})")
+    if registry is not None:
+        _emit_metrics(args, registry, registry.snapshot())
+    return 0
+
+
 def cmd_experiment(args) -> int:
     """Run one caching configuration and print its metrics."""
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
@@ -218,6 +272,8 @@ def cmd_experiment(args) -> int:
     )
     if args.shards > 0:
         return _run_sharded_experiment(args, dataset, context)
+    if args.adapt:
+        return _run_adaptive_experiment(args, dataset, context)
     registry = _metrics_registry(args)
     fault_spec, policy = _fault_config(args)
     result = Experiment(
@@ -398,8 +454,20 @@ def cmd_snapshot_serve(args) -> int:
         queries = queries[: args.limit]
     manifest = read_manifest(args.path)
     k = args.k or int(manifest["k"])
-    stats = [pipeline.search(q, k).stats for q in queries]
     spec = getattr(pipeline, "spec", None)
+    controller = None
+    if args.adapt_every > 0:
+        controller = _serve_controller(args, pipeline, manifest, spec, registry)
+        if controller is None:
+            return 2
+    if controller is None:
+        stats = [pipeline.search(q, k).stats for q in queries]
+    else:
+        stats = []
+        for q in queries:
+            result = pipeline.search(q, k)
+            stats.append(result.stats)
+            controller.observe(q, result.stats)
     disk = manifest.get("disk") or {}
     defaults = DiskConfig()
     result = summarize(
@@ -415,9 +483,53 @@ def cmd_snapshot_serve(args) -> int:
     )
     print(format_table(_RESULT_HEADERS, _result_rows([result]),
                        title=f"served from {args.path}"))
+    if controller is not None:
+        print(f"retrains: {controller.retrains} "
+              f"(every {args.adapt_every} queries)")
+        if controller.last_report is not None:
+            print(f"  last snapshot: {controller.last_report.snapshot_path}")
     if registry is not None:
         _emit_metrics(args, registry, registry.snapshot())
     return 0
+
+
+def _serve_controller(args, pipeline, manifest, spec, registry):
+    """The ``DriftController`` behind ``snapshot serve --adapt-every``.
+
+    Retrained caches publish as versioned ``snap-NNNNNN`` artifacts
+    under ``<snapshot>/maintenance`` and hot-swap into the serving
+    engine through the CURRENT-pointer protocol.
+    """
+    from repro.workload.drift import DriftController, EveryNQueries
+    from repro.workload.model import WindowWorkload
+    from repro.workload.train import _GLOBAL_BUILDERS, TrainSpec
+
+    method = manifest["method"]
+    if method not in _GLOBAL_BUILDERS:
+        print(f"error: --adapt-every supports the global HC methods "
+              f"{sorted(_GLOBAL_BUILDERS)}, not {method!r}", file=sys.stderr)
+        return None
+    context = pipeline.context
+    cache_bytes = (
+        spec.cache.cache_bytes
+        if spec is not None
+        else int(getattr(pipeline.cache, "capacity_bytes", 0)) or 1 << 20
+    )
+    return DriftController(
+        WindowWorkload(capacity=max(4 * args.adapt_every, 256)),
+        TrainSpec(
+            points=context.point_file.points,
+            index=context.index,
+            k=args.k or int(manifest["k"]),
+            method=method,
+            tau=int(manifest["tau"] or 8),
+            cache_bytes=cache_bytes,
+        ),
+        engine=pipeline.engine,
+        trigger=EveryNQueries(args.adapt_every),
+        snapshot_root=Path(args.path) / "maintenance",
+        metrics=registry,
+    )
 
 
 def cmd_snapshot_verify(args) -> int:
@@ -459,6 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run one configuration")
     _add_common(p_exp)
     p_exp.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+    p_exp.add_argument("--adapt", action="store_true",
+                       help="retrain the cache online from the live "
+                            "workload (repro.workload drift loop)")
+    p_exp.add_argument("--adapt-every", type=int, default=100, metavar="N",
+                       help="retrain period in served queries (with --adapt)")
+    p_exp.add_argument("--adapt-model", default="window",
+                       choices=("window", "sketch"),
+                       help="live workload model (with --adapt)")
 
     p_cmp = sub.add_parser("compare", help="compare methods under one budget")
     _add_common(p_cmp)
@@ -511,6 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve only the first N stored queries")
     p_serve.add_argument("--no-mmap", action="store_true",
                          help="load members into memory instead of mmap")
+    p_serve.add_argument("--adapt-every", type=int, default=0, metavar="N",
+                         help="retrain the cache from the live workload "
+                              "every N served queries, publishing each "
+                              "rebuild under <snapshot>/maintenance "
+                              "(0 = off)")
     _add_snapshot_metrics(p_serve)
 
     p_verify = snap_sub.add_parser(

@@ -72,10 +72,38 @@ def compute_qr(
             candidate set (generic tuning).
         query_chunk: queries per vectorized distance block.
     """
+    uniq, weights = _unique_queries(workload_queries)
+    return compute_qr_distinct(
+        points,
+        uniq,
+        weights,
+        k,
+        candidate_sets=candidate_sets,
+        query_chunk=query_chunk,
+    )
+
+
+def compute_qr_distinct(
+    points: np.ndarray,
+    distinct_queries: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    candidate_sets: list[np.ndarray] | None = None,
+    query_chunk: int = 64,
+) -> QRSet:
+    """:func:`compute_qr` over pre-collapsed ``(distinct, weights)`` pairs.
+
+    Workload models that never materialize the raw query stream (e.g. a
+    decayed sketch) supply their distinct queries and multiplicities
+    directly; :func:`compute_qr` delegates here after its own
+    ``np.unique`` collapse, so both entry points share one
+    implementation.
+    """
     points = np.asarray(points, dtype=np.float64)
     if k <= 0:
         raise ValueError("k must be positive")
-    uniq, weights = _unique_queries(workload_queries)
+    uniq = np.asarray(distinct_queries, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.int64)
     if candidate_sets is not None and len(candidate_sets) != len(uniq):
         raise ValueError(
             "candidate_sets must have one entry per distinct workload query "

@@ -1,47 +1,59 @@
-"""Cache and histogram maintenance (paper Section 3.5).
+"""Deprecated: cache maintenance moved to :mod:`repro.workload`.
 
-"We expect that the distribution of queries in the workload does not
-change rapidly.  Following the practice in search engines, we propose to
-perform updates and rebuild the cache periodically (e.g., daily)."
-
-``SlidingWindowWorkload`` collects recent queries; ``CacheMaintainer``
-rebuilds the histogram (for HC-O), the HFF cache content, or both, from
-the current window — either on demand or automatically every
-``rebuild_every`` recorded queries.
+This module kept its public API (``SlidingWindowWorkload``,
+``RebuildReport``, ``CacheMaintainer``) as a thin shim over the unified
+workload layer — the ring-buffer :class:`~repro.workload.WindowWorkload`
+plus :class:`~repro.workload.DriftController` running the single
+training core :func:`~repro.workload.train_cache_plan`.  Existing
+imports keep working (one ``DeprecationWarning`` per process); new code
+should use ``repro.workload`` directly, which adds decayed sketches,
+pluggable retrain triggers and tau* selection.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.builders import build_knn_optimal
-from repro.core.cache import ApproximateCache
-from repro.core.encoder import GlobalHistogramEncoder
-from repro.core.frequency import compute_qr, fprime_global
+from repro.workload.drift import DriftController, EveryNQueries
+from repro.workload.model import WindowWorkload
+from repro.workload.train import TrainSpec
+
+_WARNED = False
 
 
-class SlidingWindowWorkload:
-    """A bounded window of the most recent queries."""
+def _warn_deprecated() -> None:
+    global _WARNED
+    if _WARNED:
+        return
+    _WARNED = True
+    warnings.warn(
+        "repro.core.maintenance is deprecated; use repro.workload "
+        "(WindowWorkload, DriftController, train_cache_plan) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class SlidingWindowWorkload(WindowWorkload):
+    """A bounded window of the most recent queries (legacy name).
+
+    Identical to :class:`~repro.workload.WindowWorkload` (it now shares
+    the preallocated ring buffer) except for the historical contract
+    that ``queries()`` on an empty window raises ``ValueError`` instead
+    of returning a ``(0, d)`` array.
+    """
 
     def __init__(self, capacity: int = 2000) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self._window: deque[np.ndarray] = deque(maxlen=capacity)
-
-    def record(self, query: np.ndarray) -> None:
-        self._window.append(np.asarray(query, dtype=np.float64).copy())
-
-    def __len__(self) -> int:
-        return len(self._window)
+        _warn_deprecated()
+        super().__init__(capacity=capacity)
 
     def queries(self) -> np.ndarray:
-        if not self._window:
+        if len(self) == 0:
             raise ValueError("the window is empty")
-        return np.stack(list(self._window))
+        return super().queries()
 
 
 @dataclass
@@ -65,28 +77,9 @@ class RebuildReport:
 class CacheMaintainer:
     """Periodically re-derives the HC-O cache from recent queries.
 
-    Args:
-        index: candidate generator (``candidates(query, k, tracker)``).
-        points: the in-memory dataset view used for offline rebuilds
-            (the paper's rebuild is an offline daily job over the data).
-        k: result size the cache is tuned for.
-        tau: code length of the rebuilt histograms.
-        cache_bytes: cache budget.
-        window: sliding workload window (a fresh one is created when
-            omitted).
-        rebuild_every: automatic rebuild period in recorded queries
-            (0 disables auto-rebuild).
-        snapshot_root: optional directory for versioned rebuild
-            artifacts.  Each rebuild then writes a ``snap-NNNNNN``
-            cache snapshot, fsyncs it, atomically republishes the
-            ``CURRENT`` pointer, and serves the cache *loaded back from
-            the snapshot* (mmap) — the paper's Section-3.5 daily-rebuild
-            deployment: serving processes only ever see complete,
-            published artifacts.
-        engine: optional live ``QueryEngine``; after a publish, the new
-            cache is hot-swapped into it between queries.
-        metrics: optional ``MetricsRegistry`` counting rebuilds,
-            snapshot saves/loads and hot swaps.
+    Legacy facade over :class:`~repro.workload.DriftController` with an
+    :class:`EveryNQueries` trigger; see that class for the publish /
+    hot-swap semantics.  Constructor arguments are unchanged.
     """
 
     def __init__(
@@ -102,6 +95,7 @@ class CacheMaintainer:
         engine=None,
         metrics=None,
     ) -> None:
+        _warn_deprecated()
         if tau <= 0 or k <= 0:
             raise ValueError("tau and k must be positive")
         self.index = index
@@ -114,81 +108,40 @@ class CacheMaintainer:
         self.snapshot_root = snapshot_root
         self.engine = engine
         self.metrics = metrics
-        self.cache: ApproximateCache | None = None
-        self._since_rebuild = 0
-        self.rebuilds = 0
+        self._controller = DriftController(
+            self.window,
+            TrainSpec(
+                points=self.points,
+                index=index,
+                k=k,
+                method="HC-O",
+                tau=tau,
+                cache_bytes=cache_bytes,
+            ),
+            engine=engine,
+            trigger=EveryNQueries(rebuild_every),
+            snapshot_root=snapshot_root,
+            metrics=metrics,
+        )
+
+    @property
+    def cache(self):
+        return self._controller.cache
+
+    @property
+    def rebuilds(self) -> int:
+        return self._controller.retrains
 
     def observe(self, query: np.ndarray) -> bool:
         """Record a served query; returns True if a rebuild was triggered."""
-        self.window.record(query)
-        self._since_rebuild += 1
-        if self.rebuild_every and self._since_rebuild >= self.rebuild_every:
-            self.rebuild()
-            return True
-        return False
+        return self._controller.observe(query)
 
     def rebuild(self) -> RebuildReport:
         """Re-derive F', the HC-O histogram and the HFF cache content."""
-        from repro.core.domain import ValueDomain
-
-        queries = self.window.queries()
-        distinct, weights = np.unique(queries, axis=0, return_counts=True)
-        candidate_sets = [
-            np.asarray(self.index.candidates(q, self.k, None), dtype=np.int64)
-            for q in distinct
-        ]
-        frequencies = np.zeros(len(self.points), dtype=np.int64)
-        for cands, weight in zip(candidate_sets, weights):
-            frequencies[cands] += weight
-        qr = compute_qr(self.points, queries, self.k, candidate_sets=candidate_sets)
-        domain = ValueDomain.from_points(self.points)
-        fprime = fprime_global(domain, self.points, qr)
-        histogram = build_knn_optimal(domain, fprime, 2**self.tau)
-        encoder = GlobalHistogramEncoder(histogram, self.points.shape[1])
-        cache = ApproximateCache(encoder, self.cache_bytes, len(self.points))
-        cache.populate_hff(frequencies, self.points)
-        self._since_rebuild = 0
-        self.rebuilds += 1
-        snapshot_path = None
-        if self.snapshot_root is not None:
-            cache, snapshot_path = self._publish(cache)
-        self.cache = cache
-        if self.engine is not None:
-            self.engine.swap_cache(cache)
-            if self.metrics is not None:
-                self.metrics.counter(
-                    "cache_swap_total", "hot swaps into a live engine"
-                ).inc()
-        if self.metrics is not None:
-            self.metrics.counter("cache_rebuild_total", "maintenance rebuilds").inc()
+        report = self._controller.retrain()
         return RebuildReport(
-            window_size=len(queries),
-            cache_items=cache.num_items,
-            histogram_buckets=histogram.num_buckets,
-            snapshot_path=snapshot_path,
+            window_size=report.window_size,
+            cache_items=report.cache_items,
+            histogram_buckets=report.histogram_buckets,
+            snapshot_path=report.snapshot_path,
         )
-
-    def _publish(self, cache: ApproximateCache):
-        """Snapshot the rebuilt cache, publish it, reload it mmapped.
-
-        Build → fsync → atomic ``CURRENT`` republish → serve from the
-        published artifact: a crash at any point leaves either the old
-        or the new complete snapshot current, never a torn one.
-        """
-        from repro.artifacts.snapshot import (
-            load_cache_snapshot,
-            save_cache_snapshot,
-        )
-        from repro.artifacts.store import publish_current
-
-        name = f"snap-{self.rebuilds:06d}"
-        path = save_cache_snapshot(
-            self.snapshot_root, name, cache, metrics=self.metrics
-        )
-        publish_current(self.snapshot_root, name)
-        served = load_cache_snapshot(path, mmap=True, points=self.points)
-        if self.metrics is not None:
-            self.metrics.counter(
-                "snapshot_load_total", "snapshots opened", kind="cache"
-            ).inc()
-        return served, str(path)

@@ -72,6 +72,10 @@ class ExecutionContext:
         self.gen_tracker = gen_tracker or QueryIOTracker()
         self.refine_tracker = refine_tracker or QueryIOTracker()
         self.timings: dict[str, float] = {}
+        #: The query this context serves; the engine sets it on entry so
+        #: observational hooks (e.g. ``repro.workload.WorkloadHook``) can
+        #: see the query vector without changing any phase signature.
+        self.query = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:

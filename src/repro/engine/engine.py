@@ -195,6 +195,7 @@ class QueryEngine:
             raise ValueError("k must be positive")
         query = np.asarray(query, dtype=np.float64)
         ctx = ctx or self.make_context()
+        ctx.query = query
         if self.source.is_tree:
             result = self.source.search(query, k, ctx)
             self._observe(result.stats)
@@ -251,6 +252,7 @@ class QueryEngine:
         contexts = [self.make_context() for _ in range(len(queries))]
         candidate_sets: list[np.ndarray] = []
         for query, ctx in zip(queries, contexts):
+            ctx.query = query
             with ctx.phase("generate"):
                 candidate_sets.append(self.generate.run(query, k, ctx))
 

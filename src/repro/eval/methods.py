@@ -40,7 +40,6 @@ from repro.core.encoder import (
 )
 from repro.core.frequency import (
     QRSet,
-    compute_qr,
     fprime_global,
     fprime_per_dimension,
 )
@@ -130,40 +129,24 @@ class WorkloadContext:
             order=order,
             value_bytes=dataset.value_bytes,
         )
-        workload = dataset.query_log.workload
-        distinct, weights = np.unique(workload, axis=0, return_counts=True)
-        candidate_sets: list[np.ndarray] = []
-        frequencies = np.zeros(dataset.num_points, dtype=np.int64)
-        sizes = []
-        d_max = 0.0
-        profiles: list[np.ndarray] = []
-        for query, weight in zip(distinct, weights):
-            cands = np.asarray(
-                index.candidates(query, k, None), dtype=np.int64
-            )
-            candidate_sets.append(cands)
-            sizes.append(len(cands) * weight)
-            frequencies[cands] += weight
-            if cands.size:
-                dists = np.linalg.norm(dataset.points[cands] - query, axis=1)
-                d_max = max(d_max, float(dists.max()))
-                if len(profiles) < 256:
-                    profiles.append(np.sort(dists))
-        qr = compute_qr(dataset.points, workload, k, candidate_sets=candidate_sets)
-        total_weight = int(weights.sum())
+        from repro.workload.train import derive_workload
+
+        deriv = derive_workload(
+            dataset.points, index, dataset.query_log.workload, k
+        )
         return cls(
             dataset=dataset,
             index=index,
             point_file=point_file,
             k=k,
-            distinct_queries=distinct,
-            query_weights=weights,
-            candidate_sets=candidate_sets,
-            frequencies=frequencies,
-            qr=qr,
-            d_max=d_max if d_max > 0 else 1.0,
-            avg_candidates=float(np.sum(sizes) / max(total_weight, 1)),
-            distance_profiles=tuple(profiles),
+            distinct_queries=deriv.distinct,
+            query_weights=deriv.weights,
+            candidate_sets=deriv.candidate_sets,
+            frequencies=deriv.frequencies,
+            qr=deriv.qr,
+            d_max=deriv.d_max,
+            avg_candidates=deriv.avg_candidates,
+            distance_profiles=deriv.distance_profiles,
             seed=seed,
         )
 
@@ -303,6 +286,9 @@ class CachingPipeline:
     #: The ``PipelineSpec`` this pipeline was built from (None for
     #: hand-assembled pipelines); embedded in snapshot manifests.
     spec: object | None = None
+    #: The ``repro.workload.DriftController`` driving online adaptation
+    #: (None unless the spec's adapt section is enabled).
+    drift_controller: object | None = None
 
     @property
     def engine(self) -> QueryEngine:

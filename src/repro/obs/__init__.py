@@ -34,6 +34,7 @@ __all__ = [
     "MetricsHook",
     "MetricsRegistry",
     "MetricsReporter",
+    "drift_comparison",
     "observed_vs_predicted",
     "publish_cache_metrics",
 ]
@@ -41,6 +42,7 @@ __all__ = [
 _LAZY = {
     "MetricsHook": ("repro.obs.hooks", "MetricsHook"),
     "MetricsReporter": ("repro.obs.reporter", "MetricsReporter"),
+    "drift_comparison": ("repro.obs.reporter", "drift_comparison"),
     "observed_vs_predicted": ("repro.obs.reporter", "observed_vs_predicted"),
     "publish_cache_metrics": ("repro.obs.reporter", "publish_cache_metrics"),
 }

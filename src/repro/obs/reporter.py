@@ -135,6 +135,34 @@ def observed_vs_predicted(
     return out
 
 
+def drift_comparison(before: dict, after: dict) -> dict:
+    """Summarize two :func:`observed_vs_predicted` reports around a retrain.
+
+    ``before`` is the report taken while serving the stale cache under the
+    shifted workload; ``after`` is taken once the
+    :class:`~repro.workload.drift.DriftController` has swapped in the
+    retrained cache.  The result is JSON-ready and records, per ratio, the
+    observed movement and how much of the cost-model drift the retrain
+    recovered (stale drift minus post-retrain drift).
+    """
+    out: dict = {}
+    for name in ("rho_hit", "rho_refine"):
+        pre = before.get(name, {})
+        post = after.get(name, {})
+        entry = {
+            "before": pre,
+            "after": post,
+            "observed_delta": None,
+            "drift_recovered": None,
+        }
+        if pre.get("observed") is not None and post.get("observed") is not None:
+            entry["observed_delta"] = post["observed"] - pre["observed"]
+        if pre.get("drift") is not None and post.get("drift") is not None:
+            entry["drift_recovered"] = abs(pre["drift"]) - abs(post["drift"])
+        out[name] = entry
+    return out
+
+
 class MetricsReporter:
     """Render/dump a registry; usable as a MetricsHook periodic sink.
 

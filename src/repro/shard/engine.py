@@ -469,6 +469,26 @@ class ShardedEngine:
         """Per-shard cache telemetry records (``None`` for uncached trees)."""
         return self._broadcast("collect_telemetry", ())
 
+    def shard_workloads(self) -> list:
+        """Per-shard workload models (``None`` when recording is off)."""
+        return self._broadcast("collect_workload", ())
+
+    def merged_workload(self):
+        """All shard workload models folded into one (reduce-time merge).
+
+        Every shard sees every query (probe broadcasts the batch), so
+        the merged weights scale by the shard count — relative
+        popularity, which is all training consumes, is unchanged.
+        Returns ``None`` when no shard records a workload.
+        """
+        models = [m for m in self.shard_workloads() if m is not None]
+        if not models:
+            return None
+        merged = models[0]
+        for model in models[1:]:
+            merged = merged.merge(model)
+        return merged
+
     def ping(self) -> list[int]:
         """Liveness probe: every shard answers with its shard id."""
         return self._broadcast("ping", ())

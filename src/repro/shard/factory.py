@@ -128,6 +128,7 @@ def build_shard_specs(
     metrics: bool = True,
     faults=None,
     resilience=None,
+    workload: dict | None = None,
 ) -> list[ShardSpec]:
     """Partition ``points`` into picklable shard build specs.
 
@@ -153,6 +154,9 @@ def build_shard_specs(
             schedule from the same frozen spec).
         resilience: optional :class:`~repro.faults.ResiliencePolicy`
             forwarded to every shard's engine.
+        workload: optional workload-model recipe
+            (``ShardSpec.workload``); every shard then records served
+            queries for reduce-time merging.
     """
     points = np.asarray(points, dtype=np.float64)
     index_params = dict(index_params or {})
@@ -191,6 +195,7 @@ def build_shard_specs(
             metrics=metrics,
             faults=faults,
             resilience=resilience,
+            workload=workload,
         )
         for s, group in enumerate(groups)
     ]
@@ -228,6 +233,7 @@ def specs_from_method(
     metrics: bool = True,
     faults=None,
     resilience=None,
+    workload: dict | None = None,
 ) -> list[ShardSpec]:
     """Shard specs matching an unsharded method configuration.
 
@@ -251,6 +257,7 @@ def specs_from_method(
         metrics=metrics,
         faults=faults,
         resilience=resilience,
+        workload=workload,
     )
 
 

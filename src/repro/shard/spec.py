@@ -85,6 +85,13 @@ class ShardSpec:
             forwarded to the shard's ``QueryEngine`` and applied to the
             shard-local refinement fetches; each runtime builds its own
             private breaker/retry state from it.
+        workload: optional workload-model recipe (see
+            :func:`repro.workload.build_workload_model`, e.g.
+            ``{"kind": "sketch", "decay": 0.999}``).  When set, the
+            runtime records every probed/searched query into a
+            shard-local model; the coordinator collects the per-worker
+            models with ``collect_workload`` and merges them at reduce
+            time (``ShardedEngine.merged_workload``).
         snapshot_path: optional shard-snapshot root written by
             ``repro.artifacts.sharding.save_shard_snapshots``.  When set,
             ``member_ids``/``points`` (and the cache recipe's arrays) may
@@ -106,6 +113,7 @@ class ShardSpec:
     metrics: bool = True
     faults: FaultSpec | None = None
     resilience: ResiliencePolicy | None = None
+    workload: dict | None = None
     snapshot_path: str | None = None
 
     def __post_init__(self) -> None:
@@ -298,6 +306,12 @@ class ShardRuntime:
                 metrics=metrics,
                 resilience=spec.resilience,
             )
+        workload_model = None
+        if spec.workload is not None:
+            from repro.workload.model import build_workload_model
+
+            workload_model = build_workload_model(spec.workload)
+        self.workload_model = workload_model
         #: query index -> (ctx, own cache hits, own candidate count),
         #: carried from probe_batch to the matching refine_batch.
         self._pending: dict[int, tuple] = {}
@@ -349,6 +363,8 @@ class ShardRuntime:
         them (so ``Tgen``/``Trefine`` land on one context per query).
         """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self.workload_model is not None:
+            self.workload_model.record_batch(queries)
         self._pending.clear()
         out = []
         for qi, query in enumerate(queries):
@@ -418,6 +434,8 @@ class ShardRuntime:
     def search_batch(self, queries: np.ndarray, k: int) -> list[tuple]:
         """Tree path: whole-query searches, answers in global ids."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if self.workload_model is not None:
+            self.workload_model.record_batch(queries)
         out = []
         for query in queries:
             result = self.engine.search(query, k)
@@ -430,6 +448,10 @@ class ShardRuntime:
     def collect_metrics(self):
         """The shard's metrics registry (None when metrics are off)."""
         return self.metrics
+
+    def collect_workload(self):
+        """The shard's workload model (None when recording is off)."""
+        return self.workload_model
 
     def collect_telemetry(self):
         """The shard cache's telemetry record (None for uncached trees)."""

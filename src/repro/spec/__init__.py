@@ -18,6 +18,7 @@ from repro.spec.registry import (
     register_index,
 )
 from repro.spec.sections import (
+    AdaptSection,
     CacheSection,
     DatasetSection,
     IndexSection,
@@ -28,6 +29,7 @@ from repro.spec.sections import (
 )
 
 __all__ = [
+    "AdaptSection",
     "CacheSection",
     "DatasetSection",
     "INDEX_REGISTRY",

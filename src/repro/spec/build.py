@@ -141,11 +141,28 @@ def make_method_cache(
         order = np.argsort(-context.frequencies, kind="stable")
         cache.populate(order, dataset.points[order])
         return cache
-    encoder = context.encoder(method, tau)
-    cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
-    if policy is CachePolicy.HFF:
-        cache.populate_hff(context.frequencies, dataset.points)
-    return cache
+    from repro.workload.train import (
+        TrainSpec,
+        derivation_from_context,
+        train_cache_plan,
+    )
+
+    plan = train_cache_plan(
+        None,
+        TrainSpec(
+            points=dataset.points,
+            k=context.k,
+            method=method,
+            tau=tau,
+            cache_bytes=cache_bytes,
+            policy=policy,
+            value_bytes=dataset.value_bytes,
+            domain=dataset.domain,
+            derivation=derivation_from_context(context),
+            encoder_factory=lambda t: context.encoder(method, t),
+        ),
+    )
+    return plan.cache
 
 
 def cache_recipe(
@@ -245,7 +262,7 @@ def _build_point_pipeline(spec, dataset, context, metrics, resilience):
         metrics=metrics,
         resilience=resilience,
     )
-    return CachingPipeline(
+    pipeline = CachingPipeline(
         context=context,
         cache=cache,
         method=spec.cache.method,
@@ -253,6 +270,65 @@ def _build_point_pipeline(spec, dataset, context, metrics, resilience):
         searcher=searcher,
         spec=spec,
     )
+    if spec.adapt.enabled:
+        pipeline.drift_controller = attach_adaptation(
+            spec, context, pipeline.engine, metrics=metrics
+        )
+    return pipeline
+
+
+def attach_adaptation(spec, context, engine, metrics=None):
+    """Wire the spec's adapt section onto a live engine.
+
+    Builds the workload model and retrain trigger the section describes,
+    hooks query observation into the engine, and returns the
+    :class:`~repro.workload.DriftController` that hot-swaps retrained
+    caches.  Retrains rebuild the histogram from the *live* F' (the
+    context's memoized encoders are offline artifacts), so only the
+    global HC methods — whose builders the training core owns — adapt.
+    """
+    from repro.workload.drift import DriftController, build_trigger
+    from repro.workload.hook import attach_workload_hook
+    from repro.workload.model import build_workload_model
+    from repro.workload.train import _GLOBAL_BUILDERS, TrainSpec
+
+    adapt = spec.adapt
+    method = spec.cache.method
+    if method not in _GLOBAL_BUILDERS:
+        raise ValueError(
+            f"adaptation supports the global HC methods "
+            f"{sorted(_GLOBAL_BUILDERS)}, not {method!r}"
+        )
+    if adapt.model == "window":
+        recipe = {"kind": "window", "capacity": adapt.capacity}
+    else:
+        recipe = {
+            "kind": "sketch",
+            "decay": adapt.decay,
+            "max_entries": adapt.capacity,
+        }
+    model = build_workload_model(recipe)
+    threshold = adapt.every if adapt.trigger == "every-n" else adapt.threshold
+    trigger = build_trigger(adapt.trigger, threshold, registry=metrics)
+    controller = DriftController(
+        model,
+        TrainSpec(
+            points=context.dataset.points,
+            index=context.index,
+            k=context.k,
+            method=method,
+            tau=spec.cache.tau,
+            cache_bytes=spec.cache.cache_bytes,
+            policy=resolve_policy(spec.cache.policy),
+            value_bytes=context.dataset.value_bytes,
+            domain=context.dataset.domain,
+        ),
+        engine=engine,
+        trigger=trigger,
+        metrics=metrics,
+    )
+    attach_workload_hook(engine, controller=controller)
+    return controller
 
 
 def _build_tree_pipeline(spec, dataset, context, metrics):

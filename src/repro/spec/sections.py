@@ -96,6 +96,25 @@ class MetricsSection:
     enabled: bool = False
 
 
+@dataclass(frozen=True)
+class AdaptSection:
+    """Online drift adaptation (``repro.workload`` layer).
+
+    When enabled, the built pipeline carries a ``DriftController`` fed
+    by a ``WorkloadHook`` on the engine; ``trigger``/``threshold``
+    select the retrain policy (``every-n`` uses ``every``;
+    ``hit-ratio`` and ``sketch-distance`` use ``threshold``).
+    """
+
+    enabled: bool = False
+    every: int = 0
+    model: str = "window"
+    capacity: int = 2048
+    decay: float = 0.999
+    trigger: str = "every-n"
+    threshold: float = 0.0
+
+
 #: section attribute -> section class, in serialization order.
 _SECTIONS = {
     "dataset": DatasetSection,
@@ -104,6 +123,7 @@ _SECTIONS = {
     "resilience": ResilienceSection,
     "shard": ShardSection,
     "metrics": MetricsSection,
+    "adapt": AdaptSection,
 }
 
 
@@ -122,6 +142,7 @@ class PipelineSpec:
     resilience: ResilienceSection = field(default_factory=ResilienceSection)
     shard: ShardSection = field(default_factory=ShardSection)
     metrics: MetricsSection = field(default_factory=MetricsSection)
+    adapt: AdaptSection = field(default_factory=AdaptSection)
     k: int = 10
     ordering: str = "raw"
     seed: int = 0

@@ -1,0 +1,60 @@
+"""Workload models and the unified cache-training core.
+
+``repro.workload`` owns everything between "a stream of queries" and "a
+trained cache": the :class:`WorkloadModel` protocol with its exact
+(:class:`WindowWorkload`) and decayed-sketch
+(:class:`DecayedSketchWorkload`) implementations, the single
+:func:`train_cache_plan` training path, and the online drift loop
+(:class:`WorkloadHook` + :class:`DriftController`).
+"""
+
+from repro.workload.drift import (
+    DriftController,
+    EveryNQueries,
+    HitRatioDrop,
+    RetrainReport,
+    RetrainTrigger,
+    SketchDistance,
+    build_trigger,
+)
+from repro.workload.hook import WorkloadHook, attach_workload_hook
+from repro.workload.model import (
+    DecayedSketchWorkload,
+    WindowWorkload,
+    WorkloadModel,
+    build_workload_model,
+    workload_distance,
+)
+from repro.workload.train import (
+    CachePlan,
+    TrainSpec,
+    WorkloadDerivation,
+    derivation_from_context,
+    derive_workload,
+    qr_kth_points,
+    train_cache_plan,
+)
+
+__all__ = [
+    "CachePlan",
+    "DecayedSketchWorkload",
+    "DriftController",
+    "EveryNQueries",
+    "HitRatioDrop",
+    "RetrainReport",
+    "RetrainTrigger",
+    "SketchDistance",
+    "TrainSpec",
+    "WindowWorkload",
+    "WorkloadDerivation",
+    "WorkloadHook",
+    "WorkloadModel",
+    "attach_workload_hook",
+    "build_trigger",
+    "build_workload_model",
+    "derivation_from_context",
+    "derive_workload",
+    "qr_kth_points",
+    "train_cache_plan",
+    "workload_distance",
+]

@@ -1,0 +1,399 @@
+"""Online drift adaptation: retrain the cache while serving queries.
+
+The paper handles workload drift with a daily offline rebuild (§3.5).
+``DriftController`` makes that continuous: a live
+:class:`~repro.workload.model.WorkloadModel` accumulates served queries
+(fed by :class:`~repro.workload.hook.WorkloadHook` or explicit
+``observe`` calls), a pluggable trigger decides *when* the workload has
+moved, and a retrain re-runs the single training core
+(:func:`~repro.workload.train.train_cache_plan`) and hot-swaps the new
+cache into the engine.
+
+With a ``snapshot_root`` the swap goes through the versioned artifact
+protocol: the retrained cache is written as a ``snap-NNNNNN`` snapshot,
+fsynced, the ``CURRENT`` pointer atomically republished, and the engine
+swaps to the cache *loaded back from the published artifact* — a crash
+at any point leaves either the old or the new complete snapshot
+current, never a torn one.  The swap itself cannot change answers: cache
+contents only affect bounds and I/O, never result ids or distances (the
+drift benchmark differentially checks this against an unswapped engine).
+
+Triggers:
+
+* :class:`EveryNQueries` — the §3.5 periodic rebuild, by query count.
+* :class:`HitRatioDrop` — retrain when the observed hit ratio (per-query
+  stats, or ``repro.obs`` engine counters when a registry is given)
+  falls ``drop`` below the post-retrain baseline.
+* :class:`SketchDistance` — retrain when the model's query distribution
+  moves more than ``threshold`` total-variation distance from a
+  reference frozen at the last retrain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.train import TrainSpec, train_cache_plan
+from repro.workload.model import workload_distance
+
+
+@dataclass
+class RetrainReport:
+    """What one retrain changed.
+
+    Attributes:
+        window_size: queries the retrain was based on (model entries).
+        distinct_queries: distinct queries the trainer derived from.
+        cache_items: entries in the retrained cache.
+        histogram_buckets: bucket count of the retrained histogram
+            (0 for non-histogram encoders).
+        tau: the code length trained (the tuner's pick when
+            ``spec.tau`` is None).
+        snapshot_path: where the retrained cache was published (None
+            without a snapshot root).
+        predicted_hit_ratio: the cost model's ``rho_hit`` estimate for
+            the new cache — compare against the observed ratio via
+            :func:`repro.obs.reporter.observed_vs_predicted`.
+        predicted_refine_io: estimated refinement page reads per query.
+    """
+
+    window_size: int
+    distinct_queries: int
+    cache_items: int
+    histogram_buckets: int
+    tau: int
+    snapshot_path: str | None = None
+    predicted_hit_ratio: float = 0.0
+    predicted_refine_io: float = 0.0
+
+
+class RetrainTrigger:
+    """Decides when the controller should retrain.
+
+    ``note`` sees every observed query's stats (may be None);
+    ``should_retrain`` is polled after each observation; ``reset`` runs
+    right after a retrain so the trigger can re-baseline.
+    """
+
+    def note(self, stats) -> None:
+        """Fold one served query's ``QueryStats`` (or None) in."""
+
+    def should_retrain(self, controller) -> bool:
+        return False
+
+    def reset(self, controller) -> None:
+        """Re-baseline after a retrain."""
+
+
+class EveryNQueries(RetrainTrigger):
+    """Retrain every ``n`` observed queries (0 disables)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        self.seen = 0
+
+    def note(self, stats) -> None:
+        self.seen += 1
+
+    def should_retrain(self, controller) -> bool:
+        return self.n > 0 and self.seen >= self.n
+
+    def reset(self, controller) -> None:
+        self.seen = 0
+
+
+class HitRatioDrop(RetrainTrigger):
+    """Retrain when the observed hit ratio drops below its baseline.
+
+    The first ``window`` queries after a retrain establish the baseline
+    ratio; afterwards a rolling mean over the last ``window`` queries
+    below ``baseline - drop`` triggers.  With a ``registry`` (a
+    ``repro.obs`` MetricsRegistry) ratios come from the engine's
+    aggregate counters instead of per-query stats — the same numbers the
+    cost-model drift view reads.
+    """
+
+    def __init__(
+        self, drop: float = 0.15, window: int = 50, registry=None
+    ) -> None:
+        if not 0.0 < drop <= 1.0:
+            raise ValueError("drop must be in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.drop = float(drop)
+        self.window = int(window)
+        self.registry = registry
+        self.baseline: float | None = None
+        self._current: float | None = None
+        self._ratios: list[float] = []
+        self._mark = (0.0, 0.0)  # (hits, candidates) at last window edge
+
+    def _registry_ratio(self) -> float | None:
+        hits = self.registry.value("engine_cache_hits_total")
+        cands = self.registry.value("engine_candidates_total")
+        dh = hits - self._mark[0]
+        dc = cands - self._mark[1]
+        if dc <= 0:
+            return None
+        self._mark = (hits, cands)
+        return dh / dc
+
+    def note(self, stats) -> None:
+        if self.registry is None:
+            if stats is not None:
+                self._ratios.append(stats.hit_ratio)
+        else:
+            self._ratios.append(0.0)  # placeholder; only the count matters
+        if len(self._ratios) < self.window:
+            return
+        if self.registry is not None:
+            ratio = self._registry_ratio()
+            self._ratios.clear()
+        else:
+            ratio = float(np.mean(self._ratios[-self.window :]))
+            del self._ratios[: -self.window]
+        if ratio is None:
+            return
+        if self.baseline is None:
+            self.baseline = ratio
+        self._current = ratio
+
+    def should_retrain(self, controller) -> bool:
+        return (
+            self.baseline is not None
+            and self._current is not None
+            and self._current < self.baseline - self.drop
+        )
+
+    def reset(self, controller) -> None:
+        self.baseline = None
+        self._current = None
+        self._ratios.clear()
+        if self.registry is not None:
+            self._mark = (
+                self.registry.value("engine_cache_hits_total"),
+                self.registry.value("engine_candidates_total"),
+            )
+
+
+class _FrozenDistribution:
+    """A point-in-time copy of a model's distinct distribution."""
+
+    def __init__(self, model) -> None:
+        distinct, weights = model.distinct()
+        self._distinct = np.array(distinct, copy=True)
+        self._weights = np.array(weights, copy=True)
+
+    def distinct(self):
+        return self._distinct, self._weights
+
+
+class SketchDistance(RetrainTrigger):
+    """Retrain when the workload distribution moves past ``threshold``.
+
+    Every ``check_every`` queries, the total-variation distance
+    (:func:`~repro.workload.model.workload_distance`) between the live
+    model and a reference frozen at the last retrain is compared against
+    ``threshold`` in ``[0, 1]``.
+    """
+
+    def __init__(self, threshold: float = 0.3, check_every: int = 25) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        self.threshold = float(threshold)
+        self.check_every = int(check_every)
+        self.reference: _FrozenDistribution | None = None
+        self.last_distance = 0.0
+        self._seen = 0
+
+    def note(self, stats) -> None:
+        self._seen += 1
+
+    def should_retrain(self, controller) -> bool:
+        if self._seen < self.check_every:
+            return False
+        self._seen = 0
+        if self.reference is None:
+            # First checkpoint: freeze the current distribution.
+            if len(controller.model):
+                self.reference = _FrozenDistribution(controller.model)
+            return False
+        self.last_distance = workload_distance(
+            controller.model, self.reference
+        )
+        return self.last_distance > self.threshold
+
+    def reset(self, controller) -> None:
+        self._seen = 0
+        self.reference = (
+            _FrozenDistribution(controller.model)
+            if len(controller.model)
+            else None
+        )
+
+
+def build_trigger(name: str, threshold: float = 0.0, registry=None) -> RetrainTrigger:
+    """A trigger from its spec/CLI name.
+
+    ``every-n`` (threshold = period), ``hit-ratio`` (threshold = drop),
+    ``sketch-distance`` (threshold = TV distance).
+    """
+    if name == "every-n":
+        return EveryNQueries(int(threshold))
+    if name == "hit-ratio":
+        return HitRatioDrop(drop=threshold or 0.15, registry=registry)
+    if name == "sketch-distance":
+        return SketchDistance(threshold=threshold or 0.3)
+    raise ValueError(
+        f"unknown trigger {name!r}; choices: every-n, hit-ratio, "
+        f"sketch-distance"
+    )
+
+
+class DriftController:
+    """Observes served queries, retrains the cache, hot-swaps it live.
+
+    Args:
+        model: the live workload model queries are folded into.
+        spec: the :class:`~repro.workload.train.TrainSpec` every retrain
+            runs (its ``index``/``points`` must be set; ``derivation``
+            must be None so each retrain re-derives from the model).
+        engine: optional live ``QueryEngine``; retrained caches are
+            hot-swapped into it between queries.
+        trigger: retrain policy (never fires when omitted — call
+            :meth:`retrain` manually).
+        snapshot_root: optional directory for versioned ``snap-NNNNNN``
+            artifacts; when set, the engine serves the cache loaded back
+            from the published snapshot (mmap).
+        metrics: optional ``MetricsRegistry`` counting retrains,
+            snapshot loads and hot swaps.
+    """
+
+    def __init__(
+        self,
+        model,
+        spec: TrainSpec,
+        engine=None,
+        trigger: RetrainTrigger | None = None,
+        snapshot_root=None,
+        metrics=None,
+    ) -> None:
+        if spec.derivation is not None:
+            raise ValueError(
+                "a drift TrainSpec must leave derivation=None; retrains "
+                "re-derive from the live model"
+            )
+        if spec.index is None:
+            raise ValueError("a drift TrainSpec needs an index")
+        self.model = model
+        self.spec = spec
+        self.engine = engine
+        self.trigger = trigger or RetrainTrigger()
+        self.snapshot_root = snapshot_root
+        self.metrics = metrics
+        self.cache = None
+        self.last_plan = None
+        self.last_report: RetrainReport | None = None
+        self.retrains = 0
+
+    def observe(self, query: np.ndarray, stats=None) -> bool:
+        """Record a served query; returns True if a retrain was triggered."""
+        self.model.record(query)
+        self.trigger.note(stats)
+        if self.trigger.should_retrain(self):
+            self.retrain()
+            return True
+        return False
+
+    def ingest(self, other_model) -> None:
+        """Fold a collected model (e.g. a shard's sketch) into this one."""
+        distinct, weights = other_model.distinct()
+        for query, weight in zip(distinct, weights):
+            for _ in range(int(weight)):
+                self.model.record(query)
+
+    def retrain(self) -> RetrainReport:
+        """Re-derive F', re-run DP + tau selection, hot-swap the cache."""
+        plan = train_cache_plan(self.model, self.spec)
+        cache = plan.cache
+        self.retrains += 1
+        snapshot_path = None
+        if self.snapshot_root is not None:
+            cache, snapshot_path = self._publish(cache)
+        self.cache = cache
+        self.last_plan = plan
+        if self.engine is not None:
+            self.engine.swap_cache(cache)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "cache_swap_total", "hot swaps into a live engine"
+                ).inc()
+        if self.metrics is not None:
+            self.metrics.counter(
+                "cache_rebuild_total", "maintenance rebuilds"
+            ).inc()
+        self.trigger.reset(self)
+        report = RetrainReport(
+            window_size=len(self.model),
+            distinct_queries=len(plan.derivation.distinct),
+            cache_items=plan.cache_items,
+            histogram_buckets=plan.histogram_buckets,
+            tau=plan.tau,
+            snapshot_path=snapshot_path,
+            predicted_hit_ratio=plan.predicted_hit_ratio,
+            predicted_refine_io=plan.predicted_refine_io,
+        )
+        self.last_report = report
+        return report
+
+    def _publish(self, cache):
+        """Snapshot the retrained cache, publish it, reload it mmapped.
+
+        Build → fsync → atomic ``CURRENT`` republish → serve from the
+        published artifact; readers only ever resolve complete snapshots.
+        """
+        from repro.artifacts.snapshot import (
+            load_cache_snapshot,
+            save_cache_snapshot,
+        )
+        from repro.artifacts.store import publish_current
+
+        name = f"snap-{self.retrains:06d}"
+        path = save_cache_snapshot(
+            self.snapshot_root, name, cache, metrics=self.metrics
+        )
+        publish_current(self.snapshot_root, name)
+        served = load_cache_snapshot(path, mmap=True, points=self.spec.points)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "snapshot_load_total", "snapshots opened", kind="cache"
+            ).inc()
+        return served, str(path)
+
+    def drift_view(self, registry, plan=None) -> dict:
+        """Predicted-vs-observed hit/refine ratios for the current plan.
+
+        Thin wrapper over
+        :func:`repro.obs.reporter.observed_vs_predicted` using the last
+        retrain's cost model, encoder and QR points (or an explicitly
+        passed plan — e.g. the offline build's — for the *before* side
+        of a before/after comparison).
+        """
+        from repro.obs.reporter import observed_vs_predicted
+
+        plan = plan or self.last_plan
+        if plan is None:
+            raise ValueError("no plan yet: pass one or retrain first")
+        return observed_vs_predicted(
+            registry,
+            plan.cost,
+            cache=self.cache if self.cache is not None else plan.cache,
+            tau=plan.tau,
+            encoder=plan.encoder,
+            qr_points=plan.qr_points,
+            k=plan.k,
+        )

@@ -1,0 +1,58 @@
+"""Live query observation: a PhaseHook that feeds the workload model.
+
+``WorkloadHook`` rides the engine's existing instrumentation bus
+(:class:`~repro.engine.context.PhaseHook`): at the start of each query's
+``generate`` phase it records ``ctx.query`` into a workload model, and —
+when wired to a :class:`~repro.workload.drift.DriftController` — lets
+the controller's trigger decide whether to retrain.  Purely
+observational: it never touches candidates, bounds, or results.
+
+Retrains fired from inside the hook run *between* queries from the
+engine's point of view (the generate phase has not produced candidates
+yet, and in-flight queries keep the cache reference they started with),
+so a hook-driven hot swap has the same zero-downtime guarantee as an
+external ``controller.observe`` loop.
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import PhaseHook
+
+
+class WorkloadHook(PhaseHook):
+    """Records every engine query into a workload model.
+
+    Args:
+        model: the :class:`~repro.workload.model.WorkloadModel` to feed.
+            Ignored (may be None) when ``controller`` is given — the
+            controller records into its own model.
+        controller: optional :class:`~repro.workload.drift.DriftController`
+            whose ``observe`` replaces the plain ``record`` (enabling
+            trigger-driven retrains).
+    """
+
+    def __init__(self, model=None, controller=None) -> None:
+        if model is None and controller is None:
+            raise ValueError("WorkloadHook needs a model or a controller")
+        self.model = model if controller is None else controller.model
+        self.controller = controller
+        self.observed = 0
+
+    def on_phase_start(self, phase: str, ctx) -> None:
+        if phase != "generate":
+            return
+        query = getattr(ctx, "query", None)
+        if query is None:
+            return
+        self.observed += 1
+        if self.controller is not None:
+            self.controller.observe(query)
+        else:
+            self.model.record(query)
+
+
+def attach_workload_hook(engine, model=None, controller=None) -> WorkloadHook:
+    """Append a :class:`WorkloadHook` to a live engine's hook chain."""
+    hook = WorkloadHook(model=model, controller=controller)
+    engine.hooks = tuple(engine.hooks) + (hook,)
+    return hook

@@ -1,0 +1,350 @@
+"""Workload models: what the trainer knows about recent queries.
+
+The paper trains on a static workload ``WL`` (Section 3.5 relegates
+drift to a daily rebuild).  This module abstracts "the workload" behind
+one small protocol so the *same* training core
+(:func:`repro.workload.train.train_cache_plan`) serves both regimes:
+
+* :class:`WindowWorkload` — an exact sliding window over a preallocated
+  ring buffer.  Training on a window holding exactly ``WL`` is
+  bit-identical to the offline build (an equivalence suite enforces it).
+* :class:`DecayedSketchWorkload` — a bounded sketch of distinct queries
+  with exponential time decay.  Its state is *mergeable* (commutative
+  and associative up to float addition), so sharded engines can collect
+  one sketch per worker and fold them at reduce time.
+
+Both are picklable, so process-executor shards can ship them back to
+the coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+#: Relative weight resolution when a decayed sketch is quantized to the
+#: integer multiplicities ``QRSet``/``F'`` expect (1/1024 of the
+#: heaviest entry survives rounding; lighter entries clamp to 1).
+WEIGHT_RESOLUTION = 1024
+
+#: Rescale the sketch's running gain before it overflows float64.
+_GAIN_LIMIT = 1e12
+
+
+@runtime_checkable
+class WorkloadModel(Protocol):
+    """What :func:`~repro.workload.train.train_cache_plan` consumes.
+
+    ``distinct()`` is the only method training strictly needs; the rest
+    make models usable as drop-in query recorders.
+    """
+
+    def record(self, query: np.ndarray) -> None:
+        """Fold one served query into the model."""
+        ...
+
+    def record_batch(self, queries: np.ndarray) -> None:
+        """Fold a query batch into the model."""
+        ...
+
+    def queries(self) -> np.ndarray:
+        """A representative ``(m, d)`` query array (may collapse dupes)."""
+        ...
+
+    def distinct(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(distinct_queries, int64_weights)`` in ``np.unique`` row order."""
+        ...
+
+    def __len__(self) -> int:
+        """Entries currently retained (not lifetime observations)."""
+        ...
+
+
+class WindowWorkload:
+    """A bounded window of the most recent queries (exact multiplicities).
+
+    Queries live in one preallocated ``(capacity, d)`` float64 ring
+    buffer — recording is a row assignment, no per-query allocation.
+    The buffer is allocated lazily at the first ``record`` (the model
+    does not need to know ``d`` up front).
+
+    ``queries()`` returns the retained queries oldest-first; an empty
+    window yields a ``(0, d)`` array (``(0, 0)`` before the dimension is
+    known) instead of raising, so callers need no emptiness guard.
+    """
+
+    def __init__(self, capacity: int = 2000, dim: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._dim = int(dim) if dim is not None else None
+        self._buffer: np.ndarray | None = (
+            np.empty((self.capacity, self._dim), dtype=np.float64)
+            if self._dim is not None
+            else None
+        )
+        self._pos = 0  # next write slot
+        self._count = 0  # retained rows, <= capacity
+        self.observations = 0  # lifetime recorded queries
+
+    # ------------------------------------------------------------------
+    def _ensure_buffer(self, dim: int) -> np.ndarray:
+        if self._buffer is None:
+            self._dim = dim
+            self._buffer = np.empty((self.capacity, dim), dtype=np.float64)
+        elif dim != self._dim:
+            raise ValueError(
+                f"query dimension {dim} does not match the window's {self._dim}"
+            )
+        return self._buffer
+
+    def record(self, query: np.ndarray) -> None:
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        buffer = self._ensure_buffer(len(query))
+        buffer[self._pos] = query  # row assignment copies
+        self._pos = (self._pos + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        self.observations += 1
+
+    def record_batch(self, queries: np.ndarray) -> None:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(queries) == 0:
+            return
+        buffer = self._ensure_buffer(queries.shape[1])
+        self.observations += len(queries)
+        if len(queries) >= self.capacity:
+            # Only the newest ``capacity`` rows survive; the buffer is
+            # full and chronological from slot 0.
+            buffer[:] = queries[-self.capacity :]
+            self._pos = 0
+            self._count = self.capacity
+            return
+        first = min(len(queries), self.capacity - self._pos)
+        buffer[self._pos : self._pos + first] = queries[:first]
+        if first < len(queries):
+            buffer[: len(queries) - first] = queries[first:]
+        self._pos = (self._pos + len(queries)) % self.capacity
+        self._count = min(self._count + len(queries), self.capacity)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def clear(self) -> None:
+        self._pos = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def queries(self) -> np.ndarray:
+        """Retained queries, oldest first; ``(0, d)`` when empty."""
+        if self._count == 0 or self._buffer is None:
+            return np.empty((0, self._dim or 0), dtype=np.float64)
+        if self._count < self.capacity:
+            return self._buffer[: self._count].copy()
+        # Full ring: the oldest row sits at the next write slot.
+        return np.concatenate(
+            [self._buffer[self._pos :], self._buffer[: self._pos]]
+        )
+
+    def distinct(self) -> tuple[np.ndarray, np.ndarray]:
+        queries = self.queries()
+        if len(queries) == 0:
+            return queries, np.zeros(0, dtype=np.int64)
+        uniq, counts = np.unique(queries, axis=0, return_counts=True)
+        return uniq, counts.astype(np.int64)
+
+    def merge(self, other: "WindowWorkload") -> "WindowWorkload":
+        """A new window holding both windows' retained queries.
+
+        Windows are not order-mergeable in general (interleaving is
+        lost); the merged window concatenates self's retained queries
+        before other's.  For exact mergeable state use
+        :class:`DecayedSketchWorkload`.
+        """
+        merged = WindowWorkload(capacity=self.capacity + other.capacity)
+        merged.record_batch(self.queries())
+        merged.record_batch(other.queries())
+        return merged
+
+
+class DecayedSketchWorkload:
+    """A bounded sketch of distinct queries with exponential time decay.
+
+    Every observation multiplies all existing weights by ``decay`` and
+    adds 1 to the observed query's weight — implemented O(1) per record
+    by accumulating *raw* weights and a global ``_scale`` factor
+    (effective weight = raw * scale).  When the sketch exceeds
+    ``max_entries`` the lightest entries are dropped (deterministic:
+    ties broken by the query's byte key).
+
+    ``merge`` adds effective weights per key, which is commutative and
+    associative (up to float addition; a property test checks this), so
+    per-shard sketches fold into one global sketch in any order.
+    """
+
+    def __init__(
+        self,
+        decay: float = 0.999,
+        max_entries: int = 4096,
+        dim: int | None = None,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.decay = float(decay)
+        self.max_entries = int(max_entries)
+        self._dim = int(dim) if dim is not None else None
+        self._raw: dict[bytes, float] = {}
+        self._vectors: dict[bytes, np.ndarray] = {}
+        self._scale = 1.0
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def _rescale(self) -> None:
+        for key in self._raw:
+            self._raw[key] *= self._scale
+        self._scale = 1.0
+
+    def record(self, query: np.ndarray) -> None:
+        query = np.ascontiguousarray(
+            np.asarray(query, dtype=np.float64).reshape(-1)
+        )
+        if self._dim is None:
+            self._dim = len(query)
+        elif len(query) != self._dim:
+            raise ValueError(
+                f"query dimension {len(query)} does not match the sketch's "
+                f"{self._dim}"
+            )
+        key = query.tobytes()
+        self._scale *= self.decay
+        gain = 1.0 / self._scale  # effective contribution of 1.0 now
+        if gain > _GAIN_LIMIT:
+            self._rescale()
+            gain = 1.0
+        if key in self._raw:
+            self._raw[key] += gain
+        else:
+            self._raw[key] = gain
+            self._vectors[key] = query.copy()
+        self.observations += 1
+        if len(self._raw) > self.max_entries:
+            self._evict()
+
+    def record_batch(self, queries: np.ndarray) -> None:
+        for query in np.atleast_2d(np.asarray(queries, dtype=np.float64)):
+            self.record(query)
+
+    def _evict(self) -> None:
+        """Drop the lightest entries back to ``max_entries``."""
+        overflow = len(self._raw) - self.max_entries
+        if overflow <= 0:
+            return
+        victims = sorted(self._raw, key=lambda k: (self._raw[k], k))[:overflow]
+        for key in victims:
+            del self._raw[key]
+            del self._vectors[key]
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def clear(self) -> None:
+        self._raw.clear()
+        self._vectors.clear()
+        self._scale = 1.0
+
+    # ------------------------------------------------------------------
+    def effective_weights(self) -> dict[bytes, float]:
+        """Decayed (effective) weight per retained query key."""
+        return {key: raw * self._scale for key, raw in self._raw.items()}
+
+    def queries(self) -> np.ndarray:
+        """The retained distinct queries (np.unique row order)."""
+        return self.distinct()[0]
+
+    def distinct(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(distinct, int64 weights)``; weights quantized to 1/1024.
+
+        Integer weights are what ``QRSet``/``F'`` consume.  Scaling by
+        the heaviest entry keeps relative popularity to
+        ``WEIGHT_RESOLUTION`` parts; every retained entry keeps at least
+        weight 1.
+        """
+        if not self._raw:
+            return (
+                np.empty((0, self._dim or 0), dtype=np.float64),
+                np.zeros(0, dtype=np.int64),
+            )
+        stacked = np.stack([self._vectors[k] for k in self._raw])
+        raw = np.array([self._raw[k] for k in self._raw], dtype=np.float64)
+        order = np.lexsort(stacked.T[::-1])  # np.unique's row order
+        stacked = stacked[order]
+        raw = raw[order]
+        scale = WEIGHT_RESOLUTION / raw.max()
+        weights = np.maximum(1, np.rint(raw * scale)).astype(np.int64)
+        return stacked, weights
+
+    def merge(self, other: "DecayedSketchWorkload") -> "DecayedSketchWorkload":
+        """A new sketch whose effective weights are the per-key sums."""
+        merged = DecayedSketchWorkload(
+            decay=self.decay,
+            max_entries=max(self.max_entries, other.max_entries),
+            dim=self._dim if self._dim is not None else other._dim,
+        )
+        for source in (self, other):
+            for key, weight in source.effective_weights().items():
+                if key in merged._raw:
+                    merged._raw[key] += weight
+                else:
+                    merged._raw[key] = weight
+                    merged._vectors[key] = source._vectors[key].copy()
+        merged.observations = self.observations + other.observations
+        if len(merged._raw) > merged.max_entries:
+            merged._evict()
+        return merged
+
+
+def build_workload_model(recipe: dict | None):
+    """A model from a picklable recipe (``ShardSpec.workload``).
+
+    Kinds: ``{"kind": "window", "capacity": N}`` and
+    ``{"kind": "sketch", "decay": D, "max_entries": N}``; ``None``
+    builds nothing.
+    """
+    if recipe is None:
+        return None
+    kind = recipe.get("kind", "sketch")
+    if kind == "window":
+        return WindowWorkload(capacity=int(recipe.get("capacity", 2000)))
+    if kind == "sketch":
+        return DecayedSketchWorkload(
+            decay=float(recipe.get("decay", 0.999)),
+            max_entries=int(recipe.get("max_entries", 4096)),
+        )
+    raise ValueError(f"unknown workload model kind {kind!r}")
+
+
+def workload_distance(a, b) -> float:
+    """Total-variation distance between two models' query distributions.
+
+    ``0.5 * sum |P_a(q) - P_b(q)|`` over the union of distinct queries
+    (keys are the raw row bytes) — in ``[0, 1]``, 0 for identical
+    distributions.  Drives the sketch-distance retrain trigger.
+    """
+
+    def distribution(model) -> dict[bytes, float]:
+        distinct, weights = model.distinct()
+        total = float(weights.sum())
+        if total <= 0:
+            return {}
+        return {
+            np.ascontiguousarray(row).tobytes(): w / total
+            for row, w in zip(distinct, weights.astype(np.float64))
+        }
+
+    pa, pb = distribution(a), distribution(b)
+    if not pa and not pb:
+        return 0.0
+    keys = set(pa) | set(pb)
+    return 0.5 * sum(abs(pa.get(k, 0.0) - pb.get(k, 0.0)) for k in keys)

@@ -1,0 +1,304 @@
+"""Workload models: ring-buffer windows and mergeable decayed sketches."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    DecayedSketchWorkload,
+    WindowWorkload,
+    WorkloadModel,
+    build_workload_model,
+    workload_distance,
+)
+
+
+def _queries(n, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.rint(rng.uniform(0, 50, size=(n, d)))
+
+
+class TestWindowWorkload:
+    def test_protocol_conformance(self):
+        assert isinstance(WindowWorkload(), WorkloadModel)
+        assert isinstance(DecayedSketchWorkload(), WorkloadModel)
+
+    def test_capacity_bound_keeps_newest(self):
+        window = WindowWorkload(capacity=5)
+        for i in range(9):
+            window.record(np.full(3, float(i)))
+        assert len(window) == 5
+        assert window.observations == 9
+        # Oldest retained is query 4, and order is chronological.
+        np.testing.assert_array_equal(window.queries()[:, 0], [4, 5, 6, 7, 8])
+
+    def test_empty_window_yields_zero_rows(self):
+        window = WindowWorkload(capacity=4)
+        assert window.queries().shape == (0, 0)
+        window_d = WindowWorkload(capacity=4, dim=7)
+        assert window_d.queries().shape == (0, 7)
+        distinct, weights = window_d.distinct()
+        assert distinct.shape == (0, 7)
+        assert weights.shape == (0,)
+
+    def test_record_copies_the_query(self):
+        window = WindowWorkload(capacity=3)
+        q = np.array([1.0, 2.0])
+        window.record(q)
+        q[:] = 99.0
+        np.testing.assert_array_equal(window.queries(), [[1.0, 2.0]])
+
+    def test_queries_returns_a_copy(self):
+        window = WindowWorkload(capacity=3)
+        window.record([1.0, 2.0])
+        out = window.queries()
+        out[:] = -1.0
+        np.testing.assert_array_equal(window.queries(), [[1.0, 2.0]])
+
+    def test_batch_wraps_like_single_records(self):
+        batch = _queries(23, d=4, seed=5)
+        one = WindowWorkload(capacity=7)
+        for q in batch:
+            one.record(q)
+        many = WindowWorkload(capacity=7)
+        # Split unevenly so a chunk straddles the wrap point.
+        many.record_batch(batch[:10])
+        many.record_batch(batch[10:16])
+        many.record_batch(batch[16:])
+        np.testing.assert_array_equal(one.queries(), many.queries())
+
+    def test_oversized_batch_keeps_newest_capacity_rows(self):
+        batch = _queries(30, seed=6)
+        window = WindowWorkload(capacity=8)
+        window.record_batch(batch)
+        np.testing.assert_array_equal(window.queries(), batch[-8:])
+
+    def test_distinct_matches_np_unique(self):
+        batch = _queries(40, seed=7)
+        window = WindowWorkload(capacity=100)
+        window.record_batch(batch)
+        window.record_batch(batch[:11])  # duplicates
+        expect_q, expect_w = np.unique(
+            np.concatenate([batch, batch[:11]]), axis=0, return_counts=True
+        )
+        distinct, weights = window.distinct()
+        np.testing.assert_array_equal(distinct, expect_q)
+        np.testing.assert_array_equal(weights, expect_w)
+        assert weights.dtype == np.int64
+
+    def test_dimension_mismatch_raises(self):
+        window = WindowWorkload(capacity=3)
+        window.record([1.0, 2.0])
+        with pytest.raises(ValueError, match="dimension"):
+            window.record([1.0, 2.0, 3.0])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WindowWorkload(capacity=0)
+
+    def test_clear_then_refill(self):
+        window = WindowWorkload(capacity=4)
+        window.record_batch(_queries(6, seed=1))
+        window.clear()
+        assert len(window) == 0
+        assert window.queries().shape == (0, 3)
+        window.record([9.0, 9.0, 9.0])
+        np.testing.assert_array_equal(window.queries(), [[9.0, 9.0, 9.0]])
+
+    def test_merge_concatenates_retained(self):
+        a, b = WindowWorkload(capacity=4), WindowWorkload(capacity=4)
+        a.record_batch(_queries(3, seed=2))
+        b.record_batch(_queries(2, seed=3))
+        merged = a.merge(b)
+        assert len(merged) == 5
+        np.testing.assert_array_equal(
+            merged.queries(), np.concatenate([a.queries(), b.queries()])
+        )
+
+    def test_picklable(self):
+        window = WindowWorkload(capacity=5)
+        window.record_batch(_queries(8, seed=4))
+        clone = pickle.loads(pickle.dumps(window))
+        np.testing.assert_array_equal(clone.queries(), window.queries())
+
+
+class TestDecayedSketchWorkload:
+    def test_decay_prefers_recent_queries(self):
+        sketch = DecayedSketchWorkload(decay=0.5)
+        old, new = np.array([1.0, 1.0]), np.array([2.0, 2.0])
+        sketch.record(old)
+        for _ in range(4):
+            sketch.record(new)
+        weights = sketch.effective_weights()
+        assert weights[new.tobytes()] > weights[old.tobytes()]
+
+    def test_no_decay_counts_exactly(self):
+        sketch = DecayedSketchWorkload(decay=1.0)
+        q = np.array([3.0, 4.0])
+        for _ in range(7):
+            sketch.record(q)
+        assert weights_close(sketch.effective_weights()[q.tobytes()], 7.0)
+
+    def test_eviction_drops_lightest(self):
+        sketch = DecayedSketchWorkload(decay=1.0, max_entries=3)
+        for i in range(4):
+            q = np.array([float(i), 0.0])
+            for _ in range(i + 1):  # weight i+1
+                sketch.record(q)
+        assert len(sketch) == 3
+        kept = sketch.queries()[:, 0]
+        assert 0.0 not in kept  # the weight-1 entry was evicted
+
+    def test_distinct_row_order_matches_np_unique(self):
+        batch = _queries(30, seed=8)
+        sketch = DecayedSketchWorkload(decay=1.0)
+        sketch.record_batch(batch)
+        expect_q = np.unique(batch, axis=0)
+        np.testing.assert_array_equal(sketch.distinct()[0], expect_q)
+
+    def test_quantization_preserves_relative_popularity(self):
+        sketch = DecayedSketchWorkload(decay=1.0)
+        hot, cold = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        for _ in range(10):
+            sketch.record(hot)
+        sketch.record(cold)
+        distinct, weights = sketch.distinct()
+        w = {row.tobytes(): int(v) for row, v in zip(distinct, weights)}
+        assert weights.min() >= 1
+        ratio = w[hot.tobytes()] / w[cold.tobytes()]
+        assert ratio == pytest.approx(10.0, rel=0.01)
+
+    def test_long_stream_stays_finite(self):
+        """The O(1) decay trick must rescale before float64 overflows."""
+        sketch = DecayedSketchWorkload(decay=0.5, max_entries=8)
+        for i in range(200):
+            sketch.record(np.array([float(i % 4), 1.0]))
+        weights = sketch.effective_weights()
+        assert all(np.isfinite(w) for w in weights.values())
+        assert max(weights.values()) < 3.0  # geometric series bound
+
+    def test_merge_sums_effective_weights(self):
+        a = DecayedSketchWorkload(decay=1.0)
+        b = DecayedSketchWorkload(decay=1.0)
+        q_shared = np.array([5.0, 5.0])
+        a.record(q_shared)
+        a.record(np.array([1.0, 0.0]))
+        b.record(q_shared)
+        b.record(q_shared)
+        merged = a.merge(b)
+        assert weights_close(
+            merged.effective_weights()[q_shared.tobytes()], 3.0
+        )
+        assert merged.observations == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayedSketchWorkload(decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedSketchWorkload(decay=1.5)
+        with pytest.raises(ValueError):
+            DecayedSketchWorkload(max_entries=0)
+        sketch = DecayedSketchWorkload(dim=2)
+        with pytest.raises(ValueError, match="dimension"):
+            sketch.record([1.0, 2.0, 3.0])
+
+    def test_picklable(self):
+        sketch = DecayedSketchWorkload(decay=0.9)
+        sketch.record_batch(_queries(12, seed=9))
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.effective_weights() == sketch.effective_weights()
+
+    @given(seed=st.integers(0, 2**10), split=st.integers(0, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_property_merge_is_associative(self, seed, split):
+        """(a ∪ b) ∪ c and a ∪ (b ∪ c) agree on effective weights."""
+        rng = np.random.default_rng(seed)
+        batch = np.rint(rng.uniform(0, 6, size=(24, 2)))
+        cut2 = split // 2
+        parts = [batch[:cut2], batch[cut2:split], batch[split:]]
+        sketches = []
+        for part in parts:
+            s = DecayedSketchWorkload(decay=0.99)
+            s.record_batch(part)
+            sketches.append(s)
+        a, b, c = sketches
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert set(left.effective_weights()) == set(right.effective_weights())
+        for key, weight in left.effective_weights().items():
+            assert weight == pytest.approx(
+                right.effective_weights()[key], rel=1e-9
+            )
+
+    @given(seed=st.integers(0, 2**10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_merge_is_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = np.rint(rng.uniform(0, 5, size=(16, 2)))
+        a = DecayedSketchWorkload(decay=0.95)
+        b = DecayedSketchWorkload(decay=0.95)
+        a.record_batch(batch[:9])
+        b.record_batch(batch[9:])
+        ab, ba = a.merge(b), b.merge(a)
+        assert set(ab.effective_weights()) == set(ba.effective_weights())
+        for key, weight in ab.effective_weights().items():
+            assert weight == pytest.approx(
+                ba.effective_weights()[key], rel=1e-9
+            )
+
+
+def weights_close(a: float, b: float) -> bool:
+    return abs(a - b) < 1e-9
+
+
+class TestBuildWorkloadModel:
+    def test_recipes(self):
+        assert build_workload_model(None) is None
+        window = build_workload_model({"kind": "window", "capacity": 9})
+        assert isinstance(window, WindowWorkload)
+        assert window.capacity == 9
+        sketch = build_workload_model(
+            {"kind": "sketch", "decay": 0.9, "max_entries": 5}
+        )
+        assert isinstance(sketch, DecayedSketchWorkload)
+        assert sketch.decay == 0.9
+        assert sketch.max_entries == 5
+        with pytest.raises(ValueError, match="kind"):
+            build_workload_model({"kind": "bogus"})
+
+
+class TestWorkloadDistance:
+    def test_identical_distributions_are_zero(self):
+        batch = _queries(20, seed=10)
+        a, b = WindowWorkload(capacity=50), WindowWorkload(capacity=50)
+        a.record_batch(batch)
+        b.record_batch(batch)
+        assert workload_distance(a, b) == pytest.approx(0.0)
+
+    def test_disjoint_distributions_are_one(self):
+        a, b = WindowWorkload(capacity=10), WindowWorkload(capacity=10)
+        a.record([1.0, 1.0])
+        b.record([2.0, 2.0])
+        assert workload_distance(a, b) == pytest.approx(1.0)
+
+    def test_empty_models_are_identical(self):
+        assert workload_distance(WindowWorkload(), WindowWorkload()) == 0.0
+
+    def test_distance_is_symmetric_and_bounded(self):
+        a, b = WindowWorkload(capacity=30), WindowWorkload(capacity=30)
+        a.record_batch(_queries(15, seed=11))
+        b.record_batch(_queries(15, seed=12))
+        d = workload_distance(a, b)
+        assert d == pytest.approx(workload_distance(b, a))
+        assert 0.0 <= d <= 1.0
+
+    def test_cross_model_kinds(self):
+        batch = _queries(10, seed=13)
+        window = WindowWorkload(capacity=20)
+        sketch = DecayedSketchWorkload(decay=1.0)
+        window.record_batch(batch)
+        sketch.record_batch(batch)
+        assert workload_distance(window, sketch) < 0.01
