@@ -42,6 +42,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batched", action="store_true",
                         help="run the test queries through the engine's "
                              "batched hot path (identical results/I/O)")
+    parser.add_argument("--kernel", default="auto",
+                        choices=("auto", "decode", "numpy", "native"),
+                        help="bound kernel for approximate caches "
+                             "(repro.core.kernels; bit-identical results). "
+                             "'auto' honors REPRO_KERNEL and defaults to "
+                             "the numpy table-gather kernel; 'native' "
+                             "compiles a C kernel on first use")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
                         help="partition the dataset into N shards and run "
                              "the sharded parallel engine (0 = unsharded)")
@@ -177,6 +184,7 @@ def _run_sharded_experiment(args, dataset, context) -> int:
             partition=args.partition, seed=args.seed,
             metrics=want_metrics,
             faults=fault_spec, resilience=policy,
+            kernel=args.kernel,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -228,7 +236,7 @@ def _run_adaptive_experiment(args, dataset, context) -> int:
     spec = spec_from_kwargs(
         dataset=dataset, method=args.method, tau=args.tau,
         cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
-        k=args.k, seed=args.seed,
+        k=args.k, seed=args.seed, kernel=args.kernel,
     )
     spec = dataclasses.replace(
         spec,
@@ -279,7 +287,7 @@ def cmd_experiment(args) -> int:
     result = Experiment(
         dataset, method=args.method, k=args.k, tau=args.tau,
         cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
-        seed=args.seed, batched=args.batched,
+        seed=args.seed, batched=args.batched, kernel=args.kernel,
         metrics=registry if registry is not None else False,
         faults=fault_spec, resilience=policy,
     ).run(context=context)
@@ -313,7 +321,7 @@ def cmd_compare(args) -> int:
             Experiment(
                 dataset, method=method, k=args.k, tau=args.tau,
                 cache_bytes=cache_bytes, index_name=args.index, seed=args.seed,
-                batched=args.batched,
+                batched=args.batched, kernel=args.kernel,
                 metrics=registries.get(method, False),
                 faults=fault_spec, resilience=policy,
             ).run(context=context)
@@ -387,6 +395,7 @@ def _build_spec(args):
             method=args.method,
             tau=args.tau,
             cache_bytes=_resolve_cache(args, dataset),
+            kernel=getattr(args, "kernel", "auto"),
         ),
         k=args.k,
         seed=args.seed,
@@ -612,6 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
                  "vaplus", "linear", "idistance", "vptree", "mtree"),
     )
     p_build.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+    p_build.add_argument("--kernel", default="auto",
+                         choices=("auto", "decode", "numpy", "native"),
+                         help="bound kernel recorded in the snapshot spec")
     _add_snapshot_metrics(p_build)
 
     p_inspect = snap_sub.add_parser(

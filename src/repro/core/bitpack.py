@@ -61,6 +61,28 @@ class BitPackedMatrix:
     def nbytes(self) -> int:
         return self._words.nbytes
 
+    @property
+    def words(self) -> np.ndarray:
+        """The raw ``(capacity, words_per_row)`` uint64 storage.
+
+        Exposed read-mostly for decode-free bound kernels
+        (:mod:`repro.core.kernels`); mutate rows through ``set_rows``.
+        """
+        return self._words
+
+    def field_geometry(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-field ``(word_idx, bit_offset, spill_bits)`` int64 arrays.
+
+        ``spill_bits[j] > 0`` means the top bits of field ``j`` continue
+        in word ``word_idx[j] + 1`` — the layout contract native kernels
+        must honor to decode without ``unpack_words``.
+        """
+        return (
+            self._word_idx,
+            self._offsets.astype(np.int64),
+            self._spill,
+        )
+
     # ------------------------------------------------------------------
     def _validate_codes(self, codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes)

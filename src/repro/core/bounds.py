@@ -105,10 +105,20 @@ def exact_distances(query: np.ndarray, points: np.ndarray) -> np.ndarray:
 
 
 def kth_smallest(values: np.ndarray, k: int) -> float:
-    """The k-th smallest entry (1-based); +inf when fewer than k values."""
+    """The k-th smallest entry (1-based); +inf when fewer than k values.
+
+    NaN entries raise: ``np.partition`` orders NaN after every number,
+    so a NaN bound (e.g. from a corrupted degraded-mode read) would
+    silently shift the k-th threshold instead of failing.
+    """
     values = np.asarray(values, dtype=np.float64)
     if k <= 0:
         raise ValueError("k must be positive")
+    if np.isnan(values).any():
+        raise ValueError(
+            "NaN among bound values; the k-th smallest is undefined "
+            "(np.partition would silently order NaN last)"
+        )
     if values.size < k:
         return float("inf")
     return float(np.partition(values, k - 1)[k - 1])

@@ -45,6 +45,25 @@ class PointEncoder(ABC):
     def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(m, n_fields)`` codes -> ``(lowers, uppers)`` of shape (m, d)."""
 
+    # ------------------------------------------------------------------
+    # Optional bucket structure for decode-free bound kernels
+    # (repro.core.kernels).  Encoders without per-bucket structure keep
+    # the None defaults and are served by the decode kernel.
+    # ------------------------------------------------------------------
+    def decode_tables(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-field bucket edge tables ``(lowers, uppers)``, ``(F, B)``.
+
+        ``F`` is 1 (one table shared by all dimensions) or ``dim``; code
+        ``c`` in field ``j`` must decode to exactly
+        ``[lowers[j % F, c], uppers[j % F, c]]`` — the same interval
+        ``rectangles`` would produce — or bit-identity breaks.
+        """
+        return None
+
+    def bucket_rectangles(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Full bucket-rectangle tables ``(B, d)`` for 1-field encoders."""
+        return None
+
 
 class GlobalHistogramEncoder(PointEncoder):
     """Def. 8: every coordinate encoded by the same global histogram."""
@@ -66,6 +85,9 @@ class GlobalHistogramEncoder(PointEncoder):
     def rectangles(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
         return self.histogram.decode_bounds(codes)
+
+    def decode_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.histogram.lowers[None, :], self.histogram.uppers[None, :]
 
 
 class IndividualHistogramEncoder(PointEncoder):
@@ -108,6 +130,9 @@ class IndividualHistogramEncoder(PointEncoder):
         codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
         dims = np.arange(self.dim)[None, :]
         return self._lowers[dims, codes], self._uppers[dims, codes]
+
+    def decode_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._lowers, self._uppers
 
 
 class ExactEncoder(PointEncoder):

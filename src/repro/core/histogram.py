@@ -117,17 +117,36 @@ class Histogram:
     # ------------------------------------------------------------------
     # Encoding (Def. 7 bucket lookup)
     # ------------------------------------------------------------------
-    def lookup(self, values: np.ndarray) -> np.ndarray:
+    def lookup(self, values: np.ndarray, strict: bool = True) -> np.ndarray:
         """Map values to bucket positions (vectorized Def. 7).
 
-        Each value maps to the first bucket whose upper bound covers it;
-        values beyond the last bucket clamp to the last one.  Bounds derived
-        from codes are guaranteed to contain the value whenever the value is
-        a member of the domain the histogram was built from.
+        Each value maps to the first bucket whose upper bound covers it.
+        By default the mapping is *strict*: a value outside every bucket
+        (below the first lower edge, above the last upper edge, or in a
+        gap between shrunk buckets) raises ``ValueError`` instead of
+        silently landing in a bucket that does not contain it — a code
+        whose decoded interval excludes the value yields a "lower bound"
+        that can exceed the true distance, breaking pruning soundness.
+        Every value of the domain the histogram was built from encodes
+        strictly; pass ``strict=False`` only for diagnostics that need
+        the nearest-bucket assignment (e.g. :meth:`covers`).
         """
         values = np.asarray(values, dtype=np.float64)
-        codes = np.searchsorted(self.uppers, values, side="left")
-        return np.minimum(codes, self.num_buckets - 1).astype(np.int64)
+        codes = np.minimum(
+            np.searchsorted(self.uppers, values, side="left"),
+            self.num_buckets - 1,
+        ).astype(np.int64)
+        if strict:
+            outside = (values < self.lowers[codes]) | (values > self.uppers[codes])
+            if np.any(outside):
+                bad = np.atleast_1d(values)[np.atleast_1d(outside)]
+                raise ValueError(
+                    f"{bad.size} value(s) lie outside every histogram bucket "
+                    f"(e.g. {bad.flat[0]!r} vs domain "
+                    f"[{self.lowers[0]!r}, {self.uppers[-1]!r}]); encoding "
+                    "them would break lower-bound soundness"
+                )
+        return codes
 
     def decode_bounds(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-code ``(lowers, uppers)`` arrays for bound computation."""
@@ -139,7 +158,7 @@ class Histogram:
     def covers(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask: is each value inside its looked-up bucket?"""
         values = np.asarray(values, dtype=np.float64)
-        codes = self.lookup(values)
+        codes = self.lookup(values, strict=False)
         return (self.lowers[codes] <= values) & (values <= self.uppers[codes])
 
     def storage_bytes(self) -> int:

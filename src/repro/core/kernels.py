@@ -1,0 +1,536 @@
+"""Decode-free bound kernels over packed codes ("exploit every bit").
+
+The hot loop of cached kNN search is: given a query and ``m`` cached
+tau-bit code rows, compute lower/upper Euclidean distance bounds.  The
+baseline (``decode``) un-packs every code back to an ``(m, d)`` float
+rectangle and calls :func:`repro.core.bounds.batch_rectangle_bounds` —
+correct, but it rebuilds ``2 * m * d`` floats per batch that the bound
+math immediately collapses.
+
+The key observation: for per-dimension histogram codes the bound
+contribution of candidate ``i`` in dimension ``j`` depends only on
+``(j, code_ij)`` — there are at most ``d * B`` distinct values, not
+``m * d``.  So each kernel precomputes, per query, a ``(d, B)`` table of
+*squared* per-bucket contributions and gathers:
+
+``lb(q, i) = sqrt( sum_j T_lb[j, c_ij] )``  where
+``T_lb[j, b] = (max(l_b - q_j, 0) + max(q_j - u_b, 0))^2``, and
+``T_ub[j, b] = max(|q_j - l_b|, |q_j - u_b|)^2``.
+
+Three kernels, all **bit-identical** (see the contract below):
+
+* ``decode`` — the baseline path (rectangles + batch bound kernel).
+  Always available, supports every encoder.
+* ``numpy``  — table build + fancy-index gather + ``np.sum`` in NumPy.
+  Always available; falls back to ``decode`` for encoders without
+  per-bucket structure (PQ's blockwise cells, the EXACT encoder).
+* ``native`` — a small C kernel compiled on demand with the system C
+  compiler and loaded via ctypes.  It reads ``BitPackedMatrix`` words
+  directly — the ``(m, d)`` code matrix is never materialized — and
+  replicates NumPy's pairwise summation so results stay bit-identical.
+  Unavailable (gracefully) without a C compiler; a randomized
+  self-check at load time verifies bit-identity and disables the
+  kernel on any mismatch.
+
+Bit-identity contract: IEEE-754 elementwise ops (subtract, abs, max,
+add, multiply, sqrt) are value-deterministic regardless of array shape,
+and ``np.sum(axis=-1)`` over a C-contiguous ``(m, d)`` array applies a
+fixed pairwise summation per row.  The table entries are computed with
+the exact op sequence of :func:`batch_rectangle_bounds`, the gather
+produces C-contiguous rows of the same length ``d``, and the native
+kernel re-implements the same pairwise scheme in C — so all three
+kernels agree on every output bit, and therefore on answer sets, prune
+counts and telemetry.  ``tests/test_kernel_differential.py`` enforces
+this across index x cache cells.
+
+Selection: the ``REPRO_KERNEL`` environment variable (``auto`` |
+``decode`` | ``numpy`` | ``native``) sets the process default;
+spec/CLI ``--kernel`` overrides per cache.  ``auto`` means ``numpy``.
+An explicit request for an unavailable kernel raises
+:class:`KernelUnavailableError`; an environment-sourced request
+degrades to ``numpy`` with a warning, so a mis-set variable never
+breaks a running service.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import warnings
+
+import numpy as np
+
+from repro.core.bitpack import BitPackedMatrix
+from repro.core.bounds import batch_rectangle_bounds
+
+KERNEL_ENV = "REPRO_KERNEL"
+KERNEL_CHOICES = ("auto", "decode", "numpy", "native")
+
+
+class KernelUnavailableError(RuntimeError):
+    """An explicitly requested kernel cannot run in this environment."""
+
+
+# ----------------------------------------------------------------------
+# Kernel interface
+# ----------------------------------------------------------------------
+class BoundKernel:
+    """Computes lb/ub for a query batch against cached code rows."""
+
+    name = "?"
+
+    def supports(self, encoder) -> bool:
+        """Can this kernel serve the encoder without changing results?"""
+        return True
+
+    def bounds(
+        self, queries: np.ndarray, codes: np.ndarray, encoder
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(Q, d) x (m, n_fields) -> (lb, ub)`` of shape ``(Q, m)``."""
+        raise NotImplementedError
+
+    def packed_bounds(
+        self, queries: np.ndarray, store: BitPackedMatrix, slots: np.ndarray, encoder
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bounds straight from a packed store (default: unpack first)."""
+        return self.bounds(queries, store.get_rows(slots), encoder)
+
+
+class DecodeKernel(BoundKernel):
+    """Baseline: decode codes to ``(m, d)`` rectangles, then bound."""
+
+    name = "decode"
+
+    def bounds(self, queries, codes, encoder):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        codes = np.atleast_2d(codes)
+        if codes.shape[0] == 0:
+            empty = np.empty((len(queries), 0), dtype=np.float64)
+            return empty, empty.copy()
+        lo, hi = encoder.rectangles(codes)
+        return batch_rectangle_bounds(queries, lo, hi)
+
+
+def _contribution_tables(
+    query: np.ndarray, lo_t: np.ndarray, up_t: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query squared-contribution tables, shape ``(d, B)``.
+
+    Op-for-op the elementwise sequence of ``batch_rectangle_bounds``
+    applied on the ``(d, 1) x (F, B)`` broadcast grid, so every table
+    entry carries the identical bits the decode path would compute for
+    a candidate holding that bucket code in that dimension.
+    """
+    qc = query[:, None]
+    below = np.maximum(np.subtract(lo_t, qc), 0.0)
+    above = np.maximum(np.subtract(qc, up_t), 0.0)
+    tlb = np.add(below, above)
+    np.multiply(tlb, tlb, out=tlb)
+    tub = np.maximum(np.abs(np.subtract(qc, lo_t)), np.abs(np.subtract(qc, up_t)))
+    np.multiply(tub, tub, out=tub)
+    return tlb, tub
+
+
+class TableGatherKernel(BoundKernel):
+    """NumPy table-gather kernel (the always-available fast path)."""
+
+    name = "numpy"
+
+    def supports(self, encoder) -> bool:
+        return (
+            encoder.decode_tables() is not None
+            or encoder.bucket_rectangles() is not None
+        )
+
+    def bounds(self, queries, codes, encoder):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        n_queries, m = len(queries), codes.shape[0]
+        if m == 0:
+            empty = np.empty((n_queries, 0), dtype=np.float64)
+            return empty, empty.copy()
+        tables = encoder.decode_tables()
+        if tables is not None:
+            return self._per_dimension(queries, codes, tables)
+        rects = encoder.bucket_rectangles()
+        if rects is not None:
+            return self._per_bucket(queries, codes, rects)
+        raise KernelUnavailableError(
+            f"encoder {type(encoder).__name__} exposes no bucket structure; "
+            "use the decode kernel"
+        )
+
+    @staticmethod
+    def _per_dimension(queries, codes, tables):
+        lo_t, up_t = tables
+        n_buckets = lo_t.shape[1]
+        if codes.size and (codes.min() < 0 or codes.max() >= n_buckets):
+            raise IndexError("code out of range")
+        n_queries, m = len(queries), codes.shape[0]
+        # Flat gather indices into the raveled (d, B) tables, built once
+        # per batch: entry (i, j) reads table row j at bucket code_ij.
+        # ``np.take`` on the flat index is several times faster than the
+        # equivalent two-array fancy gather and reads the same elements,
+        # so the pairwise row sums stay bit-identical.
+        flat = (
+            np.arange(codes.shape[1], dtype=np.int64)[None, :] * n_buckets
+            + codes
+        )
+        lb = np.empty((n_queries, m), dtype=np.float64)
+        ub = np.empty((n_queries, m), dtype=np.float64)
+        for i, query in enumerate(queries):
+            tlb, tub = _contribution_tables(query, lo_t, up_t)
+            np.sum(np.take(tlb.ravel(), flat), axis=-1, out=lb[i])
+            np.sqrt(lb[i], out=lb[i])
+            np.sum(np.take(tub.ravel(), flat), axis=-1, out=ub[i])
+            np.sqrt(ub[i], out=ub[i])
+        return lb, ub
+
+    @staticmethod
+    def _per_bucket(queries, codes, rects):
+        # Single-field encoders (mHC-R): bound every bucket rectangle
+        # once per query, then gather per candidate — O(Q*B*d + Q*m).
+        blo, bhi = rects
+        flat = codes[:, 0]
+        if flat.size and (flat.min() < 0 or flat.max() >= len(blo)):
+            raise IndexError("bucket id out of range")
+        tlb, tub = batch_rectangle_bounds(queries, blo, bhi)
+        return (
+            np.ascontiguousarray(tlb[:, flat]),
+            np.ascontiguousarray(tub[:, flat]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Native (C) kernel
+# ----------------------------------------------------------------------
+# The summation in pairwise() mirrors numpy's pairwise_sum (the reduce
+# loop behind np.sum over a contiguous axis): sequential below 8
+# elements, an 8-way unrolled block up to 128, then a recursive split
+# rounded down to a multiple of 8.  Keeping the same reduction tree is
+# what makes the C kernel bit-identical to the NumPy kernels; the
+# load-time self-check below refuses the kernel if this ever drifts
+# (e.g. a numpy release changing its pairwise blocking).
+_C_SOURCE = r"""
+#include <math.h>
+#include <stddef.h>
+#include <stdint.h>
+
+static double pairwise(const double *a, ptrdiff_t n)
+{
+    if (n < 8) {
+        double res = 0.0;
+        for (ptrdiff_t i = 0; i < n; i++)
+            res += a[i];
+        return res;
+    } else if (n <= 128) {
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        ptrdiff_t i;
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0]; r1 += a[i + 1]; r2 += a[i + 2]; r3 += a[i + 3];
+            r4 += a[i + 4]; r5 += a[i + 5]; r6 += a[i + 6]; r7 += a[i + 7];
+        }
+        double res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++)
+            res += a[i];
+        return res;
+    } else {
+        ptrdiff_t n2 = n / 2;
+        n2 -= n2 % 8;
+        return pairwise(a, n2) + pairwise(a + n2, n - n2);
+    }
+}
+
+/* Bounds for one query against m packed rows addressed through slots.
+ * Field j of a row lives at word word_idx[j], bit offset shift[j]; when
+ * spill[j] > 0 its top spill[j] bits continue in the next word.  Codes
+ * index the (n_fields, n_buckets) contribution tables tlb/tub.
+ * Returns 0 on success, 1 when a decoded code is >= n_buckets. */
+int repro_packed_bounds(
+    const uint64_t *words, ptrdiff_t words_per_row,
+    const int64_t *slots, ptrdiff_t m,
+    ptrdiff_t n_fields, int bits,
+    const int64_t *word_idx, const int64_t *shift, const int64_t *spill,
+    const double *tlb, const double *tub, ptrdiff_t n_buckets,
+    double *scratch_lb, double *scratch_ub,
+    double *lb, double *ub)
+{
+    const uint64_t mask = (((uint64_t)1) << bits) - 1;
+    for (ptrdiff_t i = 0; i < m; i++) {
+        const uint64_t *row = words + slots[i] * words_per_row;
+        for (ptrdiff_t j = 0; j < n_fields; j++) {
+            uint64_t v = row[word_idx[j]] >> shift[j];
+            if (spill[j] > 0)
+                v |= row[word_idx[j] + 1] << (bits - spill[j]);
+            v &= mask;
+            if ((ptrdiff_t)v >= n_buckets)
+                return 1;
+            scratch_lb[j] = tlb[j * n_buckets + (ptrdiff_t)v];
+            scratch_ub[j] = tub[j * n_buckets + (ptrdiff_t)v];
+        }
+        lb[i] = sqrt(pairwise(scratch_lb, n_fields));
+        ub[i] = sqrt(pairwise(scratch_ub, n_fields));
+    }
+    return 0;
+}
+"""
+
+#: memoized (lib, unavailable_reason) pair; at most one is non-None.
+_NATIVE_STATE: list | None = None
+
+
+def _kernel_cache_dir() -> str:
+    configured = os.environ.get("REPRO_KERNEL_CACHE")
+    if configured:
+        return configured
+    uid = os.getuid() if hasattr(os, "getuid") else "any"
+    return os.path.join(tempfile.gettempdir(), f"repro-kernel-{uid}")
+
+
+def _compile_native() -> ctypes.CDLL:
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        raise KernelUnavailableError("no C compiler (cc/gcc) on PATH")
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = _kernel_cache_dir()
+    os.makedirs(cache_dir, exist_ok=True)
+    so_path = os.path.join(cache_dir, f"bound_kernel_{digest}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache_dir, f"bound_kernel_{digest}.c")
+        tmp_path = f"{so_path}.tmp{os.getpid()}"
+        with open(c_path, "w") as fh:
+            fh.write(_C_SOURCE)
+        cmd = [compiler, "-O2", "-fPIC", "-shared", "-o", tmp_path, c_path, "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise KernelUnavailableError(
+                f"native kernel compilation failed: {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp_path, so_path)
+    lib = ctypes.CDLL(so_path)
+    fn = lib.repro_packed_bounds
+    fn.restype = ctypes.c_int
+    fn.argtypes = [ctypes.c_void_p, ctypes.c_ssize_t] + [
+        ctypes.c_void_p,
+        ctypes.c_ssize_t,
+        ctypes.c_ssize_t,
+        ctypes.c_int,
+    ] + [ctypes.c_void_p] * 3 + [
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_ssize_t,
+    ] + [ctypes.c_void_p] * 4
+    return lib
+
+
+def _native_self_check(kernel: "NativeKernel") -> None:
+    """Verify bit-identity against the NumPy kernels on random inputs.
+
+    Covers all three pairwise-summation regimes (d < 8, 8 <= d <= 128,
+    d > 128) and a word-spill bit width.  Raises on any mismatch so the
+    kernel is marked unavailable rather than silently divergent.
+    """
+    rng = np.random.default_rng(0x5EED)
+    table = TableGatherKernel()
+    for d, bits in ((5, 4), (37, 13), (150, 8), (300, 7)):
+        n_buckets = min(2**bits, 17)
+        edges = np.sort(rng.uniform(-10.0, 10.0, size=2 * n_buckets))
+        lo_t = np.ascontiguousarray(
+            np.broadcast_to(edges[0::2], (d, n_buckets)), dtype=np.float64
+        )
+        up_t = np.ascontiguousarray(
+            np.broadcast_to(edges[1::2], (d, n_buckets)), dtype=np.float64
+        )
+        codes = rng.integers(0, n_buckets, size=(11, d), dtype=np.int64)
+        store = BitPackedMatrix(11, d, bits)
+        store.set_rows(np.arange(11), codes)
+        queries = rng.normal(0.0, 5.0, size=(3, d))
+
+        class _Probe:
+            def decode_tables(self):
+                return lo_t, up_t
+
+            def bucket_rectangles(self):
+                return None
+
+        want = table.bounds(queries, codes, _Probe())
+        got = kernel._per_dimension_packed(
+            np.atleast_2d(queries), store, np.arange(11), (lo_t, up_t)
+        )
+        for name, w, g in (("lb", want[0], got[0]), ("ub", want[1], got[1])):
+            if not np.array_equal(w, g):
+                raise KernelUnavailableError(
+                    f"native kernel self-check failed ({name} mismatch at "
+                    f"d={d}, bits={bits}); summation order diverges from "
+                    "numpy on this platform"
+                )
+
+
+def native_available() -> tuple[bool, str | None]:
+    """``(available, reason_if_not)`` for the native kernel."""
+    global _NATIVE_STATE
+    if _NATIVE_STATE is None:
+        try:
+            lib = _compile_native()
+            kernel = NativeKernel(lib)
+            _native_self_check(kernel)
+            _NATIVE_STATE = [lib, None]
+        except KernelUnavailableError as exc:
+            _NATIVE_STATE = [None, str(exc)]
+        except OSError as exc:  # unwritable tmpdir, dlopen failure, ...
+            _NATIVE_STATE = [None, f"native kernel unavailable: {exc}"]
+    return _NATIVE_STATE[0] is not None, _NATIVE_STATE[1]
+
+
+class NativeKernel(BoundKernel):
+    """C bound kernel over packed words (no code matrix materialized)."""
+
+    name = "native"
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._fn = lib.repro_packed_bounds
+
+    def supports(self, encoder) -> bool:
+        return (
+            encoder.decode_tables() is not None
+            or encoder.bucket_rectangles() is not None
+        )
+
+    def bounds(self, queries, codes, encoder):
+        # Unpacked codes are already materialized here, so the packed C
+        # path has nothing to save; reuse the table-gather math (it is
+        # bit-identical by the module contract).
+        return _TABLE.bounds(queries, codes, encoder)
+
+    def packed_bounds(self, queries, store, slots, encoder):
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        tables = encoder.decode_tables()
+        if tables is None:
+            # Bucket-rectangle encoders (n_fields == 1) are already
+            # decode-free under table-gather; delegate.
+            return _TABLE.packed_bounds(queries, store, slots, encoder)
+        slots = np.ascontiguousarray(np.atleast_1d(slots), dtype=np.int64)
+        if slots.size == 0:
+            empty = np.empty((len(queries), 0), dtype=np.float64)
+            return empty, empty.copy()
+        lo_t, up_t = tables
+        if lo_t.shape[0] == 1 and store.n_fields > 1:
+            lo_t = np.ascontiguousarray(
+                np.broadcast_to(lo_t, (store.n_fields, lo_t.shape[1]))
+            )
+            up_t = np.ascontiguousarray(
+                np.broadcast_to(up_t, (store.n_fields, up_t.shape[1]))
+            )
+        return self._per_dimension_packed(queries, store, slots, (lo_t, up_t))
+
+    def _per_dimension_packed(self, queries, store, slots, tables):
+        lo_t, up_t = tables
+        word_idx, shifts, spill = store.field_geometry()
+        n_fields, n_buckets = lo_t.shape
+        m = len(slots)
+        lb = np.empty((len(queries), m), dtype=np.float64)
+        ub = np.empty((len(queries), m), dtype=np.float64)
+        scratch_lb = np.empty(n_fields, dtype=np.float64)
+        scratch_ub = np.empty(n_fields, dtype=np.float64)
+        words = store.words
+        for i, query in enumerate(queries):
+            tlb, tub = _contribution_tables(query, lo_t, up_t)
+            tlb = np.ascontiguousarray(tlb)
+            tub = np.ascontiguousarray(tub)
+            rc = self._fn(
+                words.ctypes.data,
+                store.words_per_row,
+                slots.ctypes.data,
+                m,
+                n_fields,
+                store.bits,
+                word_idx.ctypes.data,
+                shifts.ctypes.data,
+                spill.ctypes.data,
+                tlb.ctypes.data,
+                tub.ctypes.data,
+                n_buckets,
+                scratch_lb.ctypes.data,
+                scratch_ub.ctypes.data,
+                lb[i].ctypes.data,
+                ub[i].ctypes.data,
+            )
+            if rc != 0:
+                raise IndexError("code out of range")
+        return lb, ub
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+_DECODE = DecodeKernel()
+_TABLE = TableGatherKernel()
+
+
+def resolve_kernel(choice: str | None = None) -> BoundKernel:
+    """Resolve a kernel name (explicit arg > ``REPRO_KERNEL`` > auto).
+
+    An explicit request for an unavailable or unknown kernel raises; an
+    environment-sourced one degrades to ``numpy`` with a warning.
+    """
+    explicit = choice not in (None, "auto")
+    if not explicit:
+        choice = os.environ.get(KERNEL_ENV) or "auto"
+    choice = choice.lower()
+    if choice not in KERNEL_CHOICES:
+        if explicit:
+            raise ValueError(
+                f"unknown kernel {choice!r}; choose from {KERNEL_CHOICES}"
+            )
+        warnings.warn(
+            f"{KERNEL_ENV}={choice!r} is not one of {KERNEL_CHOICES}; "
+            "using the numpy kernel",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        choice = "numpy"
+    if choice == "auto":
+        choice = "numpy"
+    if choice == "decode":
+        return _DECODE
+    if choice == "numpy":
+        return _TABLE
+    ok, reason = native_available()
+    if ok:
+        global _NATIVE_SINGLETON
+        if _NATIVE_SINGLETON is None:
+            _NATIVE_SINGLETON = NativeKernel(_NATIVE_STATE[0])
+        return _NATIVE_SINGLETON
+    if explicit:
+        raise KernelUnavailableError(reason)
+    warnings.warn(
+        f"{KERNEL_ENV}=native but {reason}; using the numpy kernel",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return _TABLE
+
+
+_NATIVE_SINGLETON: NativeKernel | None = None
+
+
+def effective_kernel(kernel: BoundKernel, encoder) -> BoundKernel:
+    """The kernel actually used for an encoder (decode when unsupported)."""
+    return kernel if kernel.supports(encoder) else _DECODE
+
+
+def code_bounds(
+    queries: np.ndarray,
+    codes: np.ndarray,
+    encoder,
+    kernel: BoundKernel | str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: resolve + encoder fallback + compute in one call."""
+    if not isinstance(kernel, BoundKernel):
+        kernel = resolve_kernel(kernel)
+    return effective_kernel(kernel, encoder).bounds(queries, codes, encoder)

@@ -49,6 +49,9 @@ class RTreeBucketEncoder(PointEncoder):
             raise IndexError("bucket id out of range")
         return self.tree.leaf_lo[codes], self.tree.leaf_hi[codes]
 
+    def bucket_rectangles(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.tree.leaf_lo, self.tree.leaf_hi
+
     def average_bucket_width(self) -> float:
         """Measured ``w_br``: mean per-dimension width of the bucket MBRs."""
         return self.tree.average_leaf_width()

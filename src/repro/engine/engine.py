@@ -145,6 +145,22 @@ class QueryEngine:
     def is_tree(self) -> bool:
         return self.source.is_tree
 
+    @property
+    def kernel_name(self) -> str:
+        """The active bound kernel of the engine's cache (for reporting).
+
+        ``exact``/``none`` caches compute distances rather than bounds
+        and report their own label; approximate caches report the
+        resolved :mod:`repro.core.kernels` kernel.
+        """
+        cache = self.cache
+        if self.source.is_tree:
+            cache = getattr(self.source, "leaf_cache", None)
+        if cache is None:
+            return "none"
+        name = getattr(cache, "kernel_name", None)
+        return name if name is not None else type(cache).__name__.lower()
+
     def swap_cache(self, cache: PointCache) -> PointCache:
         """Replace the engine's cache under live traffic; returns the old one.
 

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.bounds import rectangle_bounds
 from repro.core.cache import ApproximateCache, CachePolicy
 from repro.core.encoder import PointEncoder
 from repro.core.reduction import reduce_candidates
@@ -88,6 +87,11 @@ class Experiment:
     ordering: str = "raw"
     policy: CachePolicy = CachePolicy.HFF
     seed: int = 0
+    #: Bound-kernel selection for approximate caches
+    #: (``repro.core.kernels``): ``auto`` honors ``REPRO_KERNEL`` and
+    #: defaults to the numpy table-gather kernel.  Bit-identical across
+    #: kernels — a speed knob, never an accuracy knob.
+    kernel: str = "auto"
     #: Execute the test queries through the engine's batched hot path
     #: (identical results and I/O counts; different wall time).
     batched: bool = False
@@ -129,6 +133,7 @@ class Experiment:
             k=self.k,
             policy=self.policy,
             seed=self.seed,
+            kernel=self.kernel,
         )
 
     @classmethod
@@ -146,6 +151,7 @@ class Experiment:
             ordering=spec.ordering,
             policy=resolve_policy(spec.cache.policy),
             seed=spec.seed,
+            kernel=spec.cache.kernel,
             **kwargs,
         )
 
@@ -298,16 +304,28 @@ def summarize(
 
 
 def measure_m1(
-    encoder: PointEncoder, context: WorkloadContext, k: int | None = None
+    encoder: PointEncoder,
+    context: WorkloadContext,
+    k: int | None = None,
+    kernel: str | None = None,
 ) -> float:
     """The exact Metric (M1): candidates surviving reduction over ``WL``.
 
     Assumes every candidate is cached (Def. 9 evaluates ``refine_H`` over
     ``C(q) ^ Psi``), isolating the histogram's pruning power from the hit
     ratio.  Weighted by query multiplicity.
+
+    Bounds go through the shared kernel path
+    (:func:`repro.core.kernels.code_bounds`) — the exact code the query
+    engine runs, and bit-identical to the historical per-query
+    ``rectangle_bounds`` loop — so the validator exercises what it
+    validates.
     """
+    from repro.core.kernels import code_bounds, resolve_kernel
+
     k = k or context.k
     points = context.dataset.points
+    kern = resolve_kernel(kernel)
     total = 0.0
     for query, weight, cands in zip(
         context.distinct_queries, context.query_weights, context.candidate_sets
@@ -315,10 +333,9 @@ def measure_m1(
         if cands.size == 0:
             continue
         codes = encoder.encode(points[cands])
-        lo, hi = encoder.rectangles(codes)
-        lb, ub = rectangle_bounds(query, lo, hi)
+        lb, ub = code_bounds(query[None, :], codes, encoder, kernel=kern)
         outcome = reduce_candidates(
-            cands, np.ones(len(cands), dtype=bool), lb, ub, k
+            cands, np.ones(len(cands), dtype=bool), lb[0], ub[0], k
         )
         total += weight * outcome.c_refine
     return float(total)

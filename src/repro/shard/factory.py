@@ -205,7 +205,12 @@ def build_shard_specs(
 # Method-aware layer (CLI / experiments)
 # ----------------------------------------------------------------------
 def method_cache_spec(
-    context, method: str, tau: int, cache_bytes: int, index_name: str
+    context,
+    method: str,
+    tau: int,
+    cache_bytes: int,
+    index_name: str,
+    kernel: str | None = None,
 ) -> dict | None:
     """The global cache recipe of a paper method name.
 
@@ -215,7 +220,7 @@ def method_cache_spec(
     """
     from repro.spec.build import cache_recipe
 
-    return cache_recipe(context, method, tau, cache_bytes, index_name)
+    return cache_recipe(context, method, tau, cache_bytes, index_name, kernel=kernel)
 
 
 def specs_from_method(
@@ -234,6 +239,7 @@ def specs_from_method(
     faults=None,
     resilience=None,
     workload: dict | None = None,
+    kernel: str | None = None,
 ) -> list[ShardSpec]:
     """Shard specs matching an unsharded method configuration.
 
@@ -246,7 +252,7 @@ def specs_from_method(
         n_shards,
         index_name=index_name,
         cache_spec=method_cache_spec(
-            context, method, tau, cache_bytes, index_name
+            context, method, tau, cache_bytes, index_name, kernel=kernel
         ),
         frequencies=context.frequencies,
         partition=partition,

@@ -225,7 +225,11 @@ def _build_point_cache(spec: ShardSpec):
         )
     elif kind == "approx":
         cache = ApproximateCache(
-            cache_spec["encoder"], capacity, n_local, policy=policy
+            cache_spec["encoder"],
+            capacity,
+            n_local,
+            policy=policy,
+            kernel=cache_spec.get("kernel"),
         )
     else:
         raise ValueError(f"unknown point-cache kind {kind!r}")
@@ -253,6 +257,7 @@ def _build_leaf_cache(spec: ShardSpec, index):
         int(cache_spec["capacity_bytes"]),
         exact=bool(cache_spec.get("exact", False)),
         value_bytes=spec.value_bytes,
+        kernel=cache_spec.get("kernel"),
     )
     workload = cache_spec.get("populate_workload")
     if workload is not None and len(workload):

@@ -78,6 +78,7 @@ def spec_from_kwargs(
     k: int = 10,
     policy: CachePolicy = CachePolicy.HFF,
     seed: int = 0,
+    kernel: str = "auto",
 ) -> PipelineSpec:
     """A spec mirroring the historical ``build_caching_pipeline`` args."""
     return PipelineSpec(
@@ -90,6 +91,7 @@ def spec_from_kwargs(
             tau=tau,
             cache_bytes=cache_bytes,
             policy="lru" if policy is CachePolicy.LRU else "hff",
+            kernel=kernel,
         ),
         k=k,
         ordering=ordering,
@@ -106,8 +108,15 @@ def make_method_cache(
     tau: int = 8,
     cache_bytes: int = 1 << 20,
     policy: CachePolicy = CachePolicy.HFF,
+    kernel: str | None = None,
 ) -> PointCache:
-    """Build and (for HFF) populate the cache of a named method."""
+    """Build and (for HFF) populate the cache of a named method.
+
+    ``kernel`` selects the bound kernel for approximate caches
+    (``repro.core.kernels``); exact caches compute distances, not
+    bounds, and ignore it.
+    """
+    kernel = None if kernel == "auto" else kernel
     dataset = context.dataset
     if method == "NO-CACHE":
         return NoCache()
@@ -137,7 +146,9 @@ def make_method_cache(
             domain = dataset.dimension_domain(j)
             histograms.append(build_equidepth(domain, 2**bits))
         encoder = IndividualHistogramEncoder(histograms)
-        cache = ApproximateCache(encoder, cache_bytes, dataset.num_points, policy)
+        cache = ApproximateCache(
+            encoder, cache_bytes, dataset.num_points, policy, kernel=kernel
+        )
         order = np.argsort(-context.frequencies, kind="stable")
         cache.populate(order, dataset.points[order])
         return cache
@@ -160,13 +171,19 @@ def make_method_cache(
             domain=dataset.domain,
             derivation=derivation_from_context(context),
             encoder_factory=lambda t: context.encoder(method, t),
+            kernel=kernel,
         ),
     )
     return plan.cache
 
 
 def cache_recipe(
-    context, method: str, tau: int, cache_bytes: int, index_name: str
+    context,
+    method: str,
+    tau: int,
+    cache_bytes: int,
+    index_name: str,
+    kernel: str | None = None,
 ) -> dict | None:
     """The picklable cache recipe of a paper method name.
 
@@ -176,12 +193,14 @@ def cache_recipe(
     """
     if method == "NO-CACHE":
         return None
+    kernel = None if kernel == "auto" else kernel
     if index_name in TREE_INDEX_NAMES:
         spec = {"kind": "leaf", "capacity_bytes": cache_bytes, "k": context.k}
         if method == "EXACT":
             spec["exact"] = True
         else:
             spec["encoder"] = context.encoder(method, tau)
+            spec["kernel"] = kernel
         if context.dataset.query_log is not None:
             spec["populate_workload"] = context.dataset.query_log.workload
         return spec
@@ -197,6 +216,7 @@ def cache_recipe(
         "capacity_bytes": cache_bytes,
         "policy": "hff",
         "encoder": context.encoder(method, tau),
+        "kernel": kernel,
     }
 
 
@@ -254,6 +274,7 @@ def _build_point_pipeline(spec, dataset, context, metrics, resilience):
         tau=spec.cache.tau,
         cache_bytes=spec.cache.cache_bytes,
         policy=resolve_policy(spec.cache.policy),
+        kernel=spec.cache.kernel,
     )
     searcher = CachedKNNSearch(
         context.index,
@@ -322,6 +343,7 @@ def attach_adaptation(spec, context, engine, metrics=None):
             policy=resolve_policy(spec.cache.policy),
             value_bytes=context.dataset.value_bytes,
             domain=context.dataset.domain,
+            kernel=None if spec.cache.kernel == "auto" else spec.cache.kernel,
         ),
         engine=engine,
         trigger=trigger,
@@ -363,7 +385,11 @@ def _build_tree_pipeline(spec, dataset, context, metrics):
                 seed=spec.seed,
             )
         encoder = context.encoder(method, spec.cache.tau)
-        cache = LeafNodeCache(encoder, spec.cache.cache_bytes)
+        cache = LeafNodeCache(
+            encoder,
+            spec.cache.cache_bytes,
+            kernel=None if spec.cache.kernel == "auto" else spec.cache.kernel,
+        )
     if dataset.query_log is not None:
         freqs = index.leaf_access_frequencies(
             dataset.query_log.workload, spec.k
@@ -413,6 +439,7 @@ def build_sharded(spec: PipelineSpec, dataset: Dataset | None = None, context=No
         metrics=spec.metrics.enabled,
         faults=fault_spec,
         resilience=policy,
+        kernel=spec.cache.kernel,
     )
     engine_kwargs = {}
     if policy is not None:

@@ -56,12 +56,19 @@ class IndexSection:
 
 @dataclass(frozen=True)
 class CacheSection:
-    """Caching method configuration (paper Section 5 parameters)."""
+    """Caching method configuration (paper Section 5 parameters).
+
+    ``kernel`` selects the bound kernel (``repro.core.kernels``):
+    ``auto`` (default, honors ``REPRO_KERNEL``), ``decode``, ``numpy``
+    or ``native``.  All kernels are bit-identical; this is a speed knob
+    and never changes answers.
+    """
 
     method: str = "HC-O"
     tau: int = 8
     cache_bytes: int = 1 << 20
     policy: str = "hff"
+    kernel: str = "auto"
 
 
 @dataclass(frozen=True)

@@ -185,6 +185,8 @@ class TrainSpec:
             ``WorkloadContext`` passes its memoized builder here, which
             both avoids rebuilding histograms across methods and keeps
             the offline path's exact encoder objects.
+        kernel: bound-kernel name for the trained cache
+            (``repro.core.kernels``; ``None`` = ``REPRO_KERNEL``/auto).
     """
 
     points: np.ndarray
@@ -199,6 +201,7 @@ class TrainSpec:
     domain: ValueDomain | None = None
     derivation: WorkloadDerivation | None = None
     encoder_factory: object = None
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -313,7 +316,8 @@ def train_cache_plan(model, spec: TrainSpec) -> CachePlan:
         )
     encoder = factory(tau)
     cache = ApproximateCache(
-        encoder, spec.cache_bytes, len(spec.points), spec.policy
+        encoder, spec.cache_bytes, len(spec.points), spec.policy,
+        kernel=spec.kernel,
     )
     if spec.policy is CachePolicy.HFF:
         cache.populate_hff(deriv.frequencies, spec.points)

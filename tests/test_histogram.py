@@ -63,11 +63,20 @@ class TestLookup:
         codes = hist.lookup(np.array([0.0, 2.0, 5.0, 7.0, 11.0]))
         assert codes.tolist() == [0, 0, 1, 1, 2]
 
-    def test_lookup_clamps_beyond_range(self):
+    def test_lookup_rejects_beyond_range(self):
+        # Out-of-domain values used to clamp silently, making the encoded
+        # rectangle exclude the point and the derived lower bound unsound.
         dom = _simple_domain()
         hist = Histogram.from_splits(dom, np.array([0, 2]))
-        assert hist.lookup(np.array([999.0]))[0] == hist.num_buckets - 1
-        assert hist.lookup(np.array([-999.0]))[0] == 0
+        with pytest.raises(ValueError, match="outside every histogram bucket"):
+            hist.lookup(np.array([999.0]))
+        with pytest.raises(ValueError, match="outside every histogram bucket"):
+            hist.lookup(np.array([-999.0]))
+        # Non-strict lookup keeps the clamping behavior for diagnostics.
+        assert hist.lookup(np.array([999.0]), strict=False)[0] == (
+            hist.num_buckets - 1
+        )
+        assert hist.lookup(np.array([-999.0]), strict=False)[0] == 0
 
     def test_covers_members(self):
         dom = _simple_domain()

@@ -1,0 +1,317 @@
+"""Differential harness: bound kernels are invisible to search results.
+
+The guarantee matrix, per (index family x cache configuration) cell:
+switching ``ApproximateCache``/``LeafNodeCache`` between the ``decode``,
+``numpy`` and (when a C compiler is present) ``native`` kernels changes
+**nothing observable**:
+
+* **bounds** — ``lookup`` and ``lookup_batch`` return byte-identical
+  ``(hits, lb, ub)`` arrays;
+* **results** — ids, distances, ``exact_mask`` and per-query
+  ``QueryStats`` (candidates / hits / pruned / confirmed / c_refine /
+  I/O counts) from a full ``QueryEngine.search_many`` run are identical;
+* **telemetry** — the cache's cumulative counters agree, because every
+  hit/prune decision fell the same way.
+
+Each cell rebuilds its engine from scratch per kernel (LRU caches
+mutate during search, so state must not leak between kernel runs).
+Every randomized input derives from ``SEED``; assertion messages carry
+the cell and kernel names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth, build_equiwidth
+from repro.core.cache import ApproximateCache, CachePolicy, LeafNodeCache
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder, IndividualHistogramEncoder
+from repro.core.kernels import native_available
+from repro.core.multidim import RTreeBucketEncoder
+from repro.core.pq import PQEncoder
+from repro.engine.engine import QueryEngine
+from repro.index.idistance import IDistanceIndex
+from repro.index.linear_scan import LinearScanIndex
+from repro.index.vafile import VAFileIndex
+from repro.lsh.c2lsh import C2LSHIndex, C2LSHParams, calibrate_base_radius
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.pointfile import PointFile
+
+SEED = 20260808
+N_POINTS = 240
+DIM = 6
+K = 5
+CACHE_BYTES = 1 << 11
+
+NATIVE_OK, NATIVE_REASON = native_available()
+KERNELS = ("decode", "numpy") + (("native",) if NATIVE_OK else ())
+
+STAT_FIELDS = (
+    "num_candidates",
+    "cache_hits",
+    "pruned",
+    "confirmed",
+    "c_refine",
+    "refined_fetches",
+    "refine_page_reads",
+    "gen_page_reads",
+)
+TELEMETRY_FIELDS = (
+    "lookups",
+    "hits",
+    "lookup_calls",
+    "admissions",
+    "updates",
+    "evictions",
+    "rejections",
+)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (index family x encoder x policy) entry of the matrix."""
+
+    name: str
+    index_name: str  # linear | c2lsh | vafile | idistance-leaf
+    encoder: str  # hc | ihc | mhc | pq
+    policy: str = "hff"  # hff | lru
+
+    def expected_kernel(self, requested: str) -> str:
+        """The kernel the cache should resolve for this encoder
+        ("decode" for encoders without bucket structure)."""
+        if self.encoder == "pq" and requested in ("numpy", "native"):
+            return "decode"
+        if (
+            self.encoder == "mhc"
+            and requested == "native"
+            and self.index_name != "idistance-leaf"
+        ):
+            # Bucket-rectangle encoders delegate the packed path to the
+            # table-gather kernel, but the selected kernel IS native.
+            return "native"
+        return requested
+
+
+#: >= 8 index x cache cells (acceptance criterion).
+CELLS = (
+    Cell("linear~hc-hff", "linear", "hc"),
+    Cell("linear~ihc-hff", "linear", "ihc"),
+    Cell("linear~mhc-hff", "linear", "mhc"),
+    Cell("linear~pq-hff", "linear", "pq"),
+    Cell("linear~hc-lru", "linear", "hc", policy="lru"),
+    Cell("c2lsh~hc-hff", "c2lsh", "hc"),
+    Cell("c2lsh~ihc-hff", "c2lsh", "ihc"),
+    Cell("vafile~hc-hff", "vafile", "hc"),
+    Cell("vafile~mhc-hff", "vafile", "mhc"),
+    Cell("idistance~leaf-hc", "idistance-leaf", "hc"),
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(SEED)
+    centers = rng.uniform(10, 90, size=(3, DIM))
+    points = np.rint(
+        np.clip(
+            np.concatenate(
+                [c + rng.normal(scale=8, size=(N_POINTS // 3, DIM)) for c in centers]
+            ),
+            0,
+            100,
+        )
+    )
+    queries = rng.uniform(0, 100, size=(7, DIM))
+    frequencies = rng.integers(0, 9, size=len(points)).astype(np.int64)
+    return {"points": points, "queries": queries, "frequencies": frequencies}
+
+
+def _build_encoder(kind: str, points: np.ndarray):
+    dom = ValueDomain.from_points(points)
+    if kind == "hc":
+        return GlobalHistogramEncoder(build_equidepth(dom, 16), DIM)
+    if kind == "ihc":
+        return IndividualHistogramEncoder(
+            [
+                build_equiwidth(ValueDomain.from_column(points[:, j]), 8)
+                for j in range(DIM)
+            ]
+        )
+    if kind == "mhc":
+        return RTreeBucketEncoder(points, tau=5)
+    if kind == "pq":
+        return PQEncoder(points, n_subspaces=3, bits=4, seed=1)
+    raise ValueError(kind)
+
+
+def _build_cache(cell: Cell, data, kernel: str):
+    points = data["points"]
+    encoder = _build_encoder(cell.encoder, points)
+    policy = CachePolicy.LRU if cell.policy == "lru" else CachePolicy.HFF
+    cache = ApproximateCache(
+        encoder, CACHE_BYTES, len(points), policy, kernel=kernel
+    )
+    if policy is CachePolicy.HFF:
+        cache.populate_hff(data["frequencies"], points)
+    return cache
+
+
+def _build_engine(cell: Cell, data, kernel: str):
+    """A fresh engine + cache for one kernel (no state shared)."""
+    points = data["points"]
+    if cell.index_name == "idistance-leaf":
+        index = IDistanceIndex(points, seed=0, value_bytes=4)
+        encoder = _build_encoder(cell.encoder, points)
+        cache = LeafNodeCache(encoder, CACHE_BYTES, kernel=kernel)
+        freqs = index.leaf_access_frequencies(data["queries"], K)
+        cache.populate_by_frequency(freqs, index.leaf_contents)
+        return QueryEngine.for_tree(index, cache), cache
+    if cell.index_name == "linear":
+        index = LinearScanIndex(len(points))
+    elif cell.index_name == "c2lsh":
+        index = C2LSHIndex(
+            points,
+            params=C2LSHParams(beta=1.0, n_hashes=16),
+            seed=0,
+            base_radius=calibrate_base_radius(points, seed=0),
+        )
+    elif cell.index_name == "vafile":
+        index = VAFileIndex(points, bits=5)
+    else:
+        raise ValueError(cell.index_name)
+    cache = _build_cache(cell, data, kernel)
+    point_file = PointFile(points, disk=SimulatedDisk(DiskConfig()))
+    return QueryEngine.for_index(index, point_file, cache), cache
+
+
+# ----------------------------------------------------------------------
+# Direct bound bit-identity (cache lookup / lookup_batch)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: c.name)
+def test_lookup_bounds_bit_identical(cell: Cell, data) -> None:
+    if cell.index_name == "idistance-leaf":
+        pytest.skip("leaf cache covered by test_leaf_lookup_bit_identical")
+    rng = np.random.default_rng(SEED + 1)
+    ids = rng.permutation(len(data["points"]))[:60]
+    queries = data["queries"]
+    baseline = None
+    for kernel in KERNELS:
+        cache = _build_cache(cell, data, kernel)
+        hits_b, lb_b, ub_b = cache.lookup_batch(queries, ids)
+        hits_s, lb_s, ub_s = cache.lookup(queries[0], ids)
+        where = f"{cell.name} kernel={kernel} seed={SEED}"
+        # Single-query lookup agrees with row 0 of the batch.
+        assert np.array_equal(hits_b, hits_s), where
+        assert np.array_equal(lb_b[0], lb_s), where
+        assert np.array_equal(ub_b[0], ub_s), where
+        if baseline is None:
+            baseline = (hits_b, lb_b, ub_b)
+        else:
+            assert np.array_equal(baseline[0], hits_b), where
+            assert np.array_equal(baseline[1], lb_b), f"{where}: lb differs"
+            assert np.array_equal(baseline[2], ub_b), f"{where}: ub differs"
+
+
+def test_leaf_lookup_bit_identical(data) -> None:
+    cell = CELLS[-1]
+    baseline = None
+    for kernel in KERNELS:
+        _, cache = _build_engine(cell, data, kernel)
+        assert cache.num_leaves > 0
+        leaf_ids = sorted(cache._entries)
+        per_leaf = []
+        for leaf in leaf_ids:
+            ids, lb, ub = cache.lookup(data["queries"][0], leaf)
+            per_leaf.append((ids, lb, ub))
+        if baseline is None:
+            baseline = per_leaf
+        else:
+            for (bi, bl, bu), (gi, gl, gu) in zip(baseline, per_leaf):
+                assert np.array_equal(bi, gi), kernel
+                assert np.array_equal(bl, gl), f"leaf lb differs ({kernel})"
+                assert np.array_equal(bu, gu), f"leaf ub differs ({kernel})"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: answers, stats and telemetry are kernel-invariant
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: c.name)
+def test_search_results_kernel_invariant(cell: Cell, data) -> None:
+    runs = {}
+    for kernel in KERNELS:
+        engine, cache = _build_engine(cell, data, kernel)
+        assert cache.kernel_name == cell.expected_kernel(kernel), (
+            f"{cell.name}: requested {kernel}, "
+            f"cache resolved {cache.kernel_name}"
+        )
+        results = engine.search_many(data["queries"], K)
+        telemetry = tuple(
+            getattr(cache.telemetry, f) for f in TELEMETRY_FIELDS
+        )
+        runs[kernel] = (results, telemetry)
+    base_results, base_telemetry = runs["decode"]
+    for kernel in KERNELS[1:]:
+        got_results, got_telemetry = runs[kernel]
+        for qi, (b, r) in enumerate(zip(base_results, got_results)):
+            where = f"{cell.name} kernel={kernel} query={qi} seed={SEED}"
+            assert np.array_equal(b.ids, r.ids), (
+                f"{where}: ids {b.ids} != {r.ids}"
+            )
+            assert np.array_equal(b.distances, r.distances), (
+                f"{where}: distances differ"
+            )
+            assert np.array_equal(b.exact_mask, r.exact_mask), (
+                f"{where}: exact_mask differs"
+            )
+            for name in STAT_FIELDS:
+                assert getattr(b.stats, name) == getattr(r.stats, name), (
+                    f"{where}: stats.{name} "
+                    f"{getattr(b.stats, name)} != {getattr(r.stats, name)}"
+                )
+        assert base_telemetry == got_telemetry, (
+            f"{cell.name} kernel={kernel}: telemetry "
+            f"{dict(zip(TELEMETRY_FIELDS, got_telemetry))} != "
+            f"{dict(zip(TELEMETRY_FIELDS, base_telemetry))}"
+        )
+
+
+def test_set_kernel_switches_in_place(data) -> None:
+    """Re-selecting the kernel on a live cache keeps bounds identical."""
+    cell = CELLS[0]
+    cache = _build_cache(cell, data, "decode")
+    ids = np.arange(50)
+    want = cache.lookup_batch(data["queries"], ids)
+    for kernel in KERNELS[1:]:
+        cache.set_kernel(kernel)
+        assert cache.kernel_name == kernel
+        got = cache.lookup_batch(data["queries"], ids)
+        assert np.array_equal(want[1], got[1]), kernel
+        assert np.array_equal(want[2], got[2]), kernel
+
+
+def test_env_default_used_by_unconfigured_cache(data, monkeypatch) -> None:
+    """A cache built without an explicit kernel honors REPRO_KERNEL."""
+    monkeypatch.setenv("REPRO_KERNEL", "decode")
+    cache = _build_cache(CELLS[0], data, None)
+    assert cache.kernel_name == "decode"
+    monkeypatch.setenv("REPRO_KERNEL", "numpy")
+    cache.set_kernel(None)  # re-resolve under the new environment
+    assert cache.kernel_name == "numpy"
+
+
+def test_pickle_round_trip_preserves_choice(data) -> None:
+    """Kernel objects never pickle; the choice string survives."""
+    import pickle
+
+    cache = _build_cache(CELLS[0], data, "numpy")
+    cache.kernel  # force resolution so _kernel_obj exists
+    clone = pickle.loads(pickle.dumps(cache))
+    assert clone.kernel_name == "numpy"
+    ids = np.arange(40)
+    want = cache.lookup_batch(data["queries"], ids)
+    got = clone.lookup_batch(data["queries"], ids)
+    assert np.array_equal(want[1], got[1])
+    assert np.array_equal(want[2], got[2])
