@@ -1,0 +1,131 @@
+"""Serving layer: micro-batching throughput and latency under load.
+
+Two experiments against the long-lived :class:`~repro.serve.Server`
+front end, both on the Phase-2-bound workload of ``BENCH_engine.json``
+(linear candidates, full-file HC-O cache — the configuration where
+batching amortizes the decode/bound kernel):
+
+1. *Saturating throughput*, ``max_batch=1`` vs ``max_batch=64``: the
+   dynamic micro-batcher must convert the engine's batched speedup into
+   serving throughput (>= 2x is asserted; the raw engine path is ~5x).
+2. *Latency vs offered load*: open-loop arrivals at fractions of the
+   measured saturation capacity, reporting p50/p99 latency and the mean
+   batch size the coalescer settles into at each rate.
+
+Results land in ``benchmarks/results/BENCH_serve.json`` (uploaded by
+the CI ``serve`` job).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from common import DEFAULT_K, RESULTS_DIR, get_engine
+from repro.serve import ServeConfig, Server, run_open_loop
+
+DATASET = "nus-wide-sim"
+MAX_BATCH = 64
+MAX_WAIT_US = 2000.0
+#: Offered load as a fraction of the measured saturation capacity.
+LOAD_FRACTIONS = (0.25, 0.5, 0.75)
+#: Per-point request budget: enough for stable p99, bounded wall time.
+MIN_REQUESTS, MAX_REQUESTS, TARGET_SECONDS = 48, 320, 2.0
+
+
+def _request_stream(dataset, n_requests: int) -> np.ndarray:
+    queries = dataset.query_log.test
+    reps = -(-n_requests // len(queries))  # ceil
+    return np.tile(queries, (reps, 1))[:n_requests]
+
+
+def _serve_at(engine, queries, max_batch: int, rate_qps: float):
+    config = ServeConfig(
+        max_queue_depth=4096, max_batch=max_batch, max_wait_us=MAX_WAIT_US
+    )
+    with Server(engine, config=config, default_k=DEFAULT_K) as server:
+        return run_open_loop(server, queries, k=DEFAULT_K, rate_qps=rate_qps)
+
+
+def run_serve_benchmark():
+    dataset, engine = get_engine(
+        DATASET, method="HC-O", index_name="linear", cache_fraction=1.0
+    )
+    # Warm both engine code paths before any timed run.
+    engine.search(dataset.query_log.test[0], DEFAULT_K)
+    engine.search_many(dataset.query_log.test[:2], DEFAULT_K)
+
+    # --- saturating offered load: batch-size-1 vs dynamic micro-batching
+    n_saturate = MAX_REQUESTS
+    stream = _request_stream(dataset, n_saturate)
+    saturating = {}
+    for label, max_batch in (("batch1", 1), (f"batch{MAX_BATCH}", MAX_BATCH)):
+        report = _serve_at(engine, stream, max_batch, rate_qps=0.0)
+        assert report.served == n_saturate and report.rejected == 0
+        saturating[label] = report.to_dict()
+    capacity_qps = saturating[f"batch{MAX_BATCH}"]["achieved_qps"]
+    speedup = capacity_qps / saturating["batch1"]["achieved_qps"]
+
+    # --- p50/p99 latency vs offered load, paced open loop
+    curve = []
+    for fraction in LOAD_FRACTIONS:
+        rate = capacity_qps * fraction
+        n_requests = int(
+            min(MAX_REQUESTS, max(MIN_REQUESTS, rate * TARGET_SECONDS))
+        )
+        report = _serve_at(
+            engine, _request_stream(dataset, n_requests), MAX_BATCH, rate
+        )
+        curve.append({"offered_fraction": fraction, **report.to_dict()})
+    curve.append(
+        {"offered_fraction": 1.0, **saturating[f"batch{MAX_BATCH}"]}
+    )
+
+    return {
+        "dataset": DATASET,
+        "k": DEFAULT_K,
+        "max_batch": MAX_BATCH,
+        "max_wait_us": MAX_WAIT_US,
+        "saturating": saturating,
+        "microbatch_speedup": speedup,
+        "load_curve": curve,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def test_serve_microbatch_throughput(benchmark):
+    """Micro-batched serving must beat batch-size-1 serving by >= 2x.
+
+    Persists the throughput comparison and the latency-vs-offered-load
+    curves to ``benchmarks/results/BENCH_serve.json``.
+    """
+    payload = benchmark.pedantic(run_serve_benchmark, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    print(
+        f"\nserve throughput (saturating): batch1 "
+        f"{payload['saturating']['batch1']['achieved_qps']:.1f} q/s, "
+        f"batch{MAX_BATCH} "
+        f"{payload['saturating'][f'batch{MAX_BATCH}']['achieved_qps']:.1f} "
+        f"q/s ({payload['microbatch_speedup']:.1f}x)"
+    )
+    for point in payload["load_curve"]:
+        print(
+            f"load={point['offered_fraction']:.2f} "
+            f"offered={point['offered_qps']:.1f} q/s "
+            f"p50={point['latency_p50_ms']:.2f} ms "
+            f"p99={point['latency_p99_ms']:.2f} ms "
+            f"batch={point['mean_batch_size']:.1f}"
+        )
+    assert payload["microbatch_speedup"] >= 2.0
+    # At saturating load the coalescer must actually fill batches.
+    saturated = payload["saturating"][f"batch{MAX_BATCH}"]
+    assert saturated["mean_batch_size"] >= MAX_BATCH / 2
+    for point in payload["load_curve"]:
+        assert point["rejected"] == 0 and point["degraded"] == 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_serve_benchmark(), indent=2))

@@ -8,6 +8,8 @@ Commands:
   comparison table;
 * ``tune``        — report the cost model's optimal code length for a
   cache budget sweep;
+* ``serve``       — run the long-lived serving layer (``repro.serve``)
+  under open-loop offered load and print the latency profile;
 * ``snapshot``    — build, inspect, serve and differentially verify
   versioned pipeline snapshot artifacts (``repro.artifacts``).
 """
@@ -370,6 +372,98 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the serving front end under open-loop offered load."""
+    import dataclasses
+
+    import numpy as np
+
+    from repro.serve import run_open_loop, server_from_spec
+    from repro.spec.build import spec_from_kwargs
+    from repro.spec.sections import (
+        ResilienceSection,
+        ServeSection,
+        ShardSection,
+    )
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    registry = _metrics_registry(args)
+    spec = spec_from_kwargs(
+        dataset=dataset, method=args.method, tau=args.tau,
+        cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
+        k=args.k, seed=args.seed, kernel=args.kernel,
+    )
+    sections: dict = {
+        "serve": ServeSection(
+            enabled=True,
+            max_queue_depth=args.queue_depth,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            tiers=(
+                {"default": args.deadline_ms} if args.deadline_ms > 0 else {}
+            ),
+        )
+    }
+    if args.shards > 0:
+        sections["shard"] = ShardSection(
+            n_shards=args.shards, executor=args.executor,
+            partition=args.partition,
+        )
+    if args.faults or args.deadline_ms > 0 or args.degraded:
+        # Degraded answers (not hard failures) when budgets/faults bite;
+        # the per-request deadlines themselves come from the serve tier.
+        sections["resilience"] = ResilienceSection(
+            enabled=True, max_retries=max(0, args.retries),
+            degraded=True, faults=args.faults,
+        )
+    spec = dataclasses.replace(spec, **sections)
+    context = None
+    if args.shards == 0:
+        context = WorkloadContext.prepare(
+            dataset, index_name=args.index, k=args.k, seed=args.seed
+        )
+    test = dataset.query_log.test
+    n_requests = args.requests or len(test)
+    reps = -(-n_requests // len(test))
+    queries = np.tile(test, (reps, 1))[:n_requests]
+    try:
+        server, pipeline = server_from_spec(
+            spec, dataset=dataset, context=context, metrics=registry
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = run_open_loop(server, queries, k=args.k, rate_qps=args.rate)
+    finally:
+        server.close()
+        if hasattr(pipeline, "close"):
+            pipeline.close()
+    rows = [[
+        report.offered_qps if report.offered_qps > 0 else "max",
+        round(report.achieved_qps, 1), report.submitted, report.served,
+        report.rejected, report.degraded,
+        round(report.latency_p50_ms, 3), round(report.latency_p99_ms, 3),
+        round(report.mean_batch_size, 2),
+    ]]
+    print(format_table(
+        ["offered_qps", "qps", "sent", "served", "rejected", "degraded",
+         "p50_ms", "p99_ms", "batch"],
+        rows,
+        title=f"{args.dataset} / {args.method} serve "
+              f"(batch<={args.max_batch}, wait<={args.max_wait_us:.0f}us, "
+              f"depth<={args.queue_depth})",
+    ))
+    if registry is not None:
+        from repro.obs.reporter import serve_summary
+
+        payload = registry.snapshot()
+        payload["serve"] = serve_summary(registry)
+        payload["load"] = report.to_dict()
+        _emit_metrics(args, registry, payload)
+    return 0
+
+
 def _build_spec(args):
     """A ``PipelineSpec`` recording exactly how the snapshot was built.
 
@@ -446,10 +540,17 @@ def cmd_snapshot_inspect(args) -> int:
 
 
 def cmd_snapshot_serve(args) -> int:
-    """Open a snapshot zero-copy (mmap) and run its stored queries."""
+    """Open a snapshot zero-copy (mmap) and serve its stored queries.
+
+    Replay routes through the ``repro.serve`` :class:`~repro.serve.Server`
+    (closed-loop, one request at a time), so ``--deadline-ms`` budgets —
+    charged from admission — and per-tier serve metrics apply here
+    exactly as in the long-lived ``repro serve`` front end.
+    """
     from repro.artifacts.snapshot import load_queries, load_snapshot
     from repro.artifacts.store import read_manifest
     from repro.eval.runner import summarize
+    from repro.serve import ServeConfig, Server, SlaTier
     from repro.storage.disk import DiskConfig
 
     registry = _metrics_registry(args)
@@ -469,14 +570,25 @@ def cmd_snapshot_serve(args) -> int:
         controller = _serve_controller(args, pipeline, manifest, spec, registry)
         if controller is None:
             return 2
-    if controller is None:
-        stats = [pipeline.search(q, k).stats for q in queries]
-    else:
-        stats = []
+    tiers = (
+        (SlaTier("default", args.deadline_ms),)
+        if args.deadline_ms > 0
+        else ()
+    )
+    stats = []
+    degraded = 0
+    with Server(
+        pipeline,
+        config=ServeConfig(tiers=tiers),
+        default_k=k,
+        metrics=registry,
+        controller=controller,
+    ) as server:
         for q in queries:
-            result = pipeline.search(q, k)
-            stats.append(result.stats)
-            controller.observe(q, result.stats)
+            response = server.serve_one(q, k)
+            stats.append(response.result.stats)
+            if response.degraded:
+                degraded += 1
     disk = manifest.get("disk") or {}
     defaults = DiskConfig()
     result = summarize(
@@ -492,13 +604,20 @@ def cmd_snapshot_serve(args) -> int:
     )
     print(format_table(_RESULT_HEADERS, _result_rows([result]),
                        title=f"served from {args.path}"))
+    if degraded:
+        print(f"degraded answers: {degraded}/{len(stats)} queries "
+              "(cache-only, incomplete)")
     if controller is not None:
         print(f"retrains: {controller.retrains} "
               f"(every {args.adapt_every} queries)")
         if controller.last_report is not None:
             print(f"  last snapshot: {controller.last_report.snapshot_path}")
     if registry is not None:
-        _emit_metrics(args, registry, registry.snapshot())
+        from repro.obs.reporter import serve_summary
+
+        payload = registry.snapshot()
+        payload["serve"] = serve_summary(registry)
+        _emit_metrics(args, registry, payload)
     return 0
 
 
@@ -599,6 +718,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="cost-model tau tuning sweep")
     _add_common(p_tune)
 
+    p_srv = sub.add_parser(
+        "serve", help="serve open-loop offered load through the "
+                      "micro-batching front end (repro.serve)"
+    )
+    _add_common(p_srv)
+    p_srv.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+    p_srv.add_argument("--rate", type=float, default=0.0, metavar="QPS",
+                       help="offered arrival rate in queries/s "
+                            "(0 = saturating, submit as fast as possible)")
+    p_srv.add_argument("--requests", type=int, default=0, metavar="N",
+                       help="requests to offer, cycling the stored test "
+                            "queries (0 = one pass)")
+    p_srv.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="flush a micro-batch at this many waiting "
+                            "requests")
+    p_srv.add_argument("--max-wait-us", type=float, default=2000.0,
+                       metavar="US",
+                       help="flush once the oldest waiting request has "
+                            "waited this long")
+    p_srv.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                       help="admission bound; deeper submits are rejected "
+                            "with a typed Overloaded outcome")
+
     p_snap = sub.add_parser(
         "snapshot", help="build / inspect / serve / verify snapshot artifacts"
     )
@@ -648,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "every N served queries, publishing each "
                               "rebuild under <snapshot>/maintenance "
                               "(0 = off)")
+    p_serve.add_argument("--deadline-ms", type=float, default=0.0,
+                         metavar="MS",
+                         help="per-query budget, charged from admission; "
+                              "an expired budget degrades to a cache-only "
+                              "(certified-incomplete) answer")
     _add_snapshot_metrics(p_serve)
 
     p_verify = snap_sub.add_parser(
@@ -687,6 +834,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "compare": cmd_compare,
         "tune": cmd_tune,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

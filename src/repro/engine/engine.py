@@ -241,10 +241,14 @@ class QueryEngine:
         Args:
             chunk_size: queries per batched cache probe; bounds the
                 ``(chunk, |union of candidates|)`` bound matrices.
-            deadline: optional *per-batch* budget shared by every query
-                in the batch (late queries degrade once it expires).
-                Without one, the resilience policy's per-query default
-                applies to each query independently.
+            deadline: optional budget.  A single :class:`Deadline` is a
+                *per-batch* budget shared by every query (late queries
+                degrade once it expires).  A sequence of
+                ``Deadline | None``, one per query, carries independent
+                per-request budgets through the batched path — the
+                serving layer's SLA tiers, whose clocks started at
+                admission.  Without either, the resilience policy's
+                per-query default applies to each query independently.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -253,18 +257,44 @@ class QueryEngine:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if len(queries) == 0:
             return []
+        per_query: list[Deadline | None] | None = None
+        if deadline is not None and not isinstance(deadline, Deadline):
+            per_query = list(deadline)
+            if len(per_query) != len(queries):
+                raise ValueError(
+                    f"got {len(per_query)} deadlines for {len(queries)} queries"
+                )
+            deadline = None
         if self.source.is_tree or not self._batchable_cache():
+            if per_query is not None:
+                return [
+                    self.search(query, k, deadline=dl)
+                    for query, dl in zip(queries, per_query)
+                ]
             return [self.search(query, k, deadline=deadline) for query in queries]
         results: list[SearchResult] = []
         for start in range(0, len(queries), chunk_size):
+            chunk_deadline = (
+                per_query[start : start + chunk_size]
+                if per_query is not None
+                else deadline
+            )
             results.extend(
-                self._search_chunk(queries[start : start + chunk_size], k, deadline)
+                self._search_chunk(
+                    queries[start : start + chunk_size], k, chunk_deadline
+                )
             )
         return results
 
     def _search_chunk(
-        self, queries: np.ndarray, k: int, deadline: Deadline | None = None
+        self,
+        queries: np.ndarray,
+        k: int,
+        deadline: Deadline | list[Deadline | None] | None = None,
     ) -> list[SearchResult]:
+        per_query = deadline if isinstance(deadline, list) else None
+        if per_query is not None:
+            deadline = None
         contexts = [self.make_context() for _ in range(len(queries))]
         candidate_sets: list[np.ndarray] = []
         for query, ctx in zip(queries, contexts):
@@ -308,9 +338,10 @@ class QueryEngine:
                 lb_matrix[i, positions],
                 ub_matrix[i, positions],
             )
+            deadline_i = per_query[i] if per_query is not None else deadline
             results.append(
                 self._reduce_and_refine(
-                    query, candidate_ids, k, ctx, bounds, self._make_deadline(deadline)
+                    query, candidate_ids, k, ctx, bounds, self._make_deadline(deadline_i)
                 )
             )
         return results

@@ -3,12 +3,16 @@
 ``build_report`` collects the ``benchmarks/results/*.csv`` files written
 by the benchmark suite and renders one Markdown document (RESULTS.md)
 with every regenerated table/figure, in the paper's order — the
-machine-written companion to the hand-written EXPERIMENTS.md.
+machine-written companion to the hand-written EXPERIMENTS.md.  The
+system-extension benchmarks that persist JSON instead of CSV
+(``BENCH_engine.json`` kernels, ``BENCH_serve.json`` serving) get their
+own rendered sections, so regenerating the report never drops them.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 
 #: Display order and titles, mirroring the paper's evaluation section.
@@ -54,6 +58,81 @@ def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
+def _kernel_section(path: Path) -> str | None:
+    """Render the bound-kernel comparison from ``BENCH_engine.json``."""
+    payload = json.loads(path.read_text())
+    parts = []
+    kernels = payload.get("kernels", {})
+    runs = kernels.get("runs", {})
+    if runs:
+        rows = [
+            [kernel, f"{run['queries_per_s']:.1f}",
+             f"{run['speedup_vs_decode']:.2f}x"]
+            for kernel, run in runs.items()
+        ]
+        parts.append(
+            "Batched `search_many`, answers byte-equal across kernels "
+            f"(tau={kernels.get('tau', '?')}):\n\n"
+            + _markdown_table(["kernel", "q/s", "speedup vs decode"], rows)
+        )
+        if "native_unavailable" in kernels:
+            parts.append(f"\n_native: {kernels['native_unavailable']}_")
+    if "per_query" in payload and "batched" in payload:
+        parts.append(
+            f"\nEngine per-query "
+            f"{payload['per_query']['queries_per_s']:.1f} q/s vs batched "
+            f"{payload['batched']['queries_per_s']:.1f} q/s "
+            f"({payload['speedup']:.1f}x)."
+        )
+    return "\n".join(parts) if parts else None
+
+
+def _serve_section(path: Path) -> str | None:
+    """Render the serving-layer results from ``BENCH_serve.json``."""
+    payload = json.loads(path.read_text())
+    saturating = payload.get("saturating", {})
+    curve = payload.get("load_curve", [])
+    parts = []
+    if saturating:
+        rows = [
+            [label, f"{run['achieved_qps']:.1f}",
+             f"{run['latency_p50_ms']:.1f}", f"{run['latency_p99_ms']:.1f}",
+             f"{run['mean_batch_size']:.1f}"]
+            for label, run in saturating.items()
+        ]
+        parts.append(
+            "Saturating offered load through the `Server` queue "
+            "(micro-batching speedup "
+            f"{payload.get('microbatch_speedup', 0.0):.1f}x):\n\n"
+            + _markdown_table(
+                ["config", "q/s", "p50 ms", "p99 ms", "mean batch"], rows
+            )
+        )
+    if curve:
+        rows = [
+            [f"{p['offered_fraction']:.2f}", f"{p['offered_qps']:.1f}",
+             f"{p['achieved_qps']:.1f}", f"{p['latency_p50_ms']:.1f}",
+             f"{p['latency_p99_ms']:.1f}", f"{p['mean_batch_size']:.1f}"]
+            for p in curve
+        ]
+        parts.append(
+            "\nOpen-loop latency vs offered load (fractions of "
+            "saturation capacity; 0 q/s offered = unpaced):\n\n"
+            + _markdown_table(
+                ["load", "offered q/s", "achieved q/s",
+                 "p50 ms", "p99 ms", "mean batch"], rows
+            )
+        )
+    return "\n".join(parts) if parts else None
+
+
+#: JSON-backed extension sections appended after the paper's tables.
+JSON_SECTIONS: tuple[tuple[str, str, object], ...] = (
+    ("BENCH_engine.json", "Extension — bound kernels", _kernel_section),
+    ("BENCH_serve.json", "Extension — serving layer", _serve_section),
+)
+
+
 def build_report(
     results_dir: str | Path, output: str | Path | None = None
 ) -> str:
@@ -85,6 +164,14 @@ def build_report(
             continue
         headers, rows = _read_csv(csv_path)
         parts.append(_markdown_table(headers, rows))
+    for filename, title, render in JSON_SECTIONS:
+        json_path = results_dir / filename
+        if not json_path.exists():
+            continue
+        section = render(json_path)
+        if section:
+            parts.append(f"\n## {title} ({filename})\n")
+            parts.append(section)
     if missing:
         parts.append(
             "\n---\n_missing: " + ", ".join(missing) + "_"

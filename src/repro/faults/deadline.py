@@ -43,6 +43,16 @@ class Deadline:
             return float("inf")
         return max(0.0, self.budget_s - (self._clock() - self._start))
 
+    def elapsed_s(self) -> float:
+        """Seconds since the budget's clock started (0 when unlimited).
+
+        The start is construction time — for a served request that is
+        *admission*, so queue wait shows up here before any phase runs.
+        """
+        if self.budget_s is None:
+            return 0.0
+        return self._clock() - self._start
+
     def check(self, where: str = "") -> None:
         """Raise :class:`DeadlineExceeded` if the budget ran out."""
         if self.expired:

@@ -37,6 +37,7 @@ __all__ = [
     "drift_comparison",
     "observed_vs_predicted",
     "publish_cache_metrics",
+    "serve_summary",
 ]
 
 _LAZY = {
@@ -45,6 +46,7 @@ _LAZY = {
     "drift_comparison": ("repro.obs.reporter", "drift_comparison"),
     "observed_vs_predicted": ("repro.obs.reporter", "observed_vs_predicted"),
     "publish_cache_metrics": ("repro.obs.reporter", "publish_cache_metrics"),
+    "serve_summary": ("repro.obs.reporter", "serve_summary"),
 }
 
 

@@ -135,6 +135,64 @@ def observed_vs_predicted(
     return out
 
 
+def serve_summary(registry: MetricsRegistry) -> dict:
+    """JSON-ready summary of the serving-layer instruments.
+
+    Collapses the per-tier ``serve_*`` metrics a
+    :class:`~repro.serve.server.Server` fills — request/reject/degraded
+    counts and latency quantiles per SLA tier, plus the batch-size and
+    queue-wait profiles — into the shape the CLI and benchmarks emit.
+    Tiers that served nothing (but e.g. rejected requests) still appear.
+    """
+    tiers: dict[str, dict] = {}
+
+    def tier_entry(name: str) -> dict:
+        return tiers.setdefault(
+            name,
+            {
+                "served": 0,
+                "rejected": 0,
+                "degraded": 0,
+                "deadline_expired": 0,
+                "latency_p50_ms": None,
+                "latency_p99_ms": None,
+                "latency_mean_ms": None,
+            },
+        )
+
+    for inst in registry:
+        tier = inst.labels.get("tier")
+        if tier is None:
+            continue
+        if inst.name == "serve_latency_seconds":
+            entry = tier_entry(tier)
+            entry["served"] = inst.count
+            if inst.count:
+                entry["latency_p50_ms"] = inst.quantile(0.5) * 1e3
+                entry["latency_p99_ms"] = inst.quantile(0.99) * 1e3
+                entry["latency_mean_ms"] = inst.mean * 1e3
+        elif inst.name == "serve_requests_total":
+            tier_entry(tier)["served"] = int(inst.value)
+        elif inst.name == "serve_rejected_total":
+            tier_entry(tier)["rejected"] = int(inst.value)
+        elif inst.name == "serve_degraded_total":
+            tier_entry(tier)["degraded"] = int(inst.value)
+        elif inst.name == "serve_deadline_expired_total":
+            tier_entry(tier)["deadline_expired"] = int(inst.value)
+
+    out: dict = {"tiers": tiers}
+    batch = registry.get("serve_batch_size")
+    if batch is not None and batch.count:
+        out["batches"] = int(registry.value("serve_batches_total"))
+        out["batch_size_mean"] = batch.mean
+        out["batch_size_p50"] = batch.quantile(0.5)
+    wait = registry.get("serve_queue_wait_seconds")
+    if wait is not None and wait.count:
+        out["queue_wait_p50_ms"] = wait.quantile(0.5) * 1e3
+        out["queue_wait_p99_ms"] = wait.quantile(0.99) * 1e3
+    return out
+
+
 def drift_comparison(before: dict, after: dict) -> dict:
     """Summarize two :func:`observed_vs_predicted` reports around a retrain.
 

@@ -1,0 +1,38 @@
+"""Long-lived serving layer: queueing, micro-batching, SLA tiers.
+
+The paper's cache is motivated by concurrent online query traffic; this
+package turns the offline pipelines into a serving system.  A
+:class:`Server` owns an engine, a bounded request queue with typed
+admission control, and a dynamic micro-batcher that coalesces waiting
+queries into one ``search_many`` call — with per-tier SLA deadlines
+whose budgets start at admission, degraded certified-incomplete answers
+on expiry, and hot cache swaps between batches.
+
+Built testable-first: all timing flows through an injectable
+:class:`~repro.serve.clock.Clock`, and the inline executor makes every
+flush/reject/expiry decision deterministic without sleeps.
+"""
+
+from repro.serve.clock import Clock, ManualClock, RealClock
+from repro.serve.config import ServeConfig, SlaTier
+from repro.serve.executors import InlineExecutor, ThreadedExecutor
+from repro.serve.factory import server_from_spec
+from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.server import Overloaded, Server, ServeResponse, Ticket
+
+__all__ = [
+    "Clock",
+    "InlineExecutor",
+    "LoadReport",
+    "ManualClock",
+    "Overloaded",
+    "RealClock",
+    "ServeConfig",
+    "ServeResponse",
+    "Server",
+    "SlaTier",
+    "ThreadedExecutor",
+    "Ticket",
+    "run_open_loop",
+    "server_from_spec",
+]

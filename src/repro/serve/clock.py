@@ -1,0 +1,64 @@
+"""Injectable time source for the serving layer.
+
+Every queueing, batching and deadline decision in :mod:`repro.serve`
+reads time through a :class:`Clock` instead of calling ``time`` directly.
+Production servers run on :class:`RealClock`; the test suite runs on
+:class:`ManualClock`, whose time moves only when a test says so — which
+is what makes flush-on-max-wait boundaries, admission windows and
+SLA-deadline expiry exactly reproducible without a single real sleep.
+
+The same clock's ``now`` callable is handed to every per-request
+:class:`~repro.faults.deadline.Deadline`, so queue wait time is charged
+against the query budget on the same time axis the batcher flushes on.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal monotonic time source: ``now()`` seconds plus ``sleep``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall time: ``time.monotonic`` / ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that moves only when advanced (deterministic tests).
+
+    ``sleep`` advances the clock by exactly the requested amount, so
+    code written against :class:`Clock` (e.g. the open-loop load
+    generator's pacing) runs unchanged — and instantaneously — under
+    test control.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new ``now``."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += float(seconds)
+        return self._now

@@ -1,0 +1,100 @@
+"""Serving-layer configuration: SLA tiers and batching/admission knobs.
+
+A :class:`ServeConfig` is plain data (mirroring the spec's
+``ServeSection``) so the same configuration drives the production
+threaded server, the inline deterministic test server and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SlaTier:
+    """One service tier: a name plus its per-query latency budget.
+
+    ``deadline_ms <= 0`` means unlimited (no deadline object is created
+    for the request).  The budget starts at *admission*, not dispatch,
+    so time spent waiting in the queue is charged against it — an
+    expired request is answered from cached bounds (or an empty degraded
+    answer) instead of burning refinement I/O on a reply nobody is
+    waiting for.
+    """
+
+    name: str
+    deadline_ms: float = 0.0
+
+    @property
+    def budget_s(self) -> float | None:
+        """Deadline budget in seconds, or None when unlimited."""
+        return self.deadline_ms / 1e3 if self.deadline_ms > 0 else None
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Micro-batching and admission-control parameters.
+
+    Attributes:
+        max_queue_depth: admission bound — a ``submit`` that would make
+            the waiting queue deeper than this is rejected with a typed
+            :class:`~repro.serve.server.Overloaded` outcome.
+        max_batch: flush as soon as this many requests are waiting.
+        max_wait_us: flush once the *oldest* waiting request has waited
+            this long (microseconds), even if the batch is not full.
+            0 flushes on every dispatcher pass.
+        default_tier: tier assigned to requests that name none.
+        tiers: the known SLA tiers.  The default tier is implicit (with
+            no deadline) unless listed explicitly.
+    """
+
+    max_queue_depth: int = 256
+    max_batch: int = 32
+    max_wait_us: float = 2000.0
+    default_tier: str = "default"
+    tiers: tuple[SlaTier, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        names = [t.name for t in self.tiers]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate tier names in {names}")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_us / 1e6
+
+    def tier(self, name: str | None = None) -> SlaTier:
+        """Resolve a tier by name (None = the default tier).
+
+        The default tier always exists; naming any other unknown tier is
+        an error (a typo must not silently serve without its SLA).
+        """
+        name = name if name is not None else self.default_tier
+        for tier in self.tiers:
+            if tier.name == name:
+                return tier
+        if name == self.default_tier:
+            return SlaTier(name)
+        known = sorted({self.default_tier, *(t.name for t in self.tiers)})
+        raise ValueError(f"unknown SLA tier {name!r}; known tiers: {known}")
+
+    @classmethod
+    def from_section(cls, section) -> "ServeConfig":
+        """Build from a spec ``ServeSection`` (tiers dict -> SlaTier)."""
+        tiers = tuple(
+            SlaTier(name, float(deadline_ms))
+            for name, deadline_ms in sorted(section.tiers.items())
+        )
+        return cls(
+            max_queue_depth=section.max_queue_depth,
+            max_batch=section.max_batch,
+            max_wait_us=section.max_wait_us,
+            default_tier=section.default_tier,
+            tiers=tiers,
+        )

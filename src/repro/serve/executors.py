@@ -1,0 +1,80 @@
+"""Dispatch disciplines for the serving loop.
+
+The :class:`~repro.serve.server.Server` never spins a loop of its own;
+an *executor* decides when ``pump()`` runs.  Two disciplines:
+
+* :class:`InlineExecutor` — nothing runs in the background; the caller
+  (a test, the load generator, or the closed-loop CLI) pumps
+  explicitly.  Combined with a ``ManualClock`` this makes every flush
+  decision single-threaded and deterministic.
+* :class:`ThreadedExecutor` — a background dispatcher thread waits on
+  the server's condition variable, waking on new submissions or when
+  the oldest waiting request's ``max_wait_us`` elapses.  Requires a
+  real clock (a ``ManualClock`` cannot wake a blocked ``wait``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class InlineExecutor:
+    """No background thread; the caller drives ``server.pump()``."""
+
+    inline = True
+
+    def __init__(self) -> None:
+        self._server = None
+
+    def start(self, server) -> None:
+        self._server = server
+
+    def stop(self) -> None:
+        # Drain on close so no accepted request is ever dropped.
+        if self._server is not None:
+            self._server.pump(force=True)
+
+
+class ThreadedExecutor:
+    """Background dispatcher thread flushing batches as they become due."""
+
+    inline = False
+
+    def __init__(self) -> None:
+        self._server = None
+        self._thread: threading.Thread | None = None
+
+    def start(self, server) -> None:
+        from repro.serve.clock import RealClock
+
+        if not isinstance(server.clock, RealClock):
+            raise TypeError(
+                "ThreadedExecutor needs a RealClock; a ManualClock cannot "
+                "wake a blocked dispatcher — use InlineExecutor in tests"
+            )
+        self._server = server
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        server = self._server
+        while True:
+            with server._cond:
+                closing = server._closed
+                if closing and not server._pending:
+                    return
+                if not closing:
+                    timeout = server._time_to_flush_locked()
+                    if timeout is None or timeout > 0:
+                        # Woken early by submit()/close(); re-evaluate.
+                        server._cond.wait(timeout)
+            # force=True only while closing: drain regardless of flush
+            # rules so shutdown never strands accepted requests.
+            server.pump(force=closing)

@@ -1,0 +1,59 @@
+"""Build a :class:`~repro.serve.server.Server` from a ``PipelineSpec``.
+
+The spec's ``serve`` section supplies the batching/admission/tier
+parameters; the rest of the spec builds the engine through the single
+construction path (``spec.build()`` / ``spec.build_sharded()``).  When
+the spec's ``adapt`` section is enabled, the built pipeline's
+``WorkloadHook`` observes every served query and its ``DriftController``
+hot-swaps retrained caches into the serving engine.
+"""
+
+from __future__ import annotations
+
+from repro.serve.config import ServeConfig
+from repro.serve.server import Server
+
+
+def server_from_spec(
+    spec,
+    dataset=None,
+    context=None,
+    metrics=None,
+    clock=None,
+    executor=None,
+    config: ServeConfig | None = None,
+):
+    """Materialize the serving stack a spec describes.
+
+    Returns ``(server, pipeline)``; the pipeline is the built
+    ``CachingPipeline``/``TreePipeline`` (or the ``ShardedEngine`` when
+    ``shard.n_shards > 0``) so callers can inspect the engine, swap
+    snapshots, or close shard workers.
+    """
+    if config is None:
+        config = ServeConfig.from_section(spec.serve)
+    if metrics is None and spec.metrics.enabled:
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if spec.shard.n_shards > 0:
+        engine, _ = spec.build_sharded(dataset=dataset, context=context)
+        pipeline = engine
+    else:
+        pipeline = spec.build(dataset=dataset, context=context, metrics=metrics)
+        engine = pipeline
+    server = Server(
+        engine,
+        config=config,
+        default_k=spec.k,
+        clock=clock,
+        metrics=metrics,
+        # Adapt-enabled builds already observe every query through the
+        # engine's WorkloadHook, so wiring the pipeline's own
+        # DriftController here too would double-count each request; the
+        # Server's controller slot is for externally constructed
+        # controllers (e.g. snapshot serve --adapt-every).
+        controller=None,
+        executor=executor,
+    )
+    return server, pipeline

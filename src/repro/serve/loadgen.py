@@ -1,0 +1,116 @@
+"""Open-loop load generation against a :class:`~repro.serve.server.Server`.
+
+Open-loop means arrivals are paced by the *offered* rate alone — the
+generator never waits for a response before submitting the next request,
+so queueing delay shows up in the measured latency instead of silently
+throttling the arrival process (the coordinated-omission mistake that
+closed-loop replay makes).
+
+Pacing runs through the server's :class:`~repro.serve.clock.Clock`, so
+under a ``ManualClock`` the generator is deterministic and instantaneous;
+``rate_qps=0`` disables pacing entirely (saturating load: every request
+is offered as fast as the loop can submit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Aggregate of one open-loop run at a fixed offered rate."""
+
+    offered_qps: float
+    duration_s: float
+    submitted: int
+    served: int
+    rejected: int
+    degraded: int
+    achieved_qps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    mean_batch_size: float
+
+    def to_dict(self) -> dict:
+        return {
+            "offered_qps": self.offered_qps,
+            "duration_s": self.duration_s,
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "degraded": self.degraded,
+            "achieved_qps": self.achieved_qps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+def run_open_loop(
+    server,
+    queries: np.ndarray,
+    k: int | None = None,
+    tier: str | None = None,
+    rate_qps: float = 0.0,
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """Offer ``queries`` at ``rate_qps`` and report the latency profile.
+
+    With an inline executor the generator pumps the server after every
+    arrival (flush rules still decide when batches actually go out) and
+    drains at the end; with a threaded executor the dispatcher flushes on
+    its own and the generator just waits for every ticket.
+    """
+    if rate_qps < 0:
+        raise ValueError("rate_qps must be non-negative")
+    clock = server.clock
+    inline = server.executor.inline
+    start = clock.now()
+    tickets = []
+    for i, query in enumerate(np.asarray(queries)):
+        if rate_qps > 0:
+            target = start + i / rate_qps
+            now = clock.now()
+            if target > now:
+                clock.sleep(target - now)
+        tickets.append(server.submit(query, k=k, tier=tier))
+        if inline:
+            server.pump()
+    if inline:
+        server.drain()
+        responses = [t.response for t in tickets]
+    else:
+        responses = [t.wait(timeout_s) for t in tickets]
+    duration_s = max(clock.now() - start, 1e-12)
+
+    served = [r for r in responses if r.ok]
+    rejected = len(responses) - len(served)
+    degraded = sum(1 for r in served if r.degraded)
+    latencies_ms = np.array([r.latency_s * 1e3 for r in served])
+    batch_sizes = np.array([r.batch_size for r in served])
+    return LoadReport(
+        offered_qps=rate_qps,
+        duration_s=duration_s,
+        submitted=len(responses),
+        served=len(served),
+        rejected=rejected,
+        degraded=degraded,
+        achieved_qps=len(served) / duration_s,
+        latency_p50_ms=(
+            float(np.percentile(latencies_ms, 50)) if len(served) else 0.0
+        ),
+        latency_p99_ms=(
+            float(np.percentile(latencies_ms, 99)) if len(served) else 0.0
+        ),
+        latency_mean_ms=(
+            float(latencies_ms.mean()) if len(served) else 0.0
+        ),
+        mean_batch_size=(
+            float(batch_sizes.mean()) if len(served) else 0.0
+        ),
+    )

@@ -1,0 +1,499 @@
+"""The long-lived serving front end over the query engines.
+
+``Server`` owns an engine (a :class:`~repro.engine.engine.QueryEngine`,
+a :class:`~repro.shard.ShardedEngine`, or any pipeline exposing
+``.engine``), a bounded request queue with admission control, and a
+dynamic micro-batcher that coalesces concurrently waiting requests into
+one ``search_many`` call — amortizing the per-batch cache probe and
+kernel table build the same way the offline batched path does.
+
+Guarantees:
+
+* **bit-identity** — a request served through the micro-batcher returns
+  exactly the ids/distances/exact_mask that ``engine.search`` would have
+  returned for the same query (the engine's batched path already proves
+  this; the differential suite re-proves it through the queue).
+* **typed admission** — a ``submit`` past ``max_queue_depth`` completes
+  immediately with an :class:`Overloaded` outcome; nothing is silently
+  dropped.
+* **SLA budgets start at admission** — each tier's
+  :class:`~repro.faults.deadline.Deadline` is created when the request
+  is accepted, on the server's clock, so queue wait is charged against
+  the per-query budget.  A request that expires while queued is answered
+  with a degraded (certified-incomplete) result without touching the
+  engine.
+* **determinism** — all timing decisions read the injected
+  :class:`~repro.serve.clock.Clock`; with a ``ManualClock`` and the
+  inline executor every flush/reject/expiry decision is reproducible
+  without sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.engine import QueryEngine
+from repro.engine.stats import QueryStats, SearchResult
+from repro.faults.deadline import Deadline
+from repro.faults.degrade import degraded_answer
+from repro.faults.errors import DeadlineExceeded
+from repro.serve.clock import Clock, RealClock
+from repro.serve.config import ServeConfig
+from repro.serve.executors import InlineExecutor
+
+#: Batch-size histogram buckets (requests per flush).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """Typed admission-control rejection (queue past its depth bound)."""
+
+    queue_depth: int
+    max_depth: int
+    tier: str
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The served outcome of one submitted request.
+
+    Exactly one of ``result`` / ``overloaded`` is set.  ``queue_wait_s``
+    is admission -> dispatch; ``latency_s`` is admission -> completion
+    (what a client observes); ``batch_size`` is how many requests were
+    coalesced into the flush that served this one.
+    """
+
+    tier: str
+    result: SearchResult | None = None
+    overloaded: Overloaded | None = None
+    queue_wait_s: float = 0.0
+    latency_s: float = 0.0
+    batch_size: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Accepted and served (possibly degraded; see ``degraded``)."""
+        return self.overloaded is None
+
+    @property
+    def degraded(self) -> bool:
+        """Served but incomplete (deadline/fault degraded answer)."""
+        return self.result is not None and not self.result.outcome.complete
+
+
+class Ticket:
+    """Handle to one submitted request; completed exactly once."""
+
+    __slots__ = ("_event", "_response")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: ServeResponse | None = None
+
+    def _complete(self, response: ServeResponse) -> None:
+        self._response = response
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def response(self) -> ServeResponse | None:
+        """The response, or None while still queued/executing."""
+        return self._response
+
+    def wait(self, timeout: float | None = None) -> ServeResponse:
+        """Block until served (threaded executor); inline tickets are
+        already complete when the pump that served them returns."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not served within timeout")
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class _Pending:
+    """One queued request."""
+
+    ticket: Ticket
+    query: np.ndarray
+    k: int
+    tier: str
+    deadline: Deadline | None
+    enqueue_t: float
+
+
+def _server_degraded_result(k: int) -> SearchResult:
+    """An empty certified-incomplete answer for a request the server
+    degraded itself (deadline expired before the engine ever ran)."""
+    ids, distances, exact_mask, outcome = degraded_answer(None, k, "deadline")
+    return SearchResult(
+        ids=ids,
+        distances=distances,
+        exact_mask=exact_mask,
+        stats=QueryStats(0, 0, 0, 0, 0, 0, 0, 0),
+        outcome=outcome,
+    )
+
+
+class Server:
+    """Queue + admission control + dynamic micro-batching over an engine.
+
+    Args:
+        engine: the serving target.  Pipelines (``CachingPipeline`` /
+            ``TreePipeline``) are unwrapped to their ``.engine``; a
+            ``QueryEngine`` additionally gets per-request deadlines
+            threaded through its batched path, while other targets
+            (e.g. ``ShardedEngine``) rely on the server's own
+            admission-time and dispatch-time deadline checks.
+        config: batching/admission/tier parameters.
+        default_k: result size for requests that do not name one.
+        clock: time source (default real time).  Use a ``ManualClock``
+            with the inline executor for deterministic tests.
+        metrics: optional ``repro.obs`` ``MetricsRegistry`` receiving
+            the per-tier serve instruments (requests, rejects, degraded,
+            queue depth, batch-size and wait/latency histograms).
+        controller: optional ``repro.workload`` ``DriftController`` (or
+            any object with ``observe(query, stats)``); every served
+            query is observed *after* its batch completes, so retrains
+            hot-swap the cache strictly between batches.
+        executor: dispatch discipline; default inline (caller pumps).
+            Pass ``ThreadedExecutor()`` for a background dispatcher.
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: ServeConfig | None = None,
+        default_k: int = 10,
+        clock: Clock | None = None,
+        metrics=None,
+        controller=None,
+        executor=None,
+    ) -> None:
+        if default_k <= 0:
+            raise ValueError("default_k must be positive")
+        self.config = config or ServeConfig()
+        self.default_k = default_k
+        self.clock = clock or RealClock()
+        self.metrics = metrics
+        self.controller = controller
+        self._observe_stats = controller is not None and _takes_stats(
+            controller
+        )
+        self._engine = getattr(engine, "engine", engine)
+        self._per_query_deadlines = isinstance(self._engine, QueryEngine)
+        self._cond = threading.Condition()
+        self._pending: deque[_Pending] = deque()
+        self._closed = False
+        self.executor = executor or InlineExecutor()
+        self.executor.start(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting requests and drain everything still queued."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self.executor.stop()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: np.ndarray,
+        k: int | None = None,
+        tier: str | None = None,
+    ) -> Ticket:
+        """Enqueue one request; returns its :class:`Ticket`.
+
+        Rejected requests (queue at ``max_queue_depth``) come back as an
+        already-completed ticket carrying an :class:`Overloaded`
+        response — admission control is a typed outcome, not an
+        exception, so open-loop clients handle it like any reply.
+        """
+        sla = self.config.tier(tier)
+        k = k if k is not None else self.default_k
+        if k <= 0:
+            raise ValueError("k must be positive")
+        query = np.asarray(query, dtype=np.float64)
+        ticket = Ticket()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            depth = len(self._pending)
+            if depth >= self.config.max_queue_depth:
+                self._count("serve_rejected_total", sla.name)
+                ticket._complete(
+                    ServeResponse(
+                        tier=sla.name,
+                        overloaded=Overloaded(
+                            queue_depth=depth,
+                            max_depth=self.config.max_queue_depth,
+                            tier=sla.name,
+                        ),
+                    )
+                )
+                return ticket
+            now = self.clock.now()
+            deadline = (
+                Deadline(sla.budget_s, clock=self.clock.now)
+                if sla.budget_s is not None
+                else None
+            )
+            self._pending.append(
+                _Pending(ticket, query, k, sla.name, deadline, now)
+            )
+            self._gauge_depth(len(self._pending))
+            self._cond.notify_all()
+        return ticket
+
+    def serve_one(
+        self,
+        query: np.ndarray,
+        k: int | None = None,
+        tier: str | None = None,
+        timeout: float | None = None,
+    ) -> ServeResponse:
+        """Closed-loop convenience: submit and serve immediately.
+
+        With the inline executor the whole queue (this request included)
+        is flushed now; with a threaded executor this blocks until the
+        dispatcher serves it.
+        """
+        ticket = self.submit(query, k=k, tier=tier)
+        if ticket.done:  # rejected at admission
+            return ticket.response
+        if self.executor.inline:
+            self.pump(force=True)
+            return ticket.response
+        return ticket.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Dispatch (micro-batching)
+    # ------------------------------------------------------------------
+    def pump(self, force: bool = False) -> int:
+        """Flush every ready batch; returns the number of requests served.
+
+        The dispatcher's inner loop: with ``force`` the flush conditions
+        are ignored and the queue drains completely (in ``max_batch``
+        sized flushes, preserving the batching invariant).
+        """
+        served = 0
+        while True:
+            with self._cond:
+                batch = self._take_batch(force)
+            if not batch:
+                return served
+            self._execute(batch)
+            served += len(batch)
+
+    def drain(self) -> int:
+        """Serve everything currently queued, regardless of flush rules."""
+        return self.pump(force=True)
+
+    def _flush_ready(self, now: float) -> bool:
+        """The micro-batcher's flush rule (caller holds the lock)."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.config.max_batch:
+            return True
+        return now - self._pending[0].enqueue_t >= self.config.max_wait_s
+
+    def _take_batch(self, force: bool) -> list[_Pending]:
+        """Pop up to ``max_batch`` oldest requests if a flush is due."""
+        if not self._pending:
+            return []
+        if not force and not self._flush_ready(self.clock.now()):
+            return []
+        batch = [
+            self._pending.popleft()
+            for _ in range(min(len(self._pending), self.config.max_batch))
+        ]
+        self._gauge_depth(len(self._pending))
+        return batch
+
+    def _time_to_flush_locked(self) -> float | None:
+        """Seconds until the oldest request forces a flush (None: idle).
+
+        The threaded dispatcher's wait timeout; 0.0 means flush now.
+        Caller must hold ``self._cond``.
+        """
+        if not self._pending:
+            return None
+        if len(self._pending) >= self.config.max_batch:
+            return 0.0
+        waited = self.clock.now() - self._pending[0].enqueue_t
+        return max(0.0, self.config.max_wait_s - waited)
+
+    # ------------------------------------------------------------------
+    def _execute(self, batch: list[_Pending]) -> None:
+        """Serve one flushed batch: expire, group by k, search, respond."""
+        dispatch_t = self.clock.now()
+        batch_size = len(batch)
+        self._histogram(
+            "serve_batch_size", BATCH_SIZE_BUCKETS
+        ).observe(batch_size)
+        self._count_batch()
+
+        expired: list[_Pending] = []
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and pending.deadline.expired:
+                expired.append(pending)
+            else:
+                live.append(pending)
+
+        answered: list[tuple[_Pending, SearchResult]] = []
+        for pending in expired:
+            self._count("serve_deadline_expired_total", pending.tier)
+            answered.append((pending, _server_degraded_result(pending.k)))
+
+        # One search_many per distinct k (requests almost always share
+        # the server default, so this is one engine call per flush).
+        by_k: dict[int, list[_Pending]] = {}
+        for pending in live:
+            by_k.setdefault(pending.k, []).append(pending)
+        for k, group in by_k.items():
+            queries = np.stack([p.query for p in group])
+            deadlines = [p.deadline for p in group]
+            results = self._run_group(queries, k, deadlines)
+            answered.extend(zip(group, results))
+
+        done_t = self.clock.now()
+        for pending, result in answered:
+            wait_s = dispatch_t - pending.enqueue_t
+            latency_s = done_t - pending.enqueue_t
+            self._count("serve_requests_total", pending.tier)
+            if not result.outcome.complete:
+                self._count("serve_degraded_total", pending.tier)
+            self._histogram("serve_queue_wait_seconds").observe(wait_s)
+            self._histogram(
+                "serve_latency_seconds", tier=pending.tier
+            ).observe(latency_s)
+            pending.ticket._complete(
+                ServeResponse(
+                    tier=pending.tier,
+                    result=result,
+                    queue_wait_s=wait_s,
+                    latency_s=latency_s,
+                    batch_size=batch_size,
+                )
+            )
+        # Workload observation strictly after the batch completed, so a
+        # triggered retrain hot-swaps the cache *between* batches and no
+        # in-flight query ever sees a half-swapped engine.
+        if self.controller is not None:
+            for pending, result in answered:
+                if self._observe_stats:
+                    self.controller.observe(pending.query, result.stats)
+                else:
+                    self.controller.observe(pending.query)
+
+    def _run_group(
+        self,
+        queries: np.ndarray,
+        k: int,
+        deadlines: list[Deadline | None],
+    ) -> list[SearchResult]:
+        """Engine call for one same-k group, degrading on expiry.
+
+        The batched call carries per-request deadlines when the engine
+        supports them (``QueryEngine``).  If the engine *raises* on
+        expiry (no degraded resilience policy), the group re-runs
+        per-query so one late request cannot fail its batchmates; the
+        per-query rerun returns the same answers by the engine's
+        batched-equals-sequential guarantee.
+        """
+        try:
+            if self._per_query_deadlines and any(
+                d is not None for d in deadlines
+            ):
+                return self._engine.search_many(queries, k, deadline=deadlines)
+            return self._engine.search_many(queries, k)
+        except DeadlineExceeded:
+            results: list[SearchResult] = []
+            for query, deadline in zip(queries, deadlines):
+                if deadline is not None and deadline.expired:
+                    results.append(_server_degraded_result(k))
+                    continue
+                try:
+                    if self._per_query_deadlines:
+                        results.append(
+                            self._engine.search(query, k, deadline=deadline)
+                        )
+                    else:
+                        results.append(self._engine.search(query, k))
+                except DeadlineExceeded:
+                    results.append(_server_degraded_result(k))
+            return results
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing (no-ops without a registry)
+    # ------------------------------------------------------------------
+    def _count(self, name: str, tier: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, tier=tier).inc()
+
+    def _count_batch(self) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_batches_total", "micro-batch flushes"
+            ).inc()
+
+    def _gauge_depth(self, depth: int) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "serve_queue_depth", "requests waiting for dispatch"
+            ).set(depth)
+
+    def _histogram(self, name: str, bounds=None, **labels):
+        if self.metrics is None:
+            return _NULL_HISTOGRAM
+        if bounds is not None:
+            return self.metrics.histogram(name, bounds=bounds, **labels)
+        return self.metrics.histogram(name, **labels)
+
+
+class _NullHistogram:
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+def _takes_stats(controller) -> bool:
+    """Whether ``controller.observe`` accepts per-query stats.
+
+    ``DriftController.observe(query, stats)`` does; the legacy
+    ``CacheMaintainer.observe(query)`` does not.
+    """
+    import inspect
+
+    try:
+        params = inspect.signature(controller.observe).parameters
+    except (TypeError, ValueError):
+        return False
+    return len(params) >= 2 or any(
+        p.kind is inspect.Parameter.VAR_POSITIONAL for p in params.values()
+    )

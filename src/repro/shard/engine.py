@@ -203,16 +203,29 @@ class ShardedEngine:
         """Answer one kNN query, bit-identical to the unsharded engine."""
         return self.search_many(np.atleast_2d(query), k)[0]
 
-    def search_many(self, queries: np.ndarray, k: int) -> list[SearchResult]:
-        """Answer a query batch; one probe/refine round across all shards."""
+    def search_many(
+        self,
+        queries: np.ndarray,
+        k: int,
+        deadline: Deadline | None = None,
+    ) -> list[SearchResult]:
+        """Answer a query batch; one probe/refine round across all shards.
+
+        Args:
+            deadline: optional per-batch budget overriding the engine's
+                own ``deadline_s`` default — lets a serving front end
+                carry a budget whose clock started at admission instead
+                of restarting it here.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if len(queries) == 0:
             return []
-        deadline = (
-            Deadline(self.deadline_s) if self.deadline_s is not None else None
-        )
+        if deadline is None:
+            deadline = (
+                Deadline(self.deadline_s) if self.deadline_s is not None else None
+            )
         if self.is_tree:
             return self._search_tree(queries, k)
         if self.dynamic_cache:

@@ -25,6 +25,7 @@ from repro.spec.sections import (
     MetricsSection,
     PipelineSpec,
     ResilienceSection,
+    ServeSection,
     ShardSection,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "MetricsSection",
     "PipelineSpec",
     "ResilienceSection",
+    "ServeSection",
     "ShardSection",
     "build_index",
     "register_index",

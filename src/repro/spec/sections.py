@@ -122,6 +122,25 @@ class AdaptSection:
     threshold: float = 0.0
 
 
+@dataclass(frozen=True)
+class ServeSection:
+    """Long-lived serving front end (``repro.serve`` layer).
+
+    When enabled, ``repro serve`` (and ``Server``-routed snapshot
+    replay) applies these micro-batching, admission-control and SLA
+    parameters.  ``tiers`` maps tier name -> deadline budget in
+    milliseconds (0 = unlimited); the budget clock starts at admission,
+    so queue wait is charged against it.
+    """
+
+    enabled: bool = False
+    max_queue_depth: int = 256
+    max_batch: int = 32
+    max_wait_us: float = 2000.0
+    default_tier: str = "default"
+    tiers: dict = field(default_factory=dict)
+
+
 #: section attribute -> section class, in serialization order.
 _SECTIONS = {
     "dataset": DatasetSection,
@@ -131,6 +150,7 @@ _SECTIONS = {
     "shard": ShardSection,
     "metrics": MetricsSection,
     "adapt": AdaptSection,
+    "serve": ServeSection,
 }
 
 
@@ -150,6 +170,7 @@ class PipelineSpec:
     shard: ShardSection = field(default_factory=ShardSection)
     metrics: MetricsSection = field(default_factory=MetricsSection)
     adapt: AdaptSection = field(default_factory=AdaptSection)
+    serve: ServeSection = field(default_factory=ServeSection)
     k: int = 10
     ordering: str = "raw"
     seed: int = 0

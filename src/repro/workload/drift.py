@@ -309,6 +309,21 @@ class DriftController:
             return True
         return False
 
+    def observe_many(self, queries, stats_list=None) -> int:
+        """Record a served batch; returns how many retrains fired.
+
+        The serving layer calls this strictly *after* a micro-batch
+        completes, so any triggered retrain hot-swaps the cache between
+        batches — no in-flight query ever straddles a swap.
+        """
+        if stats_list is None:
+            stats_list = [None] * len(queries)
+        retrains = 0
+        for query, stats in zip(queries, stats_list):
+            if self.observe(query, stats):
+                retrains += 1
+        return retrains
+
     def ingest(self, other_model) -> None:
         """Fold a collected model (e.g. a shard's sketch) into this one."""
         distinct, weights = other_model.distinct()

@@ -43,6 +43,36 @@ class TestBuildReport:
         text = build_report(results)
         assert "Figure 11" in text
 
+    def test_json_extension_sections_survive_rebuild(self, tmp_path):
+        # Regression: the kernel/serve extension results are JSON, not
+        # CSV — regenerating the report must render them, not drop them.
+        import json
+
+        (tmp_path / "BENCH_engine.json").write_text(json.dumps({
+            "per_query": {"queries_per_s": 20.0},
+            "batched": {"queries_per_s": 120.0},
+            "speedup": 6.0,
+            "kernels": {"tau": 8, "runs": {
+                "decode": {"queries_per_s": 47.0, "speedup_vs_decode": 1.0},
+                "numpy": {"queries_per_s": 109.0, "speedup_vs_decode": 2.3},
+            }},
+        }))
+        run = {
+            "achieved_qps": 100.0, "offered_qps": 0.0,
+            "latency_p50_ms": 5.0, "latency_p99_ms": 9.0,
+            "mean_batch_size": 32.0, "offered_fraction": 1.0,
+        }
+        (tmp_path / "BENCH_serve.json").write_text(json.dumps({
+            "saturating": {"batch1": run, "batch64": run},
+            "microbatch_speedup": 6.6,
+            "load_curve": [run],
+        }))
+        text = build_report(tmp_path)
+        assert "Extension — bound kernels (BENCH_engine.json)" in text
+        assert "| numpy | 109.0 | 2.30x |" in text
+        assert "Extension — serving layer (BENCH_serve.json)" in text
+        assert "6.6x" in text and "| batch64 |" in text
+
 
 class TestC2LSHT2:
     def test_t2_never_enlarges_candidates(self):

@@ -458,6 +458,85 @@ class TestDegradedAnswers:
         assert ids.size == 0 and outcome.max_bound_error == inf
 
 
+class TestQueueWaitBudget:
+    """Queue wait is charged against the per-query budget.
+
+    A served request's :class:`Deadline` starts at *admission*; if it
+    then sits in a queue past its budget, the expiry must bite between
+    the wait and the first phase — not be silently forgiven by a budget
+    that restarts at dispatch.
+    """
+
+    def test_expiry_between_wait_and_phase_execution(self, micro_points):
+        from repro.serve import ManualClock
+
+        engine, _ = build_engine(micro_points, "linear", "approx",
+                                 policy=ResiliencePolicy())
+        clock = ManualClock()
+        deadline = Deadline(0.010, clock=clock.now)  # admission
+        clock.advance(0.011)  # queue wait alone exceeds the budget
+        assert deadline.expired and deadline.elapsed_s() == pytest.approx(0.011)
+        result = engine.search(micro_points[0] + 0.1, 5, deadline=deadline)
+        assert not result.outcome.complete
+        assert result.outcome.reason == "deadline"
+
+    def test_wait_within_budget_serves_complete(self, micro_points):
+        from repro.serve import ManualClock
+
+        engine, _ = build_engine(micro_points, "linear", "approx",
+                                 policy=ResiliencePolicy())
+        clock = ManualClock()
+        deadline = Deadline(0.010, clock=clock.now)
+        clock.advance(0.004)
+        result = engine.search(micro_points[0] + 0.1, 5, deadline=deadline)
+        assert result.outcome.complete
+
+    def test_per_query_deadlines_through_batched_path(self, micro_points):
+        from repro.serve import ManualClock
+
+        engine, _ = build_engine(micro_points, "linear", "approx",
+                                 policy=ResiliencePolicy())
+        clock = ManualClock()
+        expired = Deadline(0.001, clock=clock.now)
+        clock.advance(0.002)
+        fresh = Deadline(60.0, clock=clock.now)
+        queries = np.stack([micro_points[0] + 0.1, micro_points[1] + 0.1])
+        results = engine.search_many(queries, 5, deadline=[expired, fresh])
+        assert not results[0].outcome.complete
+        assert results[0].outcome.reason == "deadline"
+        assert results[1].outcome.complete
+
+    def test_deadline_count_mismatch_rejected(self, micro_points):
+        engine, _ = build_engine(micro_points, "linear", "approx")
+        with pytest.raises(ValueError, match="deadlines"):
+            engine.search_many(micro_points[:3], 5, deadline=[None])
+
+    def test_server_charges_queue_wait(self, micro_points):
+        """End to end: a request expiring while queued is answered
+        without the engine ever running."""
+        from repro.serve import ManualClock, ServeConfig, Server, SlaTier
+
+        engine, _ = build_engine(micro_points, "linear", "approx")
+        clock = ManualClock()
+        server = Server(
+            engine,
+            config=ServeConfig(
+                max_batch=8, tiers=(SlaTier("gold", deadline_ms=10.0),)
+            ),
+            default_k=5,
+            clock=clock,
+        )
+        ticket = server.submit(micro_points[0] + 0.1, tier="gold")
+        clock.advance(0.011)  # expire mid-queue
+        server.drain()
+        server.close()
+        response = ticket.response
+        assert response.degraded
+        assert response.result.outcome.reason == "deadline"
+        # Dispatch-time expiry short-circuits: no candidates generated.
+        assert response.result.stats.num_candidates == 0
+
+
 # ----------------------------------------------------------------------
 # Sharded execution under faults
 # ----------------------------------------------------------------------
