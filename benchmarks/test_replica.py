@@ -1,0 +1,208 @@
+"""Replica pool: throughput vs pool size, and recovery after a kill.
+
+Two experiments against the supervised :class:`~repro.serve.ReplicaPool`
+behind the serving front end:
+
+1. *Throughput vs replicas* — saturating open-loop load over parallel
+   pools of 1, 2 and 4 identical engines (real clock, threaded
+   dispatcher, one worker thread per in-flight dispatch).  The curve
+   records achieved q/s per pool size; the assertion is correctness
+   (every request served exactly once, bit-for-bit admission
+   accounting), not linear scaling — the engines share a GIL, so
+   scaling is reported, not promised.
+2. *Recovery after kill* — deterministic ``ManualClock`` pools where
+   replica 0 crashes on its first batch, swept over restart backoff
+   bases.  Records time-to-full-health (the ``serve_recovery_seconds``
+   observation), failover/redispatch counts, and asserts the recovery
+   lands within the backoff schedule (cool-down + one heartbeat).
+
+Results land in ``benchmarks/results/BENCH_replica.json`` (uploaded by
+the CI ``chaos`` job).
+"""
+
+import json
+import time
+
+import numpy as np
+
+from common import DEFAULT_K, RESULTS_DIR, get_engine
+from repro.obs.registry import MetricsRegistry
+from repro.obs.reporter import serve_summary
+from repro.serve import (
+    FaultyReplica,
+    ManualClock,
+    ReplicaPool,
+    ReplicaPoolConfig,
+    ServeConfig,
+    Server,
+    ThreadedExecutor,
+    run_open_loop,
+)
+
+DATASET = "nus-wide-sim"
+POOL_SIZES = (1, 2, 4)
+BACKOFF_BASES_S = (0.05, 0.1, 0.2)
+HEARTBEAT_S = 0.05
+N_REQUESTS = 192
+MAX_BATCH = 16
+MAX_WAIT_US = 1000.0
+
+
+def _request_stream(dataset, n_requests: int) -> np.ndarray:
+    queries = dataset.query_log.test
+    reps = -(-n_requests // len(queries))  # ceil
+    return np.tile(queries, (reps, 1))[:n_requests]
+
+
+def _fresh_engines(n: int):
+    """n identically built engines (failover stays bit-identical)."""
+    engines = []
+    for _ in range(n):
+        dataset, engine = get_engine(
+            DATASET, method="HC-O", index_name="linear", cache_fraction=1.0
+        )
+        engines.append(engine)
+    return dataset, engines
+
+
+def _throughput_curve():
+    curve = []
+    for n_replicas in POOL_SIZES:
+        dataset, engines = _fresh_engines(n_replicas)
+        stream = _request_stream(dataset, N_REQUESTS)
+        metrics = MetricsRegistry()
+        pool = ReplicaPool(
+            engines,
+            config=ReplicaPoolConfig(stall_budget_s=30.0),
+            parallel=True,
+        )
+        server = Server(
+            pool,
+            config=ServeConfig(
+                max_queue_depth=4096,
+                max_batch=MAX_BATCH,
+                max_wait_us=MAX_WAIT_US,
+            ),
+            default_k=DEFAULT_K,
+            metrics=metrics,
+            executor=ThreadedExecutor(),
+        )
+        report = run_open_loop(server, stream, k=DEFAULT_K, rate_qps=0.0)
+        server.close()
+        assert report.served == N_REQUESTS and report.rejected == 0
+        assert metrics.value(
+            "serve_requests_total", tier="default"
+        ) == N_REQUESTS
+        curve.append(
+            {
+                "n_replicas": n_replicas,
+                "achieved_qps": report.achieved_qps,
+                "latency_p50_ms": report.latency_p50_ms,
+                "latency_p99_ms": report.latency_p99_ms,
+                "mean_batch_size": report.mean_batch_size,
+            }
+        )
+    return curve
+
+
+def _recovery_curve():
+    curve = []
+    for base_s in BACKOFF_BASES_S:
+        dataset, engines = _fresh_engines(2)
+        stream = _request_stream(dataset, 64)
+        clock = ManualClock()
+        metrics = MetricsRegistry()
+        pool = ReplicaPool(
+            [FaultyReplica(engines[0], crash_batches=(1,)), engines[1]],
+            config=ReplicaPoolConfig(
+                stall_budget_s=5.0,
+                restart_base_s=base_s,
+                heartbeat_interval_s=HEARTBEAT_S,
+            ),
+        )
+        server = Server(
+            pool,
+            config=ServeConfig(
+                max_queue_depth=4096,
+                max_batch=MAX_BATCH,
+                max_wait_us=MAX_WAIT_US,
+            ),
+            default_k=DEFAULT_K,
+            clock=clock,
+            metrics=metrics,
+        )
+        tickets = [server.submit(q, k=DEFAULT_K) for q in stream]
+        server.pump(force=True)
+        assert all(t.done for t in tickets)
+        assert metrics.value(
+            "serve_requests_total", tier="default"
+        ) == len(stream)
+        # Drive the clock through the cool-down; the heartbeat probe
+        # restarts the crashed replica and closes the recovery window.
+        while pool.healthy_count < 2 and clock.now() < 10.0:
+            clock.advance(HEARTBEAT_S)
+            server.pump(force=True)
+        server.close()
+        summary = serve_summary(metrics)["replicas"]
+        recovery_s = summary["recovery_mean_s"]
+        assert summary["healthy"] == 2
+        # Full health within the schedule: cool-down plus heartbeats.
+        assert recovery_s <= base_s + 3 * HEARTBEAT_S + 1e-9
+        curve.append(
+            {
+                "restart_base_s": base_s,
+                "recovery_s": recovery_s,
+                "failovers": summary["failovers"],
+                "redispatched": int(
+                    metrics.value("serve_redispatch_total", tier="default")
+                ),
+                "served": len(stream),
+            }
+        )
+    return curve
+
+
+def run_replica_benchmark():
+    return {
+        "dataset": DATASET,
+        "k": DEFAULT_K,
+        "max_batch": MAX_BATCH,
+        "throughput_vs_replicas": _throughput_curve(),
+        "recovery_after_kill": _recovery_curve(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def test_replica_pool_scaling_and_recovery(benchmark):
+    """Record throughput-vs-replicas and time-to-recovery curves.
+
+    Persists both to ``benchmarks/results/BENCH_replica.json``.
+    """
+    payload = benchmark.pedantic(
+        run_replica_benchmark, rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_replica.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    for point in payload["throughput_vs_replicas"]:
+        print(
+            f"\nreplicas={point['n_replicas']} "
+            f"{point['achieved_qps']:.1f} q/s "
+            f"p99={point['latency_p99_ms']:.2f} ms "
+            f"batch={point['mean_batch_size']:.1f}"
+        )
+    for point in payload["recovery_after_kill"]:
+        print(
+            f"backoff={point['restart_base_s'] * 1e3:.0f} ms -> "
+            f"recovered in {point['recovery_s'] * 1e3:.0f} ms "
+            f"({point['redispatched']} redispatched)"
+        )
+    # The deterministic recovery sweep is the hard gate.
+    for point in payload["recovery_after_kill"]:
+        assert point["failovers"] == 1
+        assert point["recovery_s"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_replica_benchmark(), indent=2))

@@ -381,6 +381,7 @@ def cmd_serve(args) -> int:
     from repro.serve import run_open_loop, server_from_spec
     from repro.spec.build import spec_from_kwargs
     from repro.spec.sections import (
+        ReplicaSection,
         ResilienceSection,
         ServeSection,
         ShardSection,
@@ -409,6 +410,13 @@ def cmd_serve(args) -> int:
             n_shards=args.shards, executor=args.executor,
             partition=args.partition,
         )
+    if args.replicas > 0:
+        sections["replica"] = ReplicaSection(
+            enabled=True,
+            n_replicas=args.replicas,
+            stall_budget_ms=args.stall_budget_ms,
+            hedge_delay_ms=args.hedge_delay_ms,
+        )
     if args.faults or args.deadline_ms > 0 or args.degraded:
         # Degraded answers (not hard failures) when budgets/faults bite;
         # the per-request deadlines themselves come from the serve tier.
@@ -433,6 +441,17 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    pool = getattr(pipeline, "pool", None)
+    if pool is not None and args.replica_crash_batches:
+        from repro.serve import FaultyReplica
+
+        crash_batches = tuple(
+            int(b) for b in args.replica_crash_batches.split(",") if b
+        )
+        victim = pool.replicas[0]
+        victim.target = FaultyReplica(
+            victim.target, crash_batches=crash_batches
+        )
     try:
         report = run_open_loop(server, queries, k=args.k, rate_qps=args.rate)
     finally:
@@ -442,18 +461,37 @@ def cmd_serve(args) -> int:
     rows = [[
         report.offered_qps if report.offered_qps > 0 else "max",
         round(report.achieved_qps, 1), report.submitted, report.served,
-        report.rejected, report.degraded,
+        report.rejected, report.degraded, report.expired,
         round(report.latency_p50_ms, 3), round(report.latency_p99_ms, 3),
         round(report.mean_batch_size, 2),
     ]]
     print(format_table(
-        ["offered_qps", "qps", "sent", "served", "rejected", "degraded",
-         "p50_ms", "p99_ms", "batch"],
+        ["offered_qps", "qps", "sent", "served", "shed", "degraded",
+         "expired", "p50_ms", "p99_ms", "batch"],
         rows,
         title=f"{args.dataset} / {args.method} serve "
               f"(batch<={args.max_batch}, wait<={args.max_wait_us:.0f}us, "
               f"depth<={args.queue_depth})",
     ))
+    tier_rows = [
+        [tier, counts["served"], counts["shed"], counts["degraded"],
+         counts["expired"]]
+        for tier, counts in sorted(report.per_tier.items())
+    ]
+    if tier_rows:
+        print(format_table(
+            ["tier", "served", "shed", "degraded", "expired"], tier_rows,
+            title="per-tier outcomes",
+        ))
+    if pool is not None:
+        crashes = sum(r.crashes for r in pool.replicas)
+        stalls = sum(r.stalls for r in pool.replicas)
+        restarts = sum(r.restarts for r in pool.replicas)
+        print(
+            f"replicas: {pool.healthy_count}/{len(pool.replicas)} healthy, "
+            f"{pool.quarantined_count} quarantined "
+            f"(crashes={crashes} stalls={stalls} restarts={restarts})"
+        )
     if registry is not None:
         from repro.obs.reporter import serve_summary
 
@@ -740,6 +778,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--queue-depth", type=int, default=256, metavar="N",
                        help="admission bound; deeper submits are rejected "
                             "with a typed Overloaded outcome")
+    p_srv.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="serve through a supervised pool of N identical "
+                            "engine replicas (0 = single engine)")
+    p_srv.add_argument("--stall-budget-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="quarantine a replica whose in-flight batch is "
+                            "older than this (with --replicas)")
+    p_srv.add_argument("--hedge-delay-ms", type=float, default=0.0,
+                       metavar="MS",
+                       help="re-issue the oldest in-flight request to an "
+                            "idle replica past this age; 0 disables "
+                            "(with --replicas)")
+    p_srv.add_argument("--replica-crash-batches", default="", metavar="LIST",
+                       help="chaos: comma-separated 1-based batch numbers "
+                            "on which replica 0 crashes (with --replicas); "
+                            "crashed work fails over to the other replicas")
 
     p_snap = sub.add_parser(
         "snapshot", help="build / inspect / serve / verify snapshot artifacts"

@@ -93,6 +93,20 @@ class CircuitBreaker:
         if self.state == HALF_OPEN:
             self._probes += 1
 
+    def would_allow(self) -> bool:
+        """Non-mutating peek: would :meth:`allow` pass right now?
+
+        Unlike :meth:`allow` this neither performs the open -> half-open
+        transition nor consumes a half-open probe, so schedulers (the
+        serve replica pool) can test availability before committing a
+        dispatch to this path.
+        """
+        if self.state == OPEN:
+            return self._clock() - self._opened_at >= self.config.reset_timeout_s
+        if self.state == HALF_OPEN:
+            return self._probes < self.config.half_open_probes
+        return True
+
     def record_success(self) -> None:
         if self.state == HALF_OPEN:
             if self._probes >= self.config.half_open_probes:

@@ -190,6 +190,56 @@ def serve_summary(registry: MetricsRegistry) -> dict:
     if wait is not None and wait.count:
         out["queue_wait_p50_ms"] = wait.quantile(0.5) * 1e3
         out["queue_wait_p99_ms"] = wait.quantile(0.99) * 1e3
+    replicas = _replica_summary(registry)
+    if replicas is not None:
+        out["replicas"] = replicas
+    return out
+
+
+def _replica_summary(registry: MetricsRegistry) -> dict | None:
+    """Replica-pool health block for :func:`serve_summary`.
+
+    ``None`` when no replica pool ever reported (single-engine serving
+    keeps its summary shape unchanged).
+    """
+    states: dict[str, int] = {}
+    crashes: dict[str, int] = {}
+    stalls: dict[str, int] = {}
+    restarts: dict[str, int] = {}
+    saw_pool = False
+    for inst in registry:
+        replica = inst.labels.get("replica")
+        if inst.name == "serve_replicas_healthy":
+            saw_pool = True
+        if replica is None:
+            continue
+        if inst.name == "serve_replica_state":
+            states[replica] = int(inst.value)
+        elif inst.name == "serve_replica_crash_total":
+            crashes[replica] = int(inst.value)
+        elif inst.name == "serve_replica_stall_total":
+            stalls[replica] = int(inst.value)
+        elif inst.name == "serve_replica_restart_total":
+            restarts[replica] = int(inst.value)
+    if not saw_pool and not states:
+        return None
+    out = {
+        "healthy": sum(1 for code in states.values() if code == 0),
+        "quarantined": sum(1 for code in states.values() if code == 2),
+        "states": dict(sorted(states.items())),
+        "failovers": int(registry.value("serve_failover_total")),
+        "hedges": int(registry.value("serve_hedge_total")),
+        "hedge_wins": int(registry.value("serve_hedge_win_total")),
+        "crashes": sum(crashes.values()),
+        "stalls": sum(stalls.values()),
+        "restarts": sum(restarts.values()),
+    }
+    recovery = registry.get("serve_recovery_seconds")
+    if recovery is not None and recovery.count:
+        out["recoveries"] = recovery.count
+        out["recovery_p50_s"] = recovery.quantile(0.5)
+        out["recovery_max_bucket_s"] = float(recovery.bounds[-1])
+        out["recovery_mean_s"] = recovery.mean
     return out
 
 

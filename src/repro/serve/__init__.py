@@ -18,15 +18,27 @@ from repro.serve.config import ServeConfig, SlaTier
 from repro.serve.executors import InlineExecutor, ThreadedExecutor
 from repro.serve.factory import server_from_spec
 from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.replica import (
+    BatchHold,
+    FaultyReplica,
+    ReplicaCrashError,
+    ReplicaPool,
+    ReplicaPoolConfig,
+)
 from repro.serve.server import Overloaded, Server, ServeResponse, Ticket
 
 __all__ = [
+    "BatchHold",
     "Clock",
+    "FaultyReplica",
     "InlineExecutor",
     "LoadReport",
     "ManualClock",
     "Overloaded",
     "RealClock",
+    "ReplicaCrashError",
+    "ReplicaPool",
+    "ReplicaPoolConfig",
     "ServeConfig",
     "ServeResponse",
     "Server",

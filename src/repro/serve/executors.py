@@ -16,6 +16,11 @@ an *executor* decides when ``pump()`` runs.  Two disciplines:
 from __future__ import annotations
 
 import threading
+import warnings
+
+#: Default bound on how long ``ThreadedExecutor.stop`` waits for the
+#: dispatcher to drain before abandoning it (seconds).
+DEFAULT_JOIN_TIMEOUT_S = 10.0
 
 
 class InlineExecutor:
@@ -36,11 +41,24 @@ class InlineExecutor:
 
 
 class ThreadedExecutor:
-    """Background dispatcher thread flushing batches as they become due."""
+    """Background dispatcher thread flushing batches as they become due.
+
+    ``stop`` bounds its join (``join_timeout_s``): a dispatcher wedged
+    inside the engine would otherwise hang ``close()`` forever.  Past
+    the bound it escalates the same way the shard executors treat hung
+    workers — warn and abandon (the thread is a daemon, so an abandoned
+    dispatcher cannot keep the process alive).
+    """
 
     inline = False
 
-    def __init__(self) -> None:
+    def __init__(
+        self, join_timeout_s: float = DEFAULT_JOIN_TIMEOUT_S
+    ) -> None:
+        if join_timeout_s <= 0:
+            raise ValueError("join_timeout_s must be positive")
+        self.join_timeout_s = join_timeout_s
+        self.abandoned = False
         self._server = None
         self._thread: threading.Thread | None = None
 
@@ -59,19 +77,36 @@ class ThreadedExecutor:
         self._thread.start()
 
     def stop(self) -> None:
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+        if self._thread is None:
+            return
+        self._thread.join(self.join_timeout_s)
+        if self._thread.is_alive():
+            self.abandoned = True
+            warnings.warn(
+                "serve dispatcher did not drain within "
+                f"{self.join_timeout_s:.1f}s; abandoning the daemon "
+                "thread (a batch is likely stuck in the engine)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._thread = None
 
     def _loop(self) -> None:
         server = self._server
         while True:
             with server._cond:
                 closing = server._closed
-                if closing and not server._pending:
+                if (
+                    closing
+                    and not server._pending
+                    and (
+                        server._pool is None
+                        or not server._pool.has_inflight()
+                    )
+                ):
                     return
                 if not closing:
-                    timeout = server._time_to_flush_locked()
+                    timeout = server._dispatch_wait_locked()
                     if timeout is None or timeout > 0:
                         # Woken early by submit()/close(); re-evaluate.
                         server._cond.wait(timeout)

@@ -14,6 +14,28 @@ from repro.serve.config import ServeConfig
 from repro.serve.server import Server
 
 
+class _ReplicaPipelines:
+    """Handle over the N identical pipelines behind a replica pool.
+
+    Shaped like the single-pipeline return of :func:`server_from_spec`:
+    ``.engine`` exposes the first replica's engine for inspection and
+    ``.close()`` closes every replica that supports it.
+    """
+
+    def __init__(self, pipelines, pool) -> None:
+        self.pipelines = list(pipelines)
+        self.pool = pool
+        self.engine = getattr(
+            self.pipelines[0], "engine", self.pipelines[0]
+        )
+
+    def close(self) -> None:
+        for pipeline in self.pipelines:
+            close = getattr(pipeline, "close", None)
+            if close is not None:
+                close()
+
+
 def server_from_spec(
     spec,
     dataset=None,
@@ -22,13 +44,21 @@ def server_from_spec(
     clock=None,
     executor=None,
     config: ServeConfig | None = None,
+    parallel_replicas: bool = False,
 ):
     """Materialize the serving stack a spec describes.
 
     Returns ``(server, pipeline)``; the pipeline is the built
     ``CachingPipeline``/``TreePipeline`` (or the ``ShardedEngine`` when
-    ``shard.n_shards > 0``) so callers can inspect the engine, swap
+    ``shard.n_shards > 0``, or a pipelines handle when
+    ``replica.enabled``) so callers can inspect the engine, swap
     snapshots, or close shard workers.
+
+    With ``replica.enabled``, ``n_replicas`` *identical* pipelines are
+    built from the same spec — deterministic construction makes their
+    answers bit-identical, which is what lets failover re-dispatch a
+    request anywhere.  ``parallel_replicas`` selects the worker-thread
+    pool (real clock only; the sync pool is the deterministic default).
     """
     if config is None:
         config = ServeConfig.from_section(spec.serve)
@@ -36,7 +66,26 @@ def server_from_spec(
         from repro.obs.registry import MetricsRegistry
 
         metrics = MetricsRegistry()
-    if spec.shard.n_shards > 0:
+    if getattr(spec, "replica", None) is not None and spec.replica.enabled:
+        from repro.serve.replica import ReplicaPool, ReplicaPoolConfig
+
+        if spec.shard.n_shards > 0:
+            raise ValueError(
+                "replica pools over sharded engines are not supported yet; "
+                "disable one of spec.shard / spec.replica"
+            )
+        pipelines = [
+            spec.build(dataset=dataset, context=context, metrics=metrics)
+            for _ in range(max(1, spec.replica.n_replicas))
+        ]
+        pool = ReplicaPool(
+            pipelines,
+            config=ReplicaPoolConfig.from_section(spec.replica),
+            parallel=parallel_replicas,
+        )
+        engine = pool
+        pipeline = _ReplicaPipelines(pipelines, pool)
+    elif spec.shard.n_shards > 0:
         engine, _ = spec.build_sharded(dataset=dataset, context=context)
         pipeline = engine
     else:

@@ -14,14 +14,23 @@ is offered as fast as the loop can submit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 
 @dataclass(frozen=True)
 class LoadReport:
-    """Aggregate of one open-loop run at a fixed offered rate."""
+    """Aggregate of one open-loop run at a fixed offered rate.
+
+    The latency percentiles cover *served* requests only — shed
+    (``Overloaded``) submissions complete instantly at admission and
+    would fraudulently drag the percentiles down if mixed in.  The
+    ``per_tier`` breakdown splits each tier's outcomes into served /
+    shed / degraded / expired (``expired`` is the subset of degraded
+    answered from the SLA deadline alone; other degraded reasons —
+    brownout, replica failure — stay out of it).
+    """
 
     offered_qps: float
     duration_s: float
@@ -29,11 +38,13 @@ class LoadReport:
     served: int
     rejected: int
     degraded: int
+    expired: int
     achieved_qps: float
     latency_p50_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
     mean_batch_size: float
+    per_tier: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -43,12 +54,24 @@ class LoadReport:
             "served": self.served,
             "rejected": self.rejected,
             "degraded": self.degraded,
+            "expired": self.expired,
             "achieved_qps": self.achieved_qps,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p99_ms": self.latency_p99_ms,
             "latency_mean_ms": self.latency_mean_ms,
             "mean_batch_size": self.mean_batch_size,
+            "per_tier": {
+                tier: dict(counts) for tier, counts in self.per_tier.items()
+            },
         }
+
+
+def _is_expired(response) -> bool:
+    """Degraded specifically because the SLA deadline ran out."""
+    return (
+        response.degraded
+        and getattr(response.result.outcome, "reason", None) == "deadline"
+    )
 
 
 def run_open_loop(
@@ -91,6 +114,21 @@ def run_open_loop(
     served = [r for r in responses if r.ok]
     rejected = len(responses) - len(served)
     degraded = sum(1 for r in served if r.degraded)
+    expired = sum(1 for r in served if _is_expired(r))
+    per_tier: dict[str, dict[str, int]] = {}
+    for response in responses:
+        counts = per_tier.setdefault(
+            response.tier,
+            {"served": 0, "shed": 0, "degraded": 0, "expired": 0},
+        )
+        if not response.ok:
+            counts["shed"] += 1
+            continue
+        counts["served"] += 1
+        if response.degraded:
+            counts["degraded"] += 1
+        if _is_expired(response):
+            counts["expired"] += 1
     latencies_ms = np.array([r.latency_s * 1e3 for r in served])
     batch_sizes = np.array([r.batch_size for r in served])
     return LoadReport(
@@ -100,6 +138,7 @@ def run_open_loop(
         served=len(served),
         rejected=rejected,
         degraded=degraded,
+        expired=expired,
         achieved_qps=len(served) / duration_s,
         latency_p50_ms=(
             float(np.percentile(latencies_ms, 50)) if len(served) else 0.0
@@ -113,4 +152,5 @@ def run_open_loop(
         mean_batch_size=(
             float(batch_sizes.mean()) if len(served) else 0.0
         ),
+        per_tier=per_tier,
     )

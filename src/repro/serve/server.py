@@ -87,17 +87,37 @@ class ServeResponse:
 
 
 class Ticket:
-    """Handle to one submitted request; completed exactly once."""
+    """Handle to one submitted request; completed *at most once*.
 
-    __slots__ = ("_event", "_response")
+    The completion guard is the at-most-once primitive the replica pool
+    builds on: a request that was re-dispatched after a replica crash,
+    or hedged onto a second replica, may see several completion
+    attempts — the first wins, every later one is refused (and counted
+    by the caller).  A ticket can therefore never be answered twice.
+    """
+
+    __slots__ = ("_event", "_lock", "_response")
 
     def __init__(self) -> None:
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._response: ServeResponse | None = None
 
-    def _complete(self, response: ServeResponse) -> None:
-        self._response = response
+    def try_complete(self, response: ServeResponse) -> bool:
+        """Complete the ticket unless it already has a response.
+
+        Returns True when this attempt won; False when a competing
+        completion (hedge twin, late stalled batch) got there first.
+        """
+        with self._lock:
+            if self._response is not None:
+                return False
+            self._response = response
         self._event.set()
+        return True
+
+    def _complete(self, response: ServeResponse) -> None:
+        self.try_complete(response)
 
     @property
     def done(self) -> bool:
@@ -119,7 +139,15 @@ class Ticket:
 
 @dataclass
 class _Pending:
-    """One queued request."""
+    """One queued request.
+
+    ``dispatches`` counts how many times the request went out to an
+    engine/replica (re-dispatches after a crash and hedge duplicates
+    included); ``inflight`` counts how many *live* dispatches currently
+    hold it (a hedged request is held by two); ``hedged`` marks that a
+    hedge twin was already issued.  All three are replica-pool
+    bookkeeping; the single-engine path leaves them untouched.
+    """
 
     ticket: Ticket
     query: np.ndarray
@@ -127,12 +155,18 @@ class _Pending:
     tier: str
     deadline: Deadline | None
     enqueue_t: float
+    dispatches: int = 0
+    inflight: int = 0
+    hedged: bool = False
 
 
-def _server_degraded_result(k: int) -> SearchResult:
+def _server_degraded_result(k: int, reason: str = "deadline") -> SearchResult:
     """An empty certified-incomplete answer for a request the server
-    degraded itself (deadline expired before the engine ever ran)."""
-    ids, distances, exact_mask, outcome = degraded_answer(None, k, "deadline")
+    degraded itself (deadline expired before the engine ever ran, the
+    replica pool browned out, or a request exhausted its re-dispatch
+    budget).  The ``inf`` error bound is the honest certificate: no
+    cached bounds were computed for this query."""
+    ids, distances, exact_mask, outcome = degraded_answer(None, k, reason)
     return SearchResult(
         ids=ids,
         distances=distances,
@@ -140,6 +174,43 @@ def _server_degraded_result(k: int) -> SearchResult:
         stats=QueryStats(0, 0, 0, 0, 0, 0, 0, 0),
         outcome=outcome,
     )
+
+
+def run_engine_group(
+    engine,
+    per_query_deadlines: bool,
+    queries: np.ndarray,
+    k: int,
+    deadlines: list[Deadline | None],
+) -> list[SearchResult]:
+    """Engine call for one same-k group, degrading on expiry.
+
+    The batched call carries per-request deadlines when the engine
+    supports them (``QueryEngine``).  If the engine *raises* on expiry
+    (no degraded resilience policy), the group re-runs per-query so one
+    late request cannot fail its batchmates; the per-query rerun returns
+    the same answers by the engine's batched-equals-sequential
+    guarantee.  Shared by the single-engine ``Server`` dispatch path and
+    each pool ``Replica`` so both serve bit-identical answers.
+    """
+    try:
+        if per_query_deadlines and any(d is not None for d in deadlines):
+            return engine.search_many(queries, k, deadline=deadlines)
+        return engine.search_many(queries, k)
+    except DeadlineExceeded:
+        results: list[SearchResult] = []
+        for query, deadline in zip(queries, deadlines):
+            if deadline is not None and deadline.expired:
+                results.append(_server_degraded_result(k))
+                continue
+            try:
+                if per_query_deadlines:
+                    results.append(engine.search(query, k, deadline=deadline))
+                else:
+                    results.append(engine.search(query, k))
+            except DeadlineExceeded:
+                results.append(_server_degraded_result(k))
+        return results
 
 
 class Server:
@@ -187,11 +258,21 @@ class Server:
         self._observe_stats = controller is not None and _takes_stats(
             controller
         )
-        self._engine = getattr(engine, "engine", engine)
-        self._per_query_deadlines = isinstance(self._engine, QueryEngine)
         self._cond = threading.Condition()
         self._pending: deque[_Pending] = deque()
         self._closed = False
+        if getattr(engine, "is_replica_pool", False):
+            # A ReplicaPool supervises its own engines; the server keeps
+            # the queue/admission/SLA front end and routes dispatch to
+            # the pool (see repro.serve.replica).
+            self._pool = engine
+            self._engine = None
+            self._per_query_deadlines = False
+            self._pool.bind(self)
+        else:
+            self._pool = None
+            self._engine = getattr(engine, "engine", engine)
+            self._per_query_deadlines = isinstance(self._engine, QueryEngine)
         self.executor = executor or InlineExecutor()
         self.executor.start(self)
 
@@ -210,6 +291,8 @@ class Server:
             self._closed = True
             self._cond.notify_all()
         self.executor.stop()
+        if self._pool is not None:
+            self._pool.close()
 
     @property
     def queue_depth(self) -> int:
@@ -298,6 +381,8 @@ class Server:
         are ignored and the queue drains completely (in ``max_batch``
         sized flushes, preserving the batching invariant).
         """
+        if self._pool is not None:
+            return self._pool.pump(self, force)
         served = 0
         while True:
             with self._cond:
@@ -345,28 +430,47 @@ class Server:
         waited = self.clock.now() - self._pending[0].enqueue_t
         return max(0.0, self.config.max_wait_s - waited)
 
+    def _dispatch_wait_locked(self) -> float | None:
+        """The threaded dispatcher's wake timeout (caller holds the lock).
+
+        With a replica pool, supervision events (stall budgets, restart
+        backoffs, hedge delays, slow-batch completions) also bound the
+        wait — a stalled replica must be detected even when no new
+        request ever arrives.
+        """
+        timeout = self._time_to_flush_locked()
+        if self._pool is None:
+            return timeout
+        pool_timeout = self._pool.next_event_delay(self.clock.now())
+        if timeout is None:
+            return pool_timeout
+        if pool_timeout is None:
+            return timeout
+        return min(timeout, pool_timeout)
+
+    def _requeue_front(self, pendings: list[_Pending]) -> None:
+        """Put recovered requests back at the *front* of the queue.
+
+        Recovered requests keep their original ``enqueue_t`` (their SLA
+        budget kept running while they were in flight), so they are the
+        oldest waiters and flush first — failover preserves FIFO service
+        order as closely as a failure allows.
+        """
+        if not pendings:
+            return
+        with self._cond:
+            self._pending.extendleft(reversed(pendings))
+            self._gauge_depth(len(self._pending))
+            self._cond.notify_all()
+
     # ------------------------------------------------------------------
     def _execute(self, batch: list[_Pending]) -> None:
         """Serve one flushed batch: expire, group by k, search, respond."""
         dispatch_t = self.clock.now()
         batch_size = len(batch)
-        self._histogram(
-            "serve_batch_size", BATCH_SIZE_BUCKETS
-        ).observe(batch_size)
-        self._count_batch()
+        self._record_batch(batch_size)
 
-        expired: list[_Pending] = []
-        live: list[_Pending] = []
-        for pending in batch:
-            if pending.deadline is not None and pending.deadline.expired:
-                expired.append(pending)
-            else:
-                live.append(pending)
-
-        answered: list[tuple[_Pending, SearchResult]] = []
-        for pending in expired:
-            self._count("serve_deadline_expired_total", pending.tier)
-            answered.append((pending, _server_degraded_result(pending.k)))
+        answered, live = self._expire_split(batch)
 
         # One search_many per distinct k (requests almost always share
         # the server default, so this is one engine call per flush).
@@ -381,33 +485,90 @@ class Server:
 
         done_t = self.clock.now()
         for pending, result in answered:
-            wait_s = dispatch_t - pending.enqueue_t
-            latency_s = done_t - pending.enqueue_t
-            self._count("serve_requests_total", pending.tier)
-            if not result.outcome.complete:
-                self._count("serve_degraded_total", pending.tier)
-            self._histogram("serve_queue_wait_seconds").observe(wait_s)
-            self._histogram(
-                "serve_latency_seconds", tier=pending.tier
-            ).observe(latency_s)
-            pending.ticket._complete(
-                ServeResponse(
-                    tier=pending.tier,
-                    result=result,
-                    queue_wait_s=wait_s,
-                    latency_s=latency_s,
-                    batch_size=batch_size,
+            self._finish_one(pending, result, dispatch_t, done_t, batch_size)
+        self._observe_served(answered)
+
+    def _record_batch(self, batch_size: int) -> None:
+        """Batch-size accounting for one flush (any dispatcher)."""
+        self._histogram(
+            "serve_batch_size", BATCH_SIZE_BUCKETS
+        ).observe(batch_size)
+        self._count_batch()
+
+    def _expire_split(
+        self, batch: list[_Pending]
+    ) -> tuple[list[tuple[_Pending, SearchResult]], list[_Pending]]:
+        """Split a flushed batch into (already-degraded answers, live).
+
+        Requests whose SLA deadline expired while queued are answered
+        with a certified-incomplete result without touching the engine.
+        """
+        answered: list[tuple[_Pending, SearchResult]] = []
+        live: list[_Pending] = []
+        for pending in batch:
+            if pending.deadline is not None and pending.deadline.expired:
+                self._count("serve_deadline_expired_total", pending.tier)
+                answered.append(
+                    (pending, _server_degraded_result(pending.k))
                 )
+            else:
+                live.append(pending)
+        return answered, live
+
+    def _finish_one(
+        self,
+        pending: _Pending,
+        result: SearchResult,
+        dispatch_t: float,
+        done_t: float,
+        batch_size: int,
+    ) -> bool:
+        """Complete one request's ticket; record per-request metrics.
+
+        Returns True when this completion won the ticket.  A losing
+        completion (the request was already answered by a hedge twin or
+        a recovered re-dispatch) is discarded *before* any per-request
+        metric is recorded, so served counters never double-count.
+        """
+        wait_s = dispatch_t - pending.enqueue_t
+        latency_s = done_t - pending.enqueue_t
+        won = pending.ticket.try_complete(
+            ServeResponse(
+                tier=pending.tier,
+                result=result,
+                queue_wait_s=wait_s,
+                latency_s=latency_s,
+                batch_size=batch_size,
             )
-        # Workload observation strictly after the batch completed, so a
-        # triggered retrain hot-swaps the cache *between* batches and no
-        # in-flight query ever sees a half-swapped engine.
-        if self.controller is not None:
-            for pending, result in answered:
-                if self._observe_stats:
-                    self.controller.observe(pending.query, result.stats)
-                else:
-                    self.controller.observe(pending.query)
+        )
+        if not won:
+            self._count("serve_completion_discarded_total", pending.tier)
+            return False
+        self._count("serve_requests_total", pending.tier)
+        if not result.outcome.complete:
+            self._count("serve_degraded_total", pending.tier)
+        self._histogram("serve_queue_wait_seconds").observe(wait_s)
+        self._histogram(
+            "serve_latency_seconds", tier=pending.tier
+        ).observe(latency_s)
+        return True
+
+    def _observe_served(
+        self, answered: list[tuple[_Pending, SearchResult]]
+    ) -> None:
+        """Feed served queries to the workload controller.
+
+        Strictly after the batch completed, so a triggered retrain
+        hot-swaps the cache *between* batches and no in-flight query
+        ever sees a half-swapped engine.
+        """
+        if self.controller is None:
+            return
+        for pending, result in answered:
+            if self._observe_stats:
+                self.controller.observe(pending.query, result.stats)
+            else:
+                self.controller.observe(pending.query)
 
     def _run_group(
         self,
@@ -415,37 +576,10 @@ class Server:
         k: int,
         deadlines: list[Deadline | None],
     ) -> list[SearchResult]:
-        """Engine call for one same-k group, degrading on expiry.
-
-        The batched call carries per-request deadlines when the engine
-        supports them (``QueryEngine``).  If the engine *raises* on
-        expiry (no degraded resilience policy), the group re-runs
-        per-query so one late request cannot fail its batchmates; the
-        per-query rerun returns the same answers by the engine's
-        batched-equals-sequential guarantee.
-        """
-        try:
-            if self._per_query_deadlines and any(
-                d is not None for d in deadlines
-            ):
-                return self._engine.search_many(queries, k, deadline=deadlines)
-            return self._engine.search_many(queries, k)
-        except DeadlineExceeded:
-            results: list[SearchResult] = []
-            for query, deadline in zip(queries, deadlines):
-                if deadline is not None and deadline.expired:
-                    results.append(_server_degraded_result(k))
-                    continue
-                try:
-                    if self._per_query_deadlines:
-                        results.append(
-                            self._engine.search(query, k, deadline=deadline)
-                        )
-                    else:
-                        results.append(self._engine.search(query, k))
-                except DeadlineExceeded:
-                    results.append(_server_degraded_result(k))
-            return results
+        """Engine call for one same-k group, degrading on expiry."""
+        return run_engine_group(
+            self._engine, self._per_query_deadlines, queries, k, deadlines
+        )
 
     # ------------------------------------------------------------------
     # Metrics plumbing (no-ops without a registry)

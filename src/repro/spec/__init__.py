@@ -24,6 +24,7 @@ from repro.spec.sections import (
     IndexSection,
     MetricsSection,
     PipelineSpec,
+    ReplicaSection,
     ResilienceSection,
     ServeSection,
     ShardSection,
@@ -37,6 +38,7 @@ __all__ = [
     "IndexSection",
     "MetricsSection",
     "PipelineSpec",
+    "ReplicaSection",
     "ResilienceSection",
     "ServeSection",
     "ShardSection",

@@ -141,6 +141,32 @@ class ServeSection:
     tiers: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class ReplicaSection:
+    """Supervised replica pool for the serving layer (``repro.serve.replica``).
+
+    ``n_replicas`` identical pipelines are built from the same spec (so
+    failover is bit-identical) and supervised behind the shared
+    admission queue: per-tier stall budgets, circuit-breaker quarantine
+    with exponential-backoff restart, queue-front crash recovery with
+    at-most-once completion, hedged dispatch past ``hedge_delay_ms``
+    (0 disables), and brownout degraded answers when every replica is
+    quarantined.  ``tier_stall_budget_ms`` maps tier name -> stall
+    budget override in milliseconds.
+    """
+
+    enabled: bool = False
+    n_replicas: int = 1
+    stall_budget_ms: float = 1000.0
+    hedge_delay_ms: float = 0.0
+    failure_threshold: int = 1
+    restart_backoff_ms: float = 50.0
+    restart_max_backoff_ms: float = 2000.0
+    heartbeat_interval_ms: float = 100.0
+    max_redispatch: int = 3
+    tier_stall_budget_ms: dict = field(default_factory=dict)
+
+
 #: section attribute -> section class, in serialization order.
 _SECTIONS = {
     "dataset": DatasetSection,
@@ -151,6 +177,7 @@ _SECTIONS = {
     "metrics": MetricsSection,
     "adapt": AdaptSection,
     "serve": ServeSection,
+    "replica": ReplicaSection,
 }
 
 
@@ -171,6 +198,7 @@ class PipelineSpec:
     metrics: MetricsSection = field(default_factory=MetricsSection)
     adapt: AdaptSection = field(default_factory=AdaptSection)
     serve: ServeSection = field(default_factory=ServeSection)
+    replica: ReplicaSection = field(default_factory=ReplicaSection)
     k: int = 10
     ordering: str = "raw"
     seed: int = 0

@@ -1,0 +1,257 @@
+"""Differential harness: replica-pool serving under seeded chaos is
+bit-identical to single-dispatcher FIFO replay.
+
+The guarantee: answers served through a :class:`ReplicaPool` — under
+seeded random arrival interleavings *and* seeded random fault schedules
+(crashes, stalls, slow batches, hedging on or off) — equal the answers
+a twin engine produces by calling ``search()`` once per query, in ids,
+distances and ``exact_mask``; and every accepted request completes
+exactly once (nothing lost to a dead replica, nothing double-served by
+a hedge or a late stalled batch).
+
+Two regimes:
+
+* one replica is kept fault-free — every request must then complete
+  *non-degraded* and bit-identical;
+* every replica is faulty — requests may come back with certified
+  degraded answers (brownout / re-dispatch exhaustion), but completion
+  is still exactly-once and every complete answer is still
+  bit-identical.
+
+All randomness derives from the seeds below; assertion messages carry
+the schedule seed so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_equidepth
+from repro.core.cache import ApproximateCache, CachePolicy
+from repro.core.domain import ValueDomain
+from repro.core.encoder import GlobalHistogramEncoder
+from repro.engine.engine import QueryEngine
+from repro.index.linear_scan import LinearScanIndex
+from repro.obs.registry import MetricsRegistry
+from repro.serve import (
+    FaultyReplica,
+    ManualClock,
+    ReplicaPool,
+    ReplicaPoolConfig,
+    ServeConfig,
+    Server,
+)
+from repro.storage.disk import DiskConfig, SimulatedDisk
+from repro.storage.pointfile import PointFile
+
+SEED = 20260808
+N_POINTS = 240
+DIM = 5
+K = 5
+N_QUERIES = 12
+SCHEDULE_SEEDS = (11, 12, 13, 14)
+CACHE_BYTES = 1 << 11
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(SEED)
+    points = rng.normal(size=(N_POINTS, DIM))
+    queries = rng.normal(size=(N_QUERIES, DIM))
+    frequencies = rng.integers(0, 9, size=N_POINTS).astype(np.int64)
+    encoder = GlobalHistogramEncoder(
+        build_equidepth(ValueDomain.from_points(points), 16), DIM
+    )
+    return {
+        "points": points,
+        "queries": queries,
+        "frequencies": frequencies,
+        "encoder": encoder,
+    }
+
+
+def make_engine(data) -> QueryEngine:
+    """Static-HFF engine; identical builds answer bit-identically."""
+    points = data["points"]
+    cache = ApproximateCache(
+        data["encoder"], CACHE_BYTES, N_POINTS, CachePolicy.HFF
+    )
+    cache.populate_hff(data["frequencies"], points)
+    point_file = PointFile(points, disk=SimulatedDisk(DiskConfig()))
+    return QueryEngine.for_index(LinearScanIndex(N_POINTS), point_file, cache)
+
+
+def random_fault_schedule(rng: np.random.Generator) -> dict:
+    """Seeded crash/stall/slow batch schedule for one faulty replica."""
+    batches = rng.permutation(np.arange(1, 8))
+    n_crash = int(rng.integers(0, 3))
+    n_stall = int(rng.integers(0, 2))
+    n_slow = int(rng.integers(0, 2))
+    crash = batches[:n_crash]
+    stall = batches[n_crash:n_crash + n_stall]
+    slow = batches[n_crash + n_stall:n_crash + n_stall + n_slow]
+    return {
+        "crash_batches": tuple(int(b) for b in crash),
+        "stall_batches": tuple(int(b) for b in stall),
+        "slow_batches": {
+            int(b): float(rng.uniform(0.2, 1.5)) for b in slow
+        },
+    }
+
+
+def random_arrivals(rng: np.random.Generator) -> tuple[ServeConfig, list]:
+    """Seeded batching parameters plus an arrival interleaving."""
+    config = ServeConfig(
+        max_queue_depth=64,
+        max_batch=int(rng.integers(1, 6)),
+        max_wait_us=float(rng.choice([0.0, 500.0, 2000.0])),
+    )
+    order = rng.permutation(N_QUERIES)
+    events: list = []
+    for idx in order:
+        if rng.random() < 0.7:
+            events.append(("advance", float(rng.uniform(0.0, 0.002))))
+        events.append(("submit", int(idx)))
+        if rng.random() < 0.5:
+            events.append(("pump",))
+    return config, events
+
+
+def serve_through_pool(data, pool, config, events):
+    """Run one interleaving through the pool; force-drain at the end.
+
+    Returns ``(tickets, metrics)`` with tickets as (query_index, ticket)
+    in submission order.
+    """
+    clock = ManualClock()
+    metrics = MetricsRegistry()
+    server = Server(
+        pool, config=config, default_k=K, clock=clock, metrics=metrics
+    )
+    tickets: list = []
+    for event in events:
+        if event[0] == "advance":
+            clock.advance(event[1])
+        elif event[0] == "submit":
+            tickets.append(
+                (event[1], server.submit(data["queries"][event[1]]))
+            )
+        else:
+            server.pump()
+    server.close()  # force-drains queue and in-flight work
+    return tickets, metrics
+
+
+def assert_exactly_once(tickets, metrics, where: str) -> None:
+    """Nothing lost, nothing double-served."""
+    assert all(t.done for _, t in tickets), f"{where}: a request was lost"
+    completed = sum(
+        metrics.value("serve_requests_total", tier=tier)
+        for tier in ("default",)
+    )
+    assert completed == len(tickets), (
+        f"{where}: {completed} completions for {len(tickets)} requests"
+    )
+
+
+@pytest.mark.parametrize("schedule_seed", SCHEDULE_SEEDS)
+def test_chaos_with_healthy_twin_is_bit_identical(data, schedule_seed):
+    """One fault-free replica: every answer complete and bit-identical."""
+    rng = np.random.default_rng(schedule_seed)
+    faults = random_fault_schedule(rng)
+    hedge = float(rng.choice([0.0, 0.3]))
+    config, events = random_arrivals(rng)
+    pool = ReplicaPool(
+        [FaultyReplica(make_engine(data), **faults), make_engine(data)],
+        config=ReplicaPoolConfig(
+            stall_budget_s=0.5,
+            hedge_delay_s=hedge,
+            restart_base_s=0.05,
+            max_redispatch=10,
+        ),
+    )
+    where = (
+        f"schedule={schedule_seed} faults={faults} hedge={hedge} "
+        f"batch<={config.max_batch} wait={config.max_wait_us}us"
+    )
+    tickets, metrics = serve_through_pool(data, pool, config, events)
+    assert_exactly_once(tickets, metrics, where)
+
+    twin = make_engine(data)
+    for idx, ticket in tickets:
+        result = ticket.response.result
+        assert result.outcome.complete, (
+            f"{where}: query {idx} degraded ({result.outcome.reason}) "
+            "despite a healthy replica"
+        )
+        base = twin.search(data["queries"][idx], K)
+        assert np.array_equal(base.ids, result.ids), (
+            f"{where} query={idx}: ids {base.ids} != {result.ids}"
+        )
+        assert np.array_equal(base.distances, result.distances), (
+            f"{where} query={idx}: distances differ"
+        )
+        assert np.array_equal(base.exact_mask, result.exact_mask), (
+            f"{where} query={idx}: exact_mask differs"
+        )
+
+
+@pytest.mark.parametrize("schedule_seed", SCHEDULE_SEEDS)
+def test_chaos_everywhere_is_exactly_once(data, schedule_seed):
+    """Every replica faulty: completion stays exactly-once; complete
+    answers stay bit-identical; degraded answers carry known reasons."""
+    rng = np.random.default_rng(schedule_seed + 1000)
+    config, events = random_arrivals(rng)
+    pool = ReplicaPool(
+        [
+            FaultyReplica(make_engine(data), **random_fault_schedule(rng)),
+            FaultyReplica(make_engine(data), **random_fault_schedule(rng)),
+        ],
+        config=ReplicaPoolConfig(
+            stall_budget_s=0.5, restart_base_s=0.05, max_redispatch=4
+        ),
+    )
+    where = f"schedule={schedule_seed}+chaos-everywhere"
+    tickets, metrics = serve_through_pool(data, pool, config, events)
+    assert_exactly_once(tickets, metrics, where)
+
+    twin = make_engine(data)
+    for idx, ticket in tickets:
+        result = ticket.response.result
+        if not result.outcome.complete:
+            assert result.outcome.reason in (
+                "brownout", "replica_failure", "deadline"
+            ), f"{where}: unknown degraded reason {result.outcome.reason}"
+            continue
+        base = twin.search(data["queries"][idx], K)
+        assert np.array_equal(base.ids, result.ids), (
+            f"{where} query={idx}: ids differ"
+        )
+        assert np.array_equal(base.distances, result.distances), (
+            f"{where} query={idx}: distances differ"
+        )
+
+
+def test_fault_schedules_actually_vary():
+    """Guard: the generator produces distinct fault shapes across seeds
+    (the suite must not silently degenerate to fault-free runs)."""
+    shapes = set()
+    injected = 0
+    for schedule_seed in SCHEDULE_SEEDS:
+        rng = np.random.default_rng(schedule_seed)
+        faults = random_fault_schedule(rng)
+        shapes.add(
+            (
+                faults["crash_batches"],
+                faults["stall_batches"],
+                tuple(sorted(faults["slow_batches"])),
+            )
+        )
+        injected += (
+            len(faults["crash_batches"])
+            + len(faults["stall_batches"])
+            + len(faults["slow_batches"])
+        )
+    assert len(shapes) > 1
+    assert injected > 0

@@ -10,6 +10,8 @@ completion event, never on wall-clock time).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -613,3 +615,131 @@ class TestServeConfig:
         assert config.max_wait_us == 42.0
         assert config.tier("gold").budget_s == pytest.approx(0.007)
         assert config.tier("batch").budget_s is None
+
+
+# ----------------------------------------------------------------------
+# Bounded dispatcher shutdown (escalation, not a hang)
+# ----------------------------------------------------------------------
+class TestThreadedStopEscalation:
+    def test_join_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(join_timeout_s=0.0)
+
+    def test_stuck_dispatch_is_abandoned_with_warning(self, data):
+        """A dispatcher wedged inside the engine cannot hang close().
+
+        ``stop`` bounds its join; past the bound it escalates the same
+        way the shard executors treat hung workers — warn and abandon
+        the daemon thread instead of waiting forever.
+        """
+        release = threading.Event()
+        engine = make_engine(data)
+
+        class _StuckEngine:
+            def search_many(self, queries, k):
+                release.wait(30.0)
+                return [engine.search(q, k) for q in queries]
+
+        executor = ThreadedExecutor(join_timeout_s=0.2)
+        server = Server(
+            _StuckEngine(),
+            config=ServeConfig(max_batch=1, max_wait_us=0.0),
+            default_k=K,
+            clock=RealClock(),
+            executor=executor,
+        )
+        server.submit(data["queries"][0])
+        with pytest.warns(RuntimeWarning, match="abandoning"):
+            server.close()
+        assert executor.abandoned
+        release.set()  # let the abandoned daemon finish quietly
+
+    def test_clean_shutdown_does_not_escalate(self, data):
+        executor = ThreadedExecutor(join_timeout_s=5.0)
+        server = Server(
+            make_engine(data),
+            default_k=K,
+            clock=RealClock(),
+            executor=executor,
+        )
+        server.serve_one(data["queries"][0])
+        server.close()
+        assert not executor.abandoned
+
+
+# ----------------------------------------------------------------------
+# Load-report outcome split (shed never pollutes latency)
+# ----------------------------------------------------------------------
+class TestLoadReportSplit:
+    def test_shed_split_out_of_served_and_percentiles(self, data):
+        server, _, _ = make_server(
+            data,
+            config=ServeConfig(max_queue_depth=4, max_batch=100,
+                               max_wait_us=1e9),
+        )
+        report = run_open_loop(server, data["queries"], rate_qps=0.0)
+        server.close()
+        assert report.served == 4
+        assert report.rejected == len(data["queries"]) - 4
+        counts = report.per_tier["default"]
+        assert counts["served"] == 4
+        assert counts["shed"] == report.rejected
+        assert counts["degraded"] == 0
+        assert counts["expired"] == 0
+        # served + shed covers every submission, exactly once.
+        assert counts["served"] + counts["shed"] == report.submitted
+
+    def test_expired_is_the_deadline_slice_of_degraded(self, data):
+        # 0.5 ms budget, 2 ms flush wait: requests queued longer than
+        # their budget expire (the freshest request in a flush may still
+        # be inside its budget, so expired < served).
+        server, _, _ = make_server(
+            data,
+            config=ServeConfig(
+                max_batch=32, max_wait_us=2000.0, max_queue_depth=64,
+                default_tier="gold", tiers=(SlaTier("gold", 0.5),),
+            ),
+        )
+        report = run_open_loop(
+            server, data["queries"], tier="gold", rate_qps=1000.0
+        )
+        server.close()
+        assert report.served == len(data["queries"])
+        assert report.degraded > 0
+        # Every degraded answer here came from the SLA deadline alone.
+        assert report.expired == report.degraded
+        counts = report.per_tier["gold"]
+        assert counts["expired"] == counts["degraded"] == report.degraded
+        assert counts["shed"] == 0
+
+    def test_brownout_degraded_is_not_counted_expired(self, data):
+        from repro.serve import FaultyReplica, ReplicaPool, ReplicaPoolConfig
+
+        pool = ReplicaPool(
+            [FaultyReplica(make_engine(data), crash_batches=range(1, 100))],
+            config=ReplicaPoolConfig(restart_base_s=0.1),
+        )
+        server = Server(
+            pool,
+            config=ServeConfig(max_queue_depth=64, max_batch=4,
+                               max_wait_us=1000.0),
+            default_k=K,
+            clock=ManualClock(),
+        )
+        report = run_open_loop(server, data["queries"][:6], rate_qps=0.0)
+        server.close()
+        assert report.degraded == 6
+        assert report.expired == 0  # brownout is degraded, not expired
+        counts = report.per_tier["default"]
+        assert counts["degraded"] == 6 and counts["expired"] == 0
+
+    def test_report_round_trips_per_tier(self, data):
+        server, _, _ = make_server(
+            data, config=ServeConfig(max_queue_depth=4, max_batch=100,
+                                     max_wait_us=1e9),
+        )
+        report = run_open_loop(server, data["queries"], rate_qps=0.0)
+        server.close()
+        payload = report.to_dict()
+        assert payload["expired"] == report.expired
+        assert payload["per_tier"]["default"]["shed"] == report.rejected
