@@ -11,10 +11,19 @@ Layers:
   inspect and differentially verify it.
 * :mod:`repro.artifacts.sharding` — shard snapshots: lightweight
   ``ShardSpec``\\ s that hydrate from a shared mmap store in workers.
+* :mod:`repro.artifacts.churn` — versioned per-shard mutation deltas,
+  published through the same publish-then-swap protocol and merged back
+  at snapshot rebuild.
 * :mod:`repro.artifacts.legacy` — the single-file ``.npz`` format behind
   ``repro.persist``.
 """
 
+from repro.artifacts.churn import (
+    CHURN_FORMAT_VERSION,
+    load_churn_delta,
+    merge_delta_state,
+    publish_churn_delta,
+)
 from repro.artifacts.errors import ArtifactError, FormatVersionError
 from repro.artifacts.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -38,8 +47,12 @@ from repro.artifacts.store import (
 
 __all__ = [
     "ArtifactError",
+    "CHURN_FORMAT_VERSION",
     "CURRENT_POINTER",
     "FormatVersionError",
+    "load_churn_delta",
+    "merge_delta_state",
+    "publish_churn_delta",
     "ObjectStore",
     "SNAPSHOT_FORMAT_VERSION",
     "ServingContext",

@@ -1,0 +1,163 @@
+"""Versioned churn deltas: per-shard mutation segments, published atomically.
+
+A churn epoch persists what a snapshot rebuild needs to absorb the
+mutations applied since the base snapshot was built: per shard, the
+append-segment rows, the tombstone bitmap over the full (base + append)
+id space, and any attribute columns.  Epochs follow the same
+publish-then-swap protocol as pipeline snapshots (``repro.artifacts
+.store``): each epoch is built complete under its own ``epoch-NNNNNN``
+directory — content-addressed members, atomic manifest — and only then
+does the ``CURRENT`` pointer republish, so a rebuilding reader always
+sees a complete delta, never a torn one.
+
+At snapshot-rebuild time the delta merges back through the same
+mutation path queries took (:func:`repro.mutate.snapshot
+.restore_pipeline` per shard): build the base, replay appends, replay
+tombstones, revalidate — deterministic, so the rebuilt pipeline answers
+bit-identically to the mutated one it mirrors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts.errors import ArtifactError
+from repro.artifacts.store import (
+    ObjectStore,
+    publish_current,
+    read_current,
+    read_manifest,
+    write_manifest,
+)
+
+#: Manifest schema version for churn-delta epochs.
+CHURN_FORMAT_VERSION = 1
+
+
+def _epoch_name(epoch: int) -> str:
+    return f"epoch-{epoch:06d}"
+
+
+def _next_epoch(root: Path) -> int:
+    existing = [
+        int(p.name.split("-", 1)[1])
+        for p in root.glob("epoch-*")
+        if p.is_dir() and p.name.split("-", 1)[1].isdigit()
+    ]
+    return max(existing, default=0) + 1
+
+
+def publish_churn_delta(
+    root: str | Path,
+    deltas: dict[int, dict[str, np.ndarray]],
+    epoch: int | None = None,
+) -> Path:
+    """Publish one churn epoch under ``root`` and swap ``CURRENT`` to it.
+
+    Args:
+        root: the churn-delta root directory (created on demand).
+        deltas: ``shard_id -> state`` where each state is the array dict
+            a :meth:`repro.mutate.MutableDataset.to_state` produces
+            (``base``/``appended``/``live`` plus ``attr_*`` columns).
+            The unsharded case is the single key ``0``.  The ``base``
+            segment is *not* stored — the base snapshot already owns it;
+            only its length is recorded for validation at merge time.
+        epoch: explicit epoch number (default: one past the largest
+            published epoch).
+
+    Returns:
+        the published epoch directory.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    if epoch is None:
+        epoch = _next_epoch(root)
+    name = _epoch_name(epoch)
+    target = root / name
+    store = ObjectStore(target)
+    shards: dict[str, dict] = {}
+    for shard_id, state in sorted(deltas.items()):
+        arrays = {
+            key: np.asarray(values)
+            for key, values in state.items()
+            if key != "base"
+        }
+        entry = {
+            "base_count": int(len(state["base"])),
+            "members": store.put_members(arrays),
+        }
+        shards[str(int(shard_id))] = entry
+    write_manifest(
+        target,
+        {
+            "format_version": CHURN_FORMAT_VERSION,
+            "kind": "churn-delta",
+            "epoch": int(epoch),
+            "shards": shards,
+        },
+    )
+    publish_current(root, name)
+    return target
+
+
+def load_churn_delta(
+    root: str | Path, mmap: bool = True
+) -> dict[int, dict[str, np.ndarray]]:
+    """Load the ``CURRENT`` churn epoch back into per-shard array dicts.
+
+    The returned states omit the ``base`` segment (the base snapshot
+    owns it) but carry ``base_count`` implicitly through the ``live``
+    bitmap length; feed each state to :func:`merge_delta_state` together
+    with the shard's base rows to obtain a full
+    :meth:`~repro.mutate.MutableDataset.from_state` input.
+    """
+    current = read_current(root)
+    manifest = read_manifest(current)
+    if manifest.get("kind") != "churn-delta":
+        raise ArtifactError(f"not a churn-delta epoch: {current}")
+    if manifest.get("format_version") != CHURN_FORMAT_VERSION:
+        raise ArtifactError(
+            f"churn-delta format v{manifest.get('format_version')} "
+            f"(supported: v{CHURN_FORMAT_VERSION})"
+        )
+    store = ObjectStore(current)
+    out: dict[int, dict[str, np.ndarray]] = {}
+    for shard_id, entry in manifest["shards"].items():
+        state = store.load_members(entry["members"], mmap=mmap)
+        state["base_count"] = np.asarray(int(entry["base_count"]))
+        out[int(shard_id)] = state
+    return out
+
+
+def merge_delta_state(
+    base_points: np.ndarray, delta: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Merge a loaded delta with its base segment into a full state dict.
+
+    The result is exactly what :meth:`repro.mutate.MutableDataset
+    .from_state` (and :func:`repro.mutate.snapshot.restore_pipeline`)
+    consume; validation checks the delta was cut against this base.
+    """
+    base_count = int(delta["base_count"])
+    appended = np.asarray(delta["appended"])
+    live = np.asarray(delta["live"], dtype=bool)
+    if len(base_points) != base_count:
+        raise ArtifactError(
+            f"churn delta was cut against a base of {base_count} rows, "
+            f"got {len(base_points)}"
+        )
+    if len(live) != base_count + len(appended):
+        raise ArtifactError(
+            "churn delta tombstone bitmap does not cover base + append"
+        )
+    state = {
+        "base": np.asarray(base_points),
+        "appended": appended,
+        "live": live,
+    }
+    for key, values in delta.items():
+        if key.startswith("attr_"):
+            state[key] = np.asarray(values)
+    return state

@@ -434,6 +434,10 @@ def cmd_serve(args) -> int:
     n_requests = args.requests or len(test)
     reps = -(-n_requests // len(test))
     queries = np.tile(test, (reps, 1))[:n_requests]
+    if args.churn_rate > 0 and args.replicas > 0:
+        print("error: --churn-rate is not supported with --replicas "
+              "(mutations cannot fence a replica pool)", file=sys.stderr)
+        return 2
     try:
         server, pipeline = server_from_spec(
             spec, dataset=dataset, context=context, metrics=registry
@@ -441,6 +445,9 @@ def cmd_serve(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    mutator = None
+    if args.churn_rate > 0:
+        mutator = _serve_mutator(args, dataset, pipeline, registry)
     pool = getattr(pipeline, "pool", None)
     if pool is not None and args.replica_crash_batches:
         from repro.serve import FaultyReplica
@@ -453,7 +460,10 @@ def cmd_serve(args) -> int:
             victim.target, crash_batches=crash_batches
         )
     try:
-        report = run_open_loop(server, queries, k=args.k, rate_qps=args.rate)
+        report = run_open_loop(
+            server, queries, k=args.k, rate_qps=args.rate,
+            mutator=mutator, churn_rate=args.churn_rate,
+        )
     finally:
         server.close()
         if hasattr(pipeline, "close"):
@@ -483,6 +493,9 @@ def cmd_serve(args) -> int:
             ["tier", "served", "shed", "degraded", "expired"], tier_rows,
             title="per-tier outcomes",
         ))
+    if args.churn_rate > 0:
+        print(f"mutations applied through the queue fence: "
+              f"{report.mutations}")
     if pool is not None:
         crashes = sum(r.crashes for r in pool.replicas)
         stalls = sum(r.stalls for r in pool.replicas)
@@ -499,6 +512,182 @@ def cmd_serve(args) -> int:
         payload["serve"] = serve_summary(registry)
         payload["load"] = report.to_dict()
         _emit_metrics(args, registry, payload)
+    return 0
+
+
+def _serve_mutator(args, dataset, pipeline, registry):
+    """The churn closure behind ``repro serve --churn-rate``.
+
+    Each mutation inserts one point (resampled from the base data, so it
+    encodes under the trained geometry for every index family) and
+    tombstones one random live id — constant live cardinality under
+    continuous churn.  Mutations against a sharded engine route through
+    ``ShardedEngine.mutate``; the single-engine path wraps the pipeline
+    in a :class:`~repro.mutate.MutablePipeline` whose counters mirror
+    into the serve metrics registry.
+    """
+    import numpy as np
+
+    from repro.shard.engine import ShardedEngine
+
+    rng = np.random.default_rng(args.seed + 1)
+    if isinstance(pipeline, ShardedEngine):
+        engine = pipeline
+        base = dataset.points
+        deleted: set[int] = set()
+
+        def mutator():
+            row = base[rng.integers(0, len(base))][None, :]
+
+            def apply(row=row):
+                picks = rng.integers(0, engine.n_points, size=8)
+                victims = [int(i) for i in picks if int(i) not in deleted][:1]
+                engine.mutate(
+                    insert_points=row,
+                    delete_ids=np.array(victims, dtype=np.int64)
+                    if victims
+                    else None,
+                )
+                deleted.update(victims)
+                if registry is not None:
+                    registry.counter(
+                        "mutations_applied_total",
+                        help="rows inserted/deleted/updated",
+                    ).inc(1 + len(victims))
+
+            return apply
+
+        return mutator
+
+    from repro.mutate import MutablePipeline
+    from repro.mutate.pipeline import MutationCounters
+
+    mutable = MutablePipeline(
+        pipeline, counters=MutationCounters(metrics=registry)
+    )
+
+    def mutator():
+        row = mutable.data.points[
+            rng.integers(0, mutable.data.base_count)
+        ][None, :]
+
+        def apply(row=row):
+            mutable.insert(row)
+            live = mutable.data.live_ids()
+            if live.size > 1:
+                mutable.delete(np.array([rng.choice(live)], dtype=np.int64))
+
+        return apply
+
+    return mutator
+
+
+def _parse_delete_spec(text: str, rng, live_ids):
+    """``--delete`` argument: either a count or a comma-list of ids."""
+    import numpy as np
+
+    if "," in text or not text.isdigit():
+        return np.array([int(part) for part in text.split(",") if part],
+                        dtype=np.int64)
+    count = min(int(text), len(live_ids))
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(live_ids, size=count, replace=False))
+
+
+def cmd_mutate(args) -> int:
+    """Churn a live pipeline: insert/delete, filtered search, advisor pass."""
+    import numpy as np
+
+    from repro.eval.runner import summarize
+    from repro.mutate import MutablePipeline, parse_predicate, reference_twin
+    from repro.mutate.pipeline import MutationCounters
+    from repro.spec.build import build_pipeline, spec_from_kwargs
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    context = WorkloadContext.prepare(
+        dataset, index_name=args.index, k=args.k, seed=args.seed
+    )
+    registry = _metrics_registry(args)
+    spec = spec_from_kwargs(
+        dataset=dataset, method=args.method, tau=args.tau,
+        cache_bytes=_resolve_cache(args, dataset), index_name=args.index,
+        k=args.k, seed=args.seed, kernel=args.kernel,
+    )
+    try:
+        inner = build_pipeline(
+            spec, dataset=dataset, context=context, metrics=registry
+        )
+        predicate = parse_predicate(args.filter) if args.filter else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    pipeline = MutablePipeline(
+        inner, counters=MutationCounters(metrics=registry)
+    )
+    # Registry datasets carry no attributes; give filtered search a
+    # deterministic demo column (label = id mod 10).
+    if not pipeline.data.attributes:
+        pipeline.data.attributes["label"] = (
+            np.arange(pipeline.data.num_total, dtype=np.int64) % 10
+        )
+    rng = np.random.default_rng(args.seed)
+    new_ids = np.empty(0, dtype=np.int64)
+    if args.insert > 0:
+        base = pipeline.data.points[: pipeline.data.base_count]
+        picks = rng.integers(0, len(base), size=args.insert)
+        rows = pipeline.quantize(
+            base[picks] + rng.normal(scale=base.std(axis=0), size=(args.insert, base.shape[1]))
+        )
+        new_ids = pipeline.insert(
+            rows, attributes={"label": picks % 10}
+            if "label" in pipeline.data.attributes else None
+        )
+    deleted = np.empty(0, dtype=np.int64)
+    if args.delete:
+        try:
+            ids = _parse_delete_spec(args.delete, rng, pipeline.data.live_ids())
+        except ValueError as exc:
+            print(f"error: bad --delete spec: {exc}", file=sys.stderr)
+            return 2
+        deleted = pipeline.delete(ids)
+    pipeline.revalidate()
+    queries = dataset.query_log.test
+    results = pipeline.search_many(queries, args.k, predicate=predicate)
+    if args.check:
+        twin = reference_twin(pipeline)
+        expected = twin.search_many(queries, args.k, predicate=predicate)
+        for qi, (got, want) in enumerate(zip(results, expected)):
+            if not (
+                np.array_equal(got.ids, want.ids)
+                and np.allclose(got.distances, want.distances)
+                and np.array_equal(got.exact_mask, want.exact_mask)
+            ):
+                print(f"error: query {qi} diverged from the from-scratch "
+                      "rebuild", file=sys.stderr)
+                return 1
+        print(f"differential check: {len(results)} queries bit-identical "
+              "to a from-scratch rebuild")
+    result = summarize(
+        [r.stats for r in results], method=args.method, tau=args.tau,
+        cache_bytes=spec.cache.cache_bytes, k=args.k,
+        read_latency_s=inner.read_latency_s,
+        seq_read_latency_s=inner.seq_read_latency_s,
+    )
+    title = (
+        f"{args.dataset} / {args.method} after churn "
+        f"(+{len(new_ids)} / -{len(deleted)}"
+        + (f", filter {args.filter}" if args.filter else "") + ")"
+    )
+    print(format_table(_RESULT_HEADERS, _result_rows([result]), title=title))
+    print(f"live points: {pipeline.data.num_live}/{pipeline.data.num_total}")
+    decision = pipeline.end_epoch(recent_workload=queries)
+    print(f"advisor: {decision.action} ({decision.reason}; "
+          f"mutated={decision.mutated_fraction:.2f} "
+          f"drift={decision.drift_distance:.2f} "
+          f"patch={decision.patch_cost:.0f} rebuild={decision.rebuild_cost:.0f})")
+    if registry is not None:
+        _emit_metrics(args, registry, registry.snapshot())
     return 0
 
 
@@ -795,6 +984,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "on which replica 0 crashes (with --replicas); "
                             "crashed work fails over to the other replicas")
 
+    p_srv.add_argument("--churn-rate", type=float, default=0.0, metavar="R",
+                       help="interleave R mutations per offered query into "
+                            "the arrival stream; each mutation (one insert "
+                            "+ one delete) is admitted through the bounded "
+                            "queue as a fence so no micro-batch straddles "
+                            "its visibility boundary")
+
+    p_mut = sub.add_parser(
+        "mutate", help="churn a live pipeline: insert/delete with "
+                       "cache-coherent codes, filtered kNN, advisor pass"
+    )
+    _add_common(p_mut)
+    p_mut.add_argument("--method", default="HC-O", choices=METHOD_NAMES)
+    p_mut.add_argument("--insert", type=int, default=0, metavar="N",
+                       help="append N synthetic points (sampled near the "
+                            "base data, quantized onto the trained domain)")
+    p_mut.add_argument("--delete", default="", metavar="SPEC",
+                       help="tombstone points: a count (random live ids) "
+                            "or a comma-separated id list, e.g. '25' or "
+                            "'3,17,42'")
+    p_mut.add_argument("--filter", default="", metavar="PRED",
+                       help="attribute-filtered kNN, e.g. 'label==3' "
+                            "(datasets without attributes get a demo "
+                            "'label' column = id mod 10)")
+    p_mut.add_argument("--check", action="store_true",
+                       help="differentially verify every answer against a "
+                            "from-scratch rebuild (non-zero exit on "
+                            "mismatch)")
+
     p_snap = sub.add_parser(
         "snapshot", help="build / inspect / serve / verify snapshot artifacts"
     )
@@ -889,6 +1107,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "tune": cmd_tune,
         "serve": cmd_serve,
+        "mutate": cmd_mutate,
     }
     return handlers[args.command](args)
 

@@ -88,6 +88,31 @@ class PointCache:
         """Offer freshly fetched points (no-op for static policies)."""
 
     # ------------------------------------------------------------------
+    # Mutation semantics (no-ops for caches without per-point slots).
+    # ------------------------------------------------------------------
+    def invalidate(self, ids: np.ndarray) -> int:
+        """Drop cached entries for deleted ids; returns how many were held."""
+        del ids
+        return 0
+
+    def patch(self, ids: np.ndarray, points: np.ndarray) -> int:
+        """Re-encode cached entries in place for updated points.
+
+        Only ids already resident are touched (an update never admits);
+        returns how many entries were patched.
+        """
+        del ids, points
+        return 0
+
+    def extend_ids(self, n_total: int) -> None:
+        """Grow the id -> slot tables to cover appended ids (no new slots)."""
+        del n_total
+
+    def cached_ids(self) -> np.ndarray:
+        """Ids currently resident, in ascending order."""
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
     # LRU recency bookkeeping (stamp clock), shared by the slot caches.
     #
     # Each cached id carries a stamp drawn from a strictly increasing
@@ -120,6 +145,46 @@ class PointCache:
 
 def _normalize_ids(ids: np.ndarray) -> np.ndarray:
     return np.atleast_1d(np.asarray(ids, dtype=np.int64))
+
+
+def _slot_invalidate(cache, ids: np.ndarray) -> int:
+    """Shared slot-cache invalidation: free the slot of every cached id.
+
+    Freed slots return to the free list, so ``num_items`` (and therefore
+    ``used_bytes``) drops immediately and a later re-insert of the same
+    id takes a free slot instead of double-charging capacity.
+    """
+    ids = _normalize_ids(ids)
+    dropped = 0
+    for pid in ids.tolist():
+        slot = int(cache._slot_of[pid])
+        if slot < 0:
+            continue
+        cache._slot_of[pid] = -1
+        cache._id_of_slot[slot] = -1
+        cache._free.append(slot)
+        dropped += 1
+    cache.telemetry.evictions += dropped
+    return dropped
+
+
+def _slot_extend(cache, n_total: int) -> None:
+    """Grow the id -> slot tables of a slot cache to ``n_total`` ids."""
+    n = len(cache._slot_of)
+    if n_total <= n:
+        return
+    grow = n_total - n
+    cache._slot_of = np.concatenate(
+        [cache._slot_of, np.full(grow, -1, dtype=np.int64)]
+    )
+    cache._stamp = np.concatenate(
+        [cache._stamp, np.zeros(grow, dtype=np.int64)]
+    )
+
+
+def _slot_cached_ids(cache) -> np.ndarray:
+    ids = cache._id_of_slot[cache._id_of_slot >= 0]
+    return np.sort(ids).astype(np.int64)
 
 
 def _populate_take(slot_of: np.ndarray, ids: np.ndarray, free_slots: int) -> int:
@@ -358,6 +423,30 @@ class ApproximateCache(PointCache):
         for pid, row in zip(ids.tolist(), codes):
             self._insert(pid, row)
 
+    # ------------------------------------------------------------------
+    def invalidate(self, ids: np.ndarray) -> int:
+        return _slot_invalidate(self, ids)
+
+    def patch(self, ids: np.ndarray, points: np.ndarray) -> int:
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(ids) != len(points):
+            raise ValueError("ids and points must align")
+        cached = self._slot_of[ids] >= 0
+        n = int(cached.sum())
+        if n == 0:
+            return 0
+        slots = self._slot_of[ids[cached]]
+        self._store.set_rows(slots, self.encoder.encode(points[cached]))
+        self.telemetry.updates += n
+        return n
+
+    def extend_ids(self, n_total: int) -> None:
+        _slot_extend(self, n_total)
+
+    def cached_ids(self) -> np.ndarray:
+        return _slot_cached_ids(self)
+
 
 class ExactCache(PointCache):
     """The EXACT baseline: caches full vectors, returns exact distances.
@@ -508,6 +597,29 @@ class ExactCache(PointCache):
         for pid, pt in zip(ids.tolist(), points):
             self._insert(pid, pt)
 
+    # ------------------------------------------------------------------
+    def invalidate(self, ids: np.ndarray) -> int:
+        return _slot_invalidate(self, ids)
+
+    def patch(self, ids: np.ndarray, points: np.ndarray) -> int:
+        ids = _normalize_ids(ids)
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(ids) != len(points):
+            raise ValueError("ids and points must align")
+        cached = self._slot_of[ids] >= 0
+        n = int(cached.sum())
+        if n == 0:
+            return 0
+        self._data[self._slot_of[ids[cached]]] = points[cached]
+        self.telemetry.updates += n
+        return n
+
+    def extend_ids(self, n_total: int) -> None:
+        _slot_extend(self, n_total)
+
+    def cached_ids(self) -> np.ndarray:
+        return _slot_cached_ids(self)
+
 
 class NoCache(PointCache):
     """The NO-CACHE baseline: every candidate goes to refinement."""
@@ -640,6 +752,12 @@ class LeafNodeCache:
             else:
                 break
         return added
+
+    def clear(self) -> None:
+        """Drop every cached leaf (a relayout renumbers leaf ids)."""
+        self.telemetry.evictions += len(self._entries)
+        self._entries.clear()
+        self.used_bytes = 0
 
     def __contains__(self, leaf_id: int) -> bool:
         return leaf_id in self._entries

@@ -88,6 +88,11 @@ class QueryEngine:
         self.resilience = (
             resilience.build(registry=metrics) if resilience is not None else None
         )
+        #: Tombstone bitmap over point ids (None = every id live).  Set
+        #: by the mutation layer; masked right after candidate generation
+        #: so reduce/refine (and therefore answers, stats and I/O) see
+        #: exactly what a from-scratch rebuild over the live set would.
+        self.live_mask: np.ndarray | None = None
         self._metrics_hook = None
         if metrics is not None:
             # Local import: repro.obs.hooks imports the engine package,
@@ -181,6 +186,29 @@ class QueryEngine:
         self.refine.cache = cache
         return old
 
+    def set_live_mask(self, mask: np.ndarray | None) -> None:
+        """Install (or clear) the tombstone bitmap over point ids."""
+        self.live_mask = None if mask is None else np.asarray(mask, dtype=bool)
+
+    def _combined_filter(
+        self, predicate_mask: np.ndarray | None
+    ) -> np.ndarray | None:
+        """The live ∧ predicate bitmap, or None when nothing masks."""
+        if self.live_mask is None:
+            return predicate_mask
+        if predicate_mask is None:
+            return self.live_mask
+        return self.live_mask & predicate_mask
+
+    def _mask_candidates(
+        self, candidate_ids: np.ndarray, predicate_mask: np.ndarray | None
+    ) -> np.ndarray:
+        """Drop tombstoned / predicate-rejected ids, keeping order."""
+        mask = self._combined_filter(predicate_mask)
+        if mask is None or candidate_ids.size == 0:
+            return candidate_ids
+        return candidate_ids[mask[candidate_ids]]
+
     def make_context(self) -> ExecutionContext:
         """A fresh per-query context carrying this engine's hooks."""
         return ExecutionContext(hooks=self.hooks)
@@ -199,6 +227,7 @@ class QueryEngine:
         k: int,
         ctx: ExecutionContext | None = None,
         deadline: Deadline | None = None,
+        predicate_mask: np.ndarray | None = None,
     ) -> SearchResult:
         """Answer one kNN query; results match the index's uncached answer.
 
@@ -206,6 +235,9 @@ class QueryEngine:
             deadline: optional per-query budget; overrides the resilience
                 policy's default.  When it expires (and the policy allows
                 degradation) the answer comes from cached bounds alone.
+            predicate_mask: optional bool array over point ids restricting
+                the answer to ids whose entry is True (attribute-filtered
+                kNN); combined with the engine's tombstone bitmap.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -213,12 +245,19 @@ class QueryEngine:
         ctx = ctx or self.make_context()
         ctx.query = query
         if self.source.is_tree:
-            result = self.source.search(query, k, ctx)
+            result = self.source.search(
+                query, k, ctx, id_filter=self._combined_filter(predicate_mask)
+            )
             self._observe(result.stats)
             return result
         deadline = self._make_deadline(deadline)
         with ctx.phase("generate"):
-            candidate_ids = self.generate.run(query, k, ctx)
+            candidate_ids = self._mask_candidates(
+                self.generate.run(
+                    query, k, ctx, live=self._combined_filter(predicate_mask)
+                ),
+                predicate_mask,
+            )
         if candidate_ids.size == 0:
             return self._empty_result(ctx)
         return self._reduce_and_refine(query, candidate_ids, k, ctx, None, deadline)
@@ -229,6 +268,7 @@ class QueryEngine:
         k: int,
         chunk_size: int = 256,
         deadline: Deadline | None = None,
+        predicate_mask: np.ndarray | None = None,
     ) -> list[SearchResult]:
         """Answer a query batch; the cache is probed once per chunk.
 
@@ -268,10 +308,13 @@ class QueryEngine:
         if self.source.is_tree or not self._batchable_cache():
             if per_query is not None:
                 return [
-                    self.search(query, k, deadline=dl)
+                    self.search(query, k, deadline=dl, predicate_mask=predicate_mask)
                     for query, dl in zip(queries, per_query)
                 ]
-            return [self.search(query, k, deadline=deadline) for query in queries]
+            return [
+                self.search(query, k, deadline=deadline, predicate_mask=predicate_mask)
+                for query in queries
+            ]
         results: list[SearchResult] = []
         for start in range(0, len(queries), chunk_size):
             chunk_deadline = (
@@ -281,7 +324,10 @@ class QueryEngine:
             )
             results.extend(
                 self._search_chunk(
-                    queries[start : start + chunk_size], k, chunk_deadline
+                    queries[start : start + chunk_size],
+                    k,
+                    chunk_deadline,
+                    predicate_mask=predicate_mask,
                 )
             )
         return results
@@ -291,6 +337,7 @@ class QueryEngine:
         queries: np.ndarray,
         k: int,
         deadline: Deadline | list[Deadline | None] | None = None,
+        predicate_mask: np.ndarray | None = None,
     ) -> list[SearchResult]:
         per_query = deadline if isinstance(deadline, list) else None
         if per_query is not None:
@@ -300,7 +347,17 @@ class QueryEngine:
         for query, ctx in zip(queries, contexts):
             ctx.query = query
             with ctx.phase("generate"):
-                candidate_sets.append(self.generate.run(query, k, ctx))
+                candidate_sets.append(
+                    self._mask_candidates(
+                        self.generate.run(
+                            query,
+                            k,
+                            ctx,
+                            live=self._combined_filter(predicate_mask),
+                        ),
+                        predicate_mask,
+                    )
+                )
 
         nonempty = [ids for ids in candidate_sets if ids.size]
         union = (

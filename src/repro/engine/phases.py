@@ -37,9 +37,13 @@ class GeneratePhase:
         self.source = source
 
     def run(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
-        return self.source.generate(query, k, ctx)
+        return self.source.generate(query, k, ctx, live=live)
 
 
 class ReducePhase:

@@ -49,7 +49,11 @@ class CandidateSource(Protocol):
     """What the engine needs from a candidate-generation backend."""
 
     def generate(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
         """Deduplicated candidate ids for one query (charges gen I/O)."""
         ...
@@ -60,16 +64,35 @@ class CandidateSetSource:
 
     Args:
         index: object exposing ``candidates(query, k, tracker) -> ids``.
+            Indexes whose candidate filter is *adaptive* (a bound
+            derived from other rows, like the VA-file's k-th smallest
+            upper bound) additionally accept a ``live`` bitmap so
+            tombstoned / predicate-rejected rows cannot tighten the
+            filter; collision-based generators candidacy is per-row
+            independent, so masking after generation stays sound there.
     """
 
     is_tree = False
 
     def __init__(self, index) -> None:
+        import inspect
+
         self.index = index
+        self._live_aware = (
+            "live" in inspect.signature(index.candidates).parameters
+        )
 
     def generate(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
+        if self._live_aware:
+            return dedupe_ids(
+                self.index.candidates(query, k, ctx.gen_tracker, live=live)
+            )
         return dedupe_ids(self.index.candidates(query, k, ctx.gen_tracker))
 
 
@@ -93,7 +116,11 @@ class TreeLeafSource:
         self.leaf_cache = leaf_cache
 
     def generate(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
         raise NotImplementedError(
             "tree sources interleave generation and refinement; "
@@ -101,9 +128,17 @@ class TreeLeafSource:
         )
 
     def search(
-        self, query: np.ndarray, k: int, ctx: ExecutionContext
+        self,
+        query: np.ndarray,
+        k: int,
+        ctx: ExecutionContext,
+        id_filter: np.ndarray | None = None,
     ) -> SearchResult:
-        """Exact kNN through the shared cached-leaf search."""
+        """Exact kNN through the shared cached-leaf search.
+
+        ``id_filter`` masks tombstoned / predicate-rejected point ids out
+        of both fetched leaves and cached-leaf hits.
+        """
         with ctx.phase("refine"):
             tree_result = cached_leaf_knn(
                 query,
@@ -113,6 +148,7 @@ class TreeLeafSource:
                 self.index.leaf_pages,
                 cache=self.leaf_cache,
                 tracker=ctx.refine_tracker,
+                id_filter=id_filter,
             )
         return SearchResult(
             ids=tree_result.ids,

@@ -144,6 +144,29 @@ class IDistanceIndex:
         )
 
     # ------------------------------------------------------------------
+    def insert_many(self, points: np.ndarray) -> None:
+        """Append rows under the preserved clustering and re-derive layout.
+
+        The k-means centers are trained geometry and stay fixed; new
+        points are labeled by their nearest center and the (deterministic)
+        leaf layout + B+-tree are rebuilt — exactly what
+        :meth:`from_state` would produce over the extended dataset, so an
+        incremental index matches a geometry-preserving rebuild.  Leaf
+        ids are renumbered by the relayout: any leaf-node cache keyed on
+        them must be cleared by the caller.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) == 0:
+            return
+        dists = np.linalg.norm(
+            points[:, None, :] - self.centers[None, :, :], axis=2
+        )
+        labels = np.argmin(dists, axis=1).astype(np.int64)
+        self.points = np.vstack([self.points, points])
+        self._labels = np.concatenate([self._labels, labels])
+        self.n_points = len(self.points)
+        self._build_layout()
+
     def key_of(self, point: np.ndarray, cluster: int | None = None) -> float:
         """The iDistance key of a point (nearest cluster when unspecified)."""
         point = np.asarray(point, dtype=np.float64)

@@ -40,6 +40,11 @@ class LinearScanIndex:
             raise ValueError("n_points must be positive")
         self.n_points = n_points
 
+    def insert_many(self, points: np.ndarray) -> None:
+        """Extend the scanned id range over appended rows."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        self.n_points += len(points)
+
     def candidates(
         self, query: np.ndarray, k: int, tracker: QueryIOTracker | None = None
     ) -> np.ndarray:

@@ -108,6 +108,7 @@ def cached_leaf_knn(
     leaf_pages: LeafPages,
     cache: LeafNodeCache | None = None,
     tracker: QueryIOTracker | None = None,
+    id_filter: np.ndarray | None = None,
 ) -> TreeSearchResult:
     """Exact kNN over a mindist-ordered leaf stream with optional caching.
 
@@ -120,6 +121,11 @@ def cached_leaf_knn(
         leaf_pages: page extent of a leaf for I/O accounting.
         cache: optional leaf-node cache (approximate or exact entries).
         tracker: per-query I/O tracker.
+        id_filter: optional bool array over point ids; ids whose entry is
+            False (tombstoned or predicate-rejected) never enter the
+            result or the k-th estimate.  The filter applies to cached
+            leaves too — a cached leaf may hold deleted points, and the
+            cache is consulted before any disk read.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -147,6 +153,9 @@ def cached_leaf_knn(
         leaf_fetches += 1
         fetched_leaves.add(leaf_id)
         ids, pts = leaf_contents(leaf_id)
+        if id_filter is not None:
+            keep = id_filter[ids]
+            ids, pts = ids[keep], pts[keep]
         dists = exact_distances(query, pts)
         points_seen += len(ids)
         for pid, dist in zip(ids.tolist(), dists.tolist()):
@@ -161,6 +170,9 @@ def cached_leaf_knn(
         if hit is not None:
             cached_hits += 1
             ids, lb, ub = hit
+            if id_filter is not None:
+                keep = id_filter[ids]
+                ids, lb, ub = ids[keep], lb[keep], ub[keep]
             points_seen += len(ids)
             if np.array_equal(lb, ub):
                 # Exact cache entry: distances are known outright — the

@@ -42,6 +42,7 @@ class VAFileIndex:
         bits: int = 6,
         approximations_on_disk: bool = False,
         page_size: int = 4096,
+        encoder: IndividualHistogramEncoder | None = None,
     ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
@@ -52,15 +53,30 @@ class VAFileIndex:
         self.bits = bits
         self.approximations_on_disk = approximations_on_disk
         self.page_size = page_size
-        histograms = []
-        for j in range(self.dim):
-            domain = ValueDomain.from_column(points[:, j])
-            histograms.append(build_equidepth(domain, 2**bits))
-        self.encoder = IndividualHistogramEncoder(histograms)
+        if encoder is None:
+            # Trained geometry: the equi-depth cell boundaries are a
+            # build-time artifact.  Mutation appends codes under the
+            # preserved encoder; pass ``encoder`` to rebuild an index
+            # sharing the geometry of an existing one.
+            histograms = []
+            for j in range(self.dim):
+                domain = ValueDomain.from_column(points[:, j])
+                histograms.append(build_equidepth(domain, 2**bits))
+            encoder = IndividualHistogramEncoder(histograms)
+        self.encoder = encoder
         self.codes = self.encoder.encode(points)  # (n, d) cell codes
         self._lowers = self.encoder._lowers  # (d, cells) decode tables
         self._uppers = self.encoder._uppers
         self.approximation_bytes = self.n_points * self.dim * bits // 8
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Append rows encoded under the preserved cell geometry."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) == 0:
+            return
+        self.codes = np.vstack([self.codes, self.encoder.encode(points)])
+        self.n_points += len(points)
+        self.approximation_bytes = self.n_points * self.dim * self.bits // 8
 
     @property
     def scan_pages(self) -> int:
@@ -88,12 +104,20 @@ class VAFileIndex:
         return lb, ub
 
     def candidates(
-        self, query: np.ndarray, k: int, tracker: QueryIOTracker | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        tracker: QueryIOTracker | None = None,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
         """Phase-1 survivors: points with ``lb <= k``-th smallest ``ub``.
 
         Returned in ascending lower-bound order (the VA-file's phase-2
-        visit order).
+        visit order).  ``live`` restricts the scan to rows whose entry is
+        True — the filter bound must come from eligible rows only, or a
+        tombstoned/predicate-rejected row close to the query would
+        tighten ``delta`` below a true neighbor's lower bound and prune
+        it unsoundly.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -101,7 +125,16 @@ class VAFileIndex:
             for page in range(self.scan_pages):
                 tracker.needs_read(page)
         lb, ub = self.bounds(query)
-        delta = kth_smallest(ub, min(k, self.n_points))
-        survivors = np.flatnonzero(lb <= delta)
+        if live is not None:
+            alive = np.flatnonzero(
+                np.asarray(live, dtype=bool)[: self.n_points]
+            )
+            if len(alive) == 0:
+                return np.empty(0, dtype=np.int64)
+            delta = kth_smallest(ub[alive], min(k, len(alive)))
+            survivors = alive[lb[alive] <= delta]
+        else:
+            delta = kth_smallest(ub, min(k, self.n_points))
+            survivors = np.flatnonzero(lb <= delta)
         order = np.argsort(lb[survivors], kind="stable")
         return survivors[order].astype(np.int64)

@@ -130,16 +130,35 @@ class VAPlusFileIndex:
         return lb, ub
 
     def candidates(
-        self, query: np.ndarray, k: int, tracker: QueryIOTracker | None = None
+        self,
+        query: np.ndarray,
+        k: int,
+        tracker: QueryIOTracker | None = None,
+        live: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Phase-1 survivors in ascending lower-bound order."""
+        """Phase-1 survivors in ascending lower-bound order.
+
+        ``live`` restricts both the filter bound and the survivors to
+        eligible rows (see :meth:`VAFileIndex.candidates`); its bitmap
+        may extend past ``n_points`` when appended rows live in an
+        overlay rather than this index.
+        """
         if k <= 0:
             raise ValueError("k must be positive")
         if self.approximations_on_disk and tracker is not None:
             for page in range(self.scan_pages):
                 tracker.needs_read(page)
         lb, ub = self.bounds(query)
-        delta = kth_smallest(ub, min(k, self.n_points))
-        survivors = np.flatnonzero(lb <= delta)
+        if live is not None:
+            alive = np.flatnonzero(
+                np.asarray(live, dtype=bool)[: self.n_points]
+            )
+            if len(alive) == 0:
+                return np.empty(0, dtype=np.int64)
+            delta = kth_smallest(ub[alive], min(k, len(alive)))
+            survivors = alive[lb[alive] <= delta]
+        else:
+            delta = kth_smallest(ub, min(k, self.n_points))
+            survivors = np.flatnonzero(lb <= delta)
         order = np.argsort(lb[survivors], kind="stable")
         return survivors[order].astype(np.int64)

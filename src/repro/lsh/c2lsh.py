@@ -152,6 +152,7 @@ class C2LSHIndex:
             raise ValueError("points must be a non-empty (n, d) array")
         self.params = params or C2LSHParams()
         self.n_points, self.dim = points.shape
+        self.seed = seed
         self.page_size = page_size
         self.entries_per_page = max(1, page_size // self.ENTRY_BYTES)
         if base_radius is not None and base_radius <= 0:
@@ -179,6 +180,39 @@ class C2LSHIndex:
         self._pages_per_table = -(-self.n_points // self.entries_per_page)
 
     # ------------------------------------------------------------------
+    def insert_many(self, points: np.ndarray) -> None:
+        """Merge appended rows into each per-function sorted run.
+
+        A run is sorted by ``(hash, id)`` — the build's stable argsort
+        orders equal hashes by ascending id — so a lexsort merge of the
+        existing run with the new entries reproduces a from-scratch
+        build over the extended dataset bit-identically (new ids are
+        larger than every existing id).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) == 0:
+            return
+        new_ids = np.arange(
+            self.n_points, self.n_points + len(points), dtype=np.int64
+        )
+        hashes = self.family.hash(points)  # (n_new, m)
+        merged_ids = np.empty(
+            (self.n_hashes, self.n_points + len(points)), dtype=np.int64
+        )
+        merged_hashes = np.empty_like(merged_ids)
+        for i in range(self.n_hashes):
+            run_h = np.concatenate([self._sorted_hashes[i], hashes[:, i]])
+            run_id = np.concatenate([self._sorted_ids[i], new_ids])
+            order = np.lexsort((run_id, run_h))
+            merged_hashes[i] = run_h[order]
+            merged_ids[i] = run_id[order]
+        self._sorted_ids = merged_ids
+        self._sorted_hashes = merged_hashes
+        self.n_points += len(points)
+        self._pages_per_table = -(-self.n_points // self.entries_per_page)
+        if self._points is not None:
+            self._points = np.vstack([self._points, points])
+
     @property
     def index_bytes(self) -> int:
         """On-disk size of the hash tables."""

@@ -36,6 +36,7 @@ class E2LSHIndex:
         width_factor: float = 4.0,
         seed: int = 0,
         page_size: int = 4096,
+        width: float | None = None,
     ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
@@ -45,29 +46,67 @@ class E2LSHIndex:
         self.n_points, self.dim = points.shape
         self.n_tables = n_tables
         self.n_bits = n_bits
+        self.seed = seed
         self.page_size = page_size
         self.entries_per_page = max(1, page_size // self.ENTRY_BYTES)
-        width = width_factor * float(points.std() or 1.0)
+        # The bucket width is trained geometry (data std at build time);
+        # pass ``width`` to rebuild with the geometry of an existing index
+        # so hashes — and therefore candidate sets — stay comparable.
+        if width is None:
+            width = width_factor * float(points.std() or 1.0)
+        self.width = float(width)
         self._families = [
-            PStableHashFamily(self.dim, n_bits, width, seed=seed + 31 * t)
+            PStableHashFamily(self.dim, n_bits, self.width, seed=seed + 31 * t)
             for t in range(n_tables)
         ]
         self._tables: list[dict[tuple[int, ...], np.ndarray]] = []
         self._page_base: list[dict[tuple[int, ...], int]] = []
-        next_page = 0
         for family in self._families:
             keys = family.hash(points)  # (n, kappa)
             table: dict[tuple[int, ...], list[int]] = {}
             for pid, key in enumerate(map(tuple, keys.tolist())):
                 table.setdefault(key, []).append(pid)
-            frozen = {k: np.asarray(v, dtype=np.int64) for k, v in table.items()}
+            self._tables.append(
+                {k: np.asarray(v, dtype=np.int64) for k, v in table.items()}
+            )
+        self._rebuild_page_bases()
+
+    def _rebuild_page_bases(self) -> None:
+        """Recompute the sequential page layout of every bucket list."""
+        self._page_base = []
+        next_page = 0
+        for frozen in self._tables:
             bases: dict[tuple[int, ...], int] = {}
             for key in sorted(frozen):
                 bases[key] = next_page
                 next_page += -(-len(frozen[key]) // self.entries_per_page)
-            self._tables.append(frozen)
             self._page_base.append(bases)
         self._total_pages = next_page
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Hash appended rows into their buckets (ids stay ascending).
+
+        New ids are larger than every existing id and are appended to
+        their bucket lists, which a from-scratch build over the extended
+        dataset enumerates in exactly the same ascending-id order — so
+        the incremental index is bit-identical to a rebuild sharing the
+        same hash geometry.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) == 0:
+            return
+        base = self.n_points
+        for family, table in zip(self._families, self._tables):
+            keys = family.hash(points)
+            for offset, key in enumerate(map(tuple, keys.tolist())):
+                pid = base + offset
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = np.asarray([pid], dtype=np.int64)
+                else:
+                    table[key] = np.append(bucket, pid)
+        self.n_points += len(points)
+        self._rebuild_page_bases()
 
     @property
     def index_bytes(self) -> int:

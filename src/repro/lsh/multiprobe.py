@@ -46,6 +46,7 @@ class MultiProbeLSHIndex:
         width_factor: float = 4.0,
         seed: int = 0,
         page_size: int = 4096,
+        width: float | None = None,
     ) -> None:
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or len(points) == 0:
@@ -56,28 +57,58 @@ class MultiProbeLSHIndex:
         self.n_tables = n_tables
         self.n_bits = n_bits
         self.n_probes = n_probes
+        self.seed = seed
         self.page_size = page_size
         self.entries_per_page = max(1, page_size // self.ENTRY_BYTES)
-        self.width = width_factor * float(points.std() or 1.0)
+        # Trained geometry: pass ``width`` to rebuild with the bucket
+        # width of an existing index (mutation keeps hashes comparable).
+        if width is None:
+            width = width_factor * float(points.std() or 1.0)
+        self.width = float(width)
         self._families = [
             PStableHashFamily(self.dim, n_bits, self.width, seed=seed + 97 * t)
             for t in range(n_tables)
         ]
         self._tables: list[dict[tuple[int, ...], np.ndarray]] = []
         self._page_base: list[dict[tuple[int, ...], int]] = []
-        next_page = 0
         for family in self._families:
             keys = family.hash(points)
             table: dict[tuple[int, ...], list[int]] = {}
             for pid, key in enumerate(map(tuple, keys.tolist())):
                 table.setdefault(key, []).append(pid)
-            frozen = {k: np.asarray(v, dtype=np.int64) for k, v in table.items()}
+            self._tables.append(
+                {k: np.asarray(v, dtype=np.int64) for k, v in table.items()}
+            )
+        self._rebuild_page_bases()
+
+    def _rebuild_page_bases(self) -> None:
+        """Recompute the sequential page layout of every bucket list."""
+        self._page_base = []
+        next_page = 0
+        for frozen in self._tables:
             bases: dict[tuple[int, ...], int] = {}
             for key in sorted(frozen):
                 bases[key] = next_page
                 next_page += -(-len(frozen[key]) // self.entries_per_page)
-            self._tables.append(frozen)
             self._page_base.append(bases)
+
+    def insert_many(self, points: np.ndarray) -> None:
+        """Hash appended rows into their buckets (see ``E2LSHIndex``)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(points) == 0:
+            return
+        base = self.n_points
+        for family, table in zip(self._families, self._tables):
+            keys = family.hash(points)
+            for offset, key in enumerate(map(tuple, keys.tolist())):
+                pid = base + offset
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = np.asarray([pid], dtype=np.int64)
+                else:
+                    table[key] = np.append(bucket, pid)
+        self.n_points += len(points)
+        self._rebuild_page_bases()
 
     def _probe_sequence(
         self, family: PStableHashFamily, query: np.ndarray

@@ -1,0 +1,159 @@
+"""Patch-vs-rebuild advisor: the cheap stats pre-pass before each epoch.
+
+The expert-system idiom from the roadmap: gather inexpensive evidence
+first (mutated fraction since the last consolidation, total-variation
+drift of the query workload, modeled patch/rebuild costs), then pick the
+cheaper maintenance action:
+
+* **patch** — revalidate the cache in place against the mutated ``F'``
+  (tombstoned entries dropped, hot appended rows admitted).  Cost scales
+  with the mutation volume.
+* **rebuild** — full retrain-and-swap: train a fresh cache over the live
+  set and hot-swap it (the PR-6 ``DriftController`` discipline).  Cost
+  scales with the live cardinality, but it is the only action that
+  recovers from a workload re-seed, where the *old* cache content —
+  not just the mutated rows — is stale.
+
+Cost units follow the paper's I/O-centred cost model: maintaining one
+cached row costs one row re-encode (patch), while a rebuild pays one
+candidate-frequency pass over the live set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.model import workload_distance
+
+
+class _ArrayDistribution:
+    """Adapter giving a raw query array the workload-model interface."""
+
+    def __init__(self, queries: np.ndarray) -> None:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        rows, counts = np.unique(queries, axis=0, return_counts=True)
+        self._distinct = rows
+        self._weights = counts.astype(np.float64)
+
+    def distinct(self):
+        return self._distinct, self._weights
+
+
+@dataclass(frozen=True)
+class AdvisorDecision:
+    """The advisor's verdict for one epoch.
+
+    Attributes:
+        action: ``"patch"`` or ``"rebuild"``.
+        mutated_fraction: mutations since the last consolidation over the
+            live cardinality.
+        drift_distance: total-variation distance between the baseline
+            and the recent query workload (0 when unknown).
+        patch_cost: modeled cost of incremental revalidation.
+        rebuild_cost: modeled cost of a full retrain-and-swap.
+        reason: human-readable explanation.
+    """
+
+    action: str
+    mutated_fraction: float
+    drift_distance: float
+    patch_cost: float
+    rebuild_cost: float
+    reason: str
+
+
+class MutationAdvisor:
+    """Decides per epoch whether patching or a full rebuild is cheaper.
+
+    Args:
+        baseline_workload: the query workload the current cache content
+            was trained for (None disables the drift signal).
+        mutation_threshold: mutated fraction beyond which patching has
+            touched so much of the cache that a rebuild is cleaner.
+        drift_threshold: TV distance beyond which the workload has
+            re-seeded and only a retrain refreshes the selection.
+        patch_cost_per_row: modeled cost of re-validating one mutated row.
+        rebuild_cost_per_row: modeled per-live-row cost of a full retrain
+            (amortized frequency pass + populate).
+    """
+
+    def __init__(
+        self,
+        baseline_workload: np.ndarray | None = None,
+        mutation_threshold: float = 0.25,
+        drift_threshold: float = 0.35,
+        patch_cost_per_row: float = 1.0,
+        rebuild_cost_per_row: float = 0.05,
+    ) -> None:
+        if mutation_threshold <= 0 or drift_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        self.mutation_threshold = mutation_threshold
+        self.drift_threshold = drift_threshold
+        self.patch_cost_per_row = patch_cost_per_row
+        self.rebuild_cost_per_row = rebuild_cost_per_row
+        self._baseline = (
+            _ArrayDistribution(baseline_workload)
+            if baseline_workload is not None
+            else None
+        )
+        self.mutations_since_train = 0
+
+    # ------------------------------------------------------------------
+    def record(self, n_mutations: int) -> None:
+        """Count applied mutations (inserts + deletes + updates)."""
+        self.mutations_since_train += int(n_mutations)
+
+    def note_trained(self, workload: np.ndarray | None = None) -> None:
+        """Reset after a consolidation; optionally re-baseline the workload."""
+        self.mutations_since_train = 0
+        if workload is not None:
+            self._baseline = _ArrayDistribution(workload)
+
+    def drift(self, recent_workload: np.ndarray | None) -> float:
+        """TV distance of the recent workload from the trained baseline."""
+        if self._baseline is None or recent_workload is None:
+            return 0.0
+        return workload_distance(self._baseline, _ArrayDistribution(recent_workload))
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        n_live: int,
+        recent_workload: np.ndarray | None = None,
+    ) -> AdvisorDecision:
+        """The stats pre-pass: pick patch or rebuild for this epoch."""
+        n_live = max(1, int(n_live))
+        fraction = self.mutations_since_train / n_live
+        drift = self.drift(recent_workload)
+        patch_cost = self.mutations_since_train * self.patch_cost_per_row
+        rebuild_cost = n_live * self.rebuild_cost_per_row
+        if drift > self.drift_threshold:
+            action, reason = "rebuild", (
+                f"workload drifted (TV {drift:.3f} > {self.drift_threshold}); "
+                "cache selection is stale beyond the mutated rows"
+            )
+        elif fraction > self.mutation_threshold:
+            action, reason = "rebuild", (
+                f"mutated fraction {fraction:.3f} > {self.mutation_threshold}; "
+                "patching would touch most of the cache anyway"
+            )
+        elif patch_cost > rebuild_cost:
+            action, reason = "rebuild", (
+                f"modeled patch cost {patch_cost:.1f} exceeds rebuild "
+                f"cost {rebuild_cost:.1f}"
+            )
+        else:
+            action, reason = "patch", (
+                f"small epoch ({self.mutations_since_train} mutations, "
+                f"TV {drift:.3f}); incremental patching is cheaper"
+            )
+        return AdvisorDecision(
+            action=action,
+            mutated_fraction=fraction,
+            drift_distance=drift,
+            patch_cost=patch_cost,
+            rebuild_cost=rebuild_cost,
+            reason=reason,
+        )

@@ -1,0 +1,58 @@
+"""Delta overlay: exact top-k merge for indexes without native inserts.
+
+Tree families whose structure cannot absorb appends cheaply (VP-tree,
+M-tree) keep serving from the build-time structure; appended rows live in
+an in-memory *delta segment* scanned exactly per query.  The merge uses
+the same ``lexsort((ids, distances))`` tie-break as the sharded engine's
+exact merge, so overlay answers are bit-identical to a from-scratch
+rebuild over the full point set (tree answers are exact, hence
+structure-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import exact_distances
+from repro.engine.stats import SearchResult
+
+
+def merge_topk(
+    ids_a: np.ndarray,
+    dists_a: np.ndarray,
+    ids_b: np.ndarray,
+    dists_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact merged top-k of two disjoint result sets (ties by id)."""
+    ids = np.concatenate([np.asarray(ids_a, dtype=np.int64), np.asarray(ids_b, dtype=np.int64)])
+    dists = np.concatenate([np.asarray(dists_a, dtype=np.float64), np.asarray(dists_b, dtype=np.float64)])
+    order = np.lexsort((ids, dists))[: min(k, len(ids))]
+    return ids[order], dists[order]
+
+
+def overlay_result(
+    base: SearchResult,
+    query: np.ndarray,
+    k: int,
+    delta_ids: np.ndarray,
+    delta_points: np.ndarray,
+) -> SearchResult:
+    """Merge a base tree answer with the delta segment's exact scan.
+
+    ``delta_ids``/``delta_points`` must already be filtered to live,
+    predicate-passing rows.  The scan is in-memory (the delta segment is
+    not paged), so no I/O is charged.
+    """
+    if len(delta_ids) == 0:
+        return base
+    query = np.asarray(query, dtype=np.float64)
+    delta_dists = exact_distances(query, np.atleast_2d(delta_points))
+    ids, dists = merge_topk(base.ids, base.distances, delta_ids, delta_dists, k)
+    return SearchResult(
+        ids=ids,
+        distances=dists,
+        exact_mask=np.ones(len(ids), dtype=bool),
+        stats=base.stats,
+        outcome=base.outcome,
+    )

@@ -1,0 +1,82 @@
+"""Attribute predicates for filtered kNN.
+
+A predicate restricts a query's answer to points whose attribute passes a
+comparison.  It is *pushed into the candidate phase*: the engine masks
+candidate ids right after generation, so cached-bound pruning,
+confirmation and refinement all run on the filtered set — filters
+compose with every index x cache cell without new search code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_OPS = {
+    "==": lambda col, v: col == v,
+    "!=": lambda col, v: col != v,
+    "<=": lambda col, v: col <= v,
+    ">=": lambda col, v: col >= v,
+    "<": lambda col, v: col < v,
+    ">": lambda col, v: col > v,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``field op value`` over per-point attributes.
+
+    Attributes:
+        field: attribute name (a column of the ``MutableDataset``).
+        op: one of ``== != <= >= < >``.
+        value: comparison constant (numeric or string, matching the
+            attribute column's dtype).
+    """
+
+    field: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(
+                f"unknown predicate op {self.op!r}; choices: {sorted(_OPS)}"
+            )
+
+    def mask(self, attributes: dict[str, np.ndarray], n_total: int) -> np.ndarray:
+        """Bool array over point ids; True where the predicate passes."""
+        column = attributes.get(self.field)
+        if column is None:
+            raise KeyError(
+                f"unknown attribute {self.field!r}; "
+                f"choices: {sorted(attributes)}"
+            )
+        if len(column) != n_total:
+            raise ValueError(
+                f"attribute {self.field!r} covers {len(column)} of "
+                f"{n_total} ids"
+            )
+        value: object = self.value
+        if np.issubdtype(column.dtype, np.number):
+            value = float(value)
+        return np.asarray(_OPS[self.op](column, value), dtype=bool)
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse ``field<op>value`` (e.g. ``label==3``, ``score>=0.5``)."""
+    for op in ("==", "!=", "<=", ">=", "<", ">"):  # two-char ops first
+        if op in text:
+            field, _, raw = text.partition(op)
+            field, raw = field.strip(), raw.strip()
+            if not field or not raw:
+                break
+            try:
+                value: object = float(raw)
+            except ValueError:
+                value = raw
+            return Predicate(field, op, value)
+    raise ValueError(
+        f"cannot parse predicate {text!r}; expected field<op>value with "
+        "op in == != <= >= < >"
+    )

@@ -1,0 +1,72 @@
+"""Churn snapshots: persist and deterministically restore a mutated pipeline.
+
+A churn snapshot stores only the *dataset delta* (base segment, append
+segment, tombstone bitmap, attribute columns); the index, cache and
+engine are reconstructed by replaying the delta through the same
+mutation path queries took — build the base pipeline, ``insert`` the
+append segment, ``delete`` the tombstoned ids, ``revalidate``.  Every
+step is deterministic, so a restored pipeline answers bit-identically
+to the one that was saved (the differential suite's save/load leg).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mutate.pipeline import MutablePipeline
+
+
+def save_churn_state(pipeline: MutablePipeline, path: str | Path) -> Path:
+    """Write the dataset delta of a mutable pipeline to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    np.savez(path, **pipeline.data.to_state())
+    return path
+
+
+def load_churn_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a churn snapshot back into plain arrays."""
+    with np.load(Path(path), allow_pickle=False) as npz:
+        return {key: npz[key].copy() for key in npz.files}
+
+
+def restore_pipeline(
+    state: dict[str, np.ndarray],
+    build_base,
+) -> MutablePipeline:
+    """Reconstruct a mutated pipeline from a churn snapshot.
+
+    Args:
+        state: arrays from :func:`load_churn_state`.
+        build_base: callable ``(base_points) -> MutablePipeline`` that
+            rebuilds the *base* pipeline (index geometry is re-derived
+            from the base segment, exactly as the original build did).
+
+    Returns:
+        the pipeline after replaying appends, tombstones and the
+        revalidation fence.
+    """
+    base = np.asarray(state["base"])
+    pipeline = build_base(base)
+    attrs = {
+        key[len("attr_") :]: np.asarray(values)
+        for key, values in state.items()
+        if key.startswith("attr_")
+    }
+    if attrs:
+        pipeline.data.attributes = {
+            name: column[: len(base)].copy() for name, column in attrs.items()
+        }
+    appended = np.asarray(state["appended"])
+    if len(appended):
+        tail = {name: column[len(base) :] for name, column in attrs.items()}
+        pipeline.insert(appended, attributes=tail or None)
+    dead = np.flatnonzero(~np.asarray(state["live"], dtype=bool))
+    if dead.size:
+        pipeline.delete(dead)
+    pipeline.revalidate()
+    return pipeline

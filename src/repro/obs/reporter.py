@@ -193,6 +193,34 @@ def serve_summary(registry: MetricsRegistry) -> dict:
     replicas = _replica_summary(registry)
     if replicas is not None:
         out["replicas"] = replicas
+    mutations = _mutation_summary(registry)
+    if mutations is not None:
+        out["mutations"] = mutations
+    return out
+
+
+def _mutation_summary(registry: MetricsRegistry) -> dict | None:
+    """Churn block for :func:`serve_summary`.
+
+    Collapses the mutation-layer counters a
+    :class:`~repro.mutate.pipeline.MutationCounters` mirrors into the
+    serving registry plus the server's own fence counter.  ``None`` when
+    the deployment never saw a mutation (static serving keeps its
+    summary shape unchanged).
+    """
+    names = (
+        "mutations_applied_total",
+        "cache_patched_total",
+        "rebuilds_triggered_total",
+    )
+    fenced = 0.0
+    for inst in registry:
+        if inst.name == "serve_mutations_total":
+            fenced += inst.value
+    if fenced == 0 and all(registry.get(name) is None for name in names):
+        return None
+    out = {name: int(registry.value(name)) for name in names}
+    out["fenced_batches"] = int(fenced)
     return out
 
 

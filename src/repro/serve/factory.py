@@ -70,9 +70,14 @@ def server_from_spec(
         from repro.serve.replica import ReplicaPool, ReplicaPoolConfig
 
         if spec.shard.n_shards > 0:
-            raise ValueError(
-                "replica pools over sharded engines are not supported yet; "
-                "disable one of spec.shard / spec.replica"
+            from repro.spec.errors import SpecError
+
+            raise SpecError(
+                "spec sections [shard] and [replica] are mutually "
+                "exclusive: replica pools over sharded engines are not "
+                "supported yet. Workaround: set shard.n_shards = 0 or "
+                "replica.enabled = false and rebuild.",
+                sections=("shard", "replica"),
             )
         pipelines = [
             spec.build(dataset=dataset, context=context, metrics=metrics)

@@ -44,6 +44,7 @@ class LoadReport:
     latency_p99_ms: float
     latency_mean_ms: float
     mean_batch_size: float
+    mutations: int = 0
     per_tier: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -55,6 +56,7 @@ class LoadReport:
             "rejected": self.rejected,
             "degraded": self.degraded,
             "expired": self.expired,
+            "mutations": self.mutations,
             "achieved_qps": self.achieved_qps,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p99_ms": self.latency_p99_ms,
@@ -81,6 +83,8 @@ def run_open_loop(
     tier: str | None = None,
     rate_qps: float = 0.0,
     timeout_s: float = 60.0,
+    mutator=None,
+    churn_rate: float = 0.0,
 ) -> LoadReport:
     """Offer ``queries`` at ``rate_qps`` and report the latency profile.
 
@@ -88,13 +92,27 @@ def run_open_loop(
     arrival (flush rules still decide when batches actually go out) and
     drains at the end; with a threaded executor the dispatcher flushes on
     its own and the generator just waits for every ticket.
+
+    With ``mutator`` and ``churn_rate > 0``, the generator interleaves
+    ``churn_rate`` mutations per offered query into the arrival stream:
+    ``mutator()`` must return a zero-argument mutation callable, which is
+    admitted through :meth:`~repro.serve.server.Server.submit_mutation`
+    (a fence ticket — no micro-batch straddles it).  Mutation tickets are
+    excluded from the latency profile; ``LoadReport.mutations`` counts
+    the ones that were admitted.
     """
     if rate_qps < 0:
         raise ValueError("rate_qps must be non-negative")
+    if churn_rate < 0:
+        raise ValueError("churn_rate must be non-negative")
+    if churn_rate > 0 and mutator is None:
+        raise ValueError("churn_rate requires a mutator")
     clock = server.clock
     inline = server.executor.inline
     start = clock.now()
     tickets = []
+    mutation_tickets = []
+    churn_acc = 0.0
     for i, query in enumerate(np.asarray(queries)):
         if rate_qps > 0:
             target = start + i / rate_qps
@@ -102,13 +120,22 @@ def run_open_loop(
             if target > now:
                 clock.sleep(target - now)
         tickets.append(server.submit(query, k=k, tier=tier))
+        if mutator is not None and churn_rate > 0:
+            churn_acc += churn_rate
+            while churn_acc >= 1.0:
+                churn_acc -= 1.0
+                mutation_tickets.append(
+                    server.submit_mutation(mutator(), tier=tier)
+                )
         if inline:
             server.pump()
     if inline:
         server.drain()
         responses = [t.response for t in tickets]
+        mutation_responses = [t.response for t in mutation_tickets]
     else:
         responses = [t.wait(timeout_s) for t in tickets]
+        mutation_responses = [t.wait(timeout_s) for t in mutation_tickets]
     duration_s = max(clock.now() - start, 1e-12)
 
     served = [r for r in responses if r.ok]
@@ -152,5 +179,6 @@ def run_open_loop(
         mean_batch_size=(
             float(batch_sizes.mean()) if len(served) else 0.0
         ),
+        mutations=sum(1 for r in mutation_responses if r.ok),
         per_tier=per_tier,
     )

@@ -158,6 +158,10 @@ class _Pending:
     dispatches: int = 0
     inflight: int = 0
     hedged: bool = False
+    #: visibility fence: a queued mutation (callable) instead of a query.
+    #: Dispatched *alone*, strictly between micro-batches, so no batch
+    #: ever straddles the mutation's visibility boundary.
+    mutation: object | None = None
 
 
 def _server_degraded_result(k: int, reason: str = "deadline") -> SearchResult:
@@ -260,6 +264,7 @@ class Server:
         )
         self._cond = threading.Condition()
         self._pending: deque[_Pending] = deque()
+        self._mutations_queued = 0
         self._closed = False
         if getattr(engine, "is_replica_pool", False):
             # A ReplicaPool supervises its own engines; the server keeps
@@ -350,6 +355,60 @@ class Server:
             self._cond.notify_all()
         return ticket
 
+    def submit_mutation(self, apply, tier: str | None = None) -> Ticket:
+        """Enqueue a mutation through the bounded queue (a fence ticket).
+
+        ``apply`` is a zero-argument callable that performs the mutation
+        (e.g. ``lambda: pipeline.insert(rows)``).  It is admitted under
+        the same queue-depth bound as queries and dispatched **alone**,
+        strictly between micro-batches: every query admitted before it is
+        served against the pre-mutation state, every query admitted after
+        it against the post-mutation state — no micro-batch ever
+        straddles the visibility boundary.  The returned ticket completes
+        when the mutation has been applied (``result`` stays ``None``).
+        """
+        if self._pool is not None:
+            raise RuntimeError(
+                "mutations are not supported over a replica pool"
+            )
+        if not callable(apply):
+            raise TypeError("mutation must be callable")
+        sla = self.config.tier(tier)
+        ticket = Ticket()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            depth = len(self._pending)
+            if depth >= self.config.max_queue_depth:
+                self._count("serve_rejected_total", sla.name)
+                ticket._complete(
+                    ServeResponse(
+                        tier=sla.name,
+                        overloaded=Overloaded(
+                            queue_depth=depth,
+                            max_depth=self.config.max_queue_depth,
+                            tier=sla.name,
+                        ),
+                    )
+                )
+                return ticket
+            now = self.clock.now()
+            self._pending.append(
+                _Pending(
+                    ticket,
+                    np.empty(0, dtype=np.float64),
+                    1,
+                    sla.name,
+                    None,
+                    now,
+                    mutation=apply,
+                )
+            )
+            self._mutations_queued += 1
+            self._gauge_depth(len(self._pending))
+            self._cond.notify_all()
+        return ticket
+
     def serve_one(
         self,
         query: np.ndarray,
@@ -400,20 +459,35 @@ class Server:
         """The micro-batcher's flush rule (caller holds the lock)."""
         if not self._pending:
             return False
+        if self._mutations_queued:
+            # A queued mutation flushes immediately: the fence (and the
+            # queries FIFO-ahead of it) should not wait out max_wait_s.
+            return True
         if len(self._pending) >= self.config.max_batch:
             return True
         return now - self._pending[0].enqueue_t >= self.config.max_wait_s
 
     def _take_batch(self, force: bool) -> list[_Pending]:
-        """Pop up to ``max_batch`` oldest requests if a flush is due."""
+        """Pop up to ``max_batch`` oldest requests if a flush is due.
+
+        A mutation fence is popped *alone*; a query batch stops short of
+        the next fence — batches never straddle a visibility boundary.
+        """
         if not self._pending:
             return []
         if not force and not self._flush_ready(self.clock.now()):
             return []
-        batch = [
-            self._pending.popleft()
-            for _ in range(min(len(self._pending), self.config.max_batch))
-        ]
+        if self._pending[0].mutation is not None:
+            self._mutations_queued -= 1
+            self._gauge_depth(len(self._pending) - 1)
+            return [self._pending.popleft()]
+        batch: list[_Pending] = []
+        while (
+            len(batch) < self.config.max_batch
+            and self._pending
+            and self._pending[0].mutation is None
+        ):
+            batch.append(self._pending.popleft())
         self._gauge_depth(len(self._pending))
         return batch
 
@@ -466,6 +540,9 @@ class Server:
     # ------------------------------------------------------------------
     def _execute(self, batch: list[_Pending]) -> None:
         """Serve one flushed batch: expire, group by k, search, respond."""
+        if len(batch) == 1 and batch[0].mutation is not None:
+            self._execute_mutation(batch[0])
+            return
         dispatch_t = self.clock.now()
         batch_size = len(batch)
         self._record_batch(batch_size)
@@ -487,6 +564,38 @@ class Server:
         for pending, result in answered:
             self._finish_one(pending, result, dispatch_t, done_t, batch_size)
         self._observe_served(answered)
+
+    def _execute_mutation(self, pending: _Pending) -> None:
+        """Apply one fenced mutation between micro-batches.
+
+        The ticket is completed even when the mutation raises (so no
+        waiter hangs), then the error propagates to the pump's caller —
+        the same discipline engine errors follow.
+        """
+        dispatch_t = self.clock.now()
+        try:
+            pending.mutation()
+        except Exception:
+            self._count("serve_mutation_failed_total", pending.tier)
+            pending.ticket.try_complete(
+                ServeResponse(
+                    tier=pending.tier,
+                    queue_wait_s=dispatch_t - pending.enqueue_t,
+                    latency_s=self.clock.now() - pending.enqueue_t,
+                    batch_size=1,
+                )
+            )
+            raise
+        done_t = self.clock.now()
+        self._count("serve_mutations_total", pending.tier)
+        pending.ticket.try_complete(
+            ServeResponse(
+                tier=pending.tier,
+                queue_wait_s=dispatch_t - pending.enqueue_t,
+                latency_s=done_t - pending.enqueue_t,
+                batch_size=1,
+            )
+        )
 
     def _record_batch(self, batch_size: int) -> None:
         """Batch-size accounting for one flush (any dispatcher)."""

@@ -457,6 +457,51 @@ class ShardedEngine:
         return results
 
     # ------------------------------------------------------------------
+    def mutate(
+        self,
+        insert_points: np.ndarray | None = None,
+        delete_ids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Apply a mutation batch across the shards; returns new global ids.
+
+        Inserts are routed to the **last** shard: fresh global ids are
+        allocated past the current maximum, so only the shard owning the
+        top of the id space can absorb them while keeping every shard's
+        ``member_ids`` strictly increasing.  Deletes are routed to their
+        owning shards via the ownership map.  Mutations run fail-fast
+        (a dead shard raises) — a half-applied mutation round is not a
+        degradable state.
+        """
+        new_ids = np.empty(0, dtype=np.int64)
+        points = None
+        if insert_points is not None and len(insert_points):
+            points = np.atleast_2d(np.asarray(insert_points, dtype=np.float64))
+            new_ids = np.arange(
+                self.n_points, self.n_points + len(points), dtype=np.int64
+            )
+            self.n_points += len(points)
+            self.shard_of = np.concatenate(
+                [
+                    self.shard_of,
+                    np.full(len(points), self.n_shards - 1, dtype=np.int64),
+                ]
+            )
+        if delete_ids is not None and len(delete_ids):
+            delete_ids = np.atleast_1d(np.asarray(delete_ids, dtype=np.int64))
+            if delete_ids.min() < 0 or delete_ids.max() >= self.n_points:
+                raise IndexError("point id out of range")
+        else:
+            delete_ids = np.empty(0, dtype=np.int64)
+        args = []
+        for s in range(self.n_shards):
+            ins_gids = new_ids if s == self.n_shards - 1 else None
+            ins_pts = points if s == self.n_shards - 1 else None
+            mine = delete_ids[self.shard_of[delete_ids] == s]
+            args.append((ins_gids, ins_pts, mine if mine.size else None))
+        self.executor.map("mutate_batch", args)
+        return new_ids
+
+    # ------------------------------------------------------------------
     def shard_metrics(self) -> list:
         """Per-shard ``MetricsRegistry`` snapshots (``None`` when off)."""
         return self._broadcast("collect_metrics", ())

@@ -278,7 +278,11 @@ class ShardRuntime:
         self.spec = spec
         self.member_ids = spec.member_ids
         self.points = spec.points
+        #: local tombstone bitmap — rows deleted through ``mutate_batch``
+        #: stop being candidates but keep their (local and global) ids.
+        self.live_local = np.ones(len(spec.member_ids), dtype=bool)
         index = build_index(spec)
+        self.index = index
         self.is_tree = hasattr(index, "leaf_stream") and hasattr(
             index, "leaf_contents"
         )
@@ -316,6 +320,7 @@ class ShardRuntime:
             from repro.workload.model import build_workload_model
 
             workload_model = build_workload_model(spec.workload)
+        self.engine.set_live_mask(self.live_local)
         self.workload_model = workload_model
         #: query index -> (ctx, own cache hits, own candidate count),
         #: carried from probe_batch to the matching refine_batch.
@@ -375,7 +380,13 @@ class ShardRuntime:
         for qi, query in enumerate(queries):
             ctx = self.engine.make_context()
             with ctx.phase("generate"):
-                local = self.engine.generate.run(query, k, ctx)
+                local = self.engine.generate.run(
+                    query, k, ctx, live=self.engine._combined_filter(None)
+                )
+            # probe_batch bypasses engine.search, so the tombstone mask
+            # is applied here — the same reduction-boundary point the
+            # unsharded engine masks at.
+            local = self.engine._mask_candidates(local, None)
             if local.size:
                 with ctx.phase("probe"):
                     hits, lb, ub = self.engine.cache.lookup(query, local)
@@ -448,6 +459,67 @@ class ShardRuntime:
                 (self.member_ids[result.ids], result.distances, result.stats)
             )
         return out
+
+    # ------------------------------------------------------------------
+    def mutate_batch(
+        self,
+        insert_gids: np.ndarray | None = None,
+        insert_points: np.ndarray | None = None,
+        delete_gids: np.ndarray | None = None,
+    ) -> dict:
+        """Apply routed mutations to this shard (coordinator protocol).
+
+        Inserts extend the member set (their global ids must exceed every
+        existing member, keeping ``member_ids`` strictly increasing for
+        ``to_local``'s searchsorted); deletes flip the local tombstone
+        bitmap and free their cache slots.  Either way the engine's live
+        mask is refreshed so the very next probe round masks at the
+        reduction boundary.
+        """
+        inserted = deleted = 0
+        if insert_gids is not None and len(insert_gids):
+            gids = np.asarray(insert_gids, dtype=np.int64)
+            rows = np.atleast_2d(np.asarray(insert_points, dtype=np.float64))
+            if len(gids) != len(rows):
+                raise ValueError("insert ids and points must align")
+            if gids.min() <= int(self.member_ids[-1]):
+                raise ValueError(
+                    "inserted global ids must exceed existing member ids"
+                )
+            if not hasattr(self.index, "insert_many"):
+                raise TypeError(
+                    f"index {type(self.index).__name__} has no native insert"
+                )
+            self.index.insert_many(rows)
+            self.member_ids = np.concatenate([self.member_ids, gids])
+            self.points = np.vstack([self.points, rows])
+            self.live_local = np.concatenate(
+                [self.live_local, np.ones(len(gids), dtype=bool)]
+            )
+            if self.point_file is not None:
+                self.point_file.append(rows)
+            if self.cache is not None and hasattr(self.cache, "extend_ids"):
+                self.cache.extend_ids(len(self.member_ids))
+            if self.is_tree and self.cache is not None:
+                # Tree inserts may relayout leaves; cached slices are stale.
+                self.cache.clear()
+            inserted = len(gids)
+        if delete_gids is not None and len(delete_gids):
+            gids = np.asarray(delete_gids, dtype=np.int64)
+            pos = np.searchsorted(self.member_ids, gids)
+            safe = np.minimum(pos, len(self.member_ids) - 1)
+            mine = self.member_ids[safe] == gids
+            local = pos[mine]
+            was_live = local[self.live_local[local]]
+            self.live_local[local] = False
+            if was_live.size:
+                if self.point_file is not None:
+                    self.point_file.tombstone(was_live)
+                if self.cache is not None and hasattr(self.cache, "invalidate"):
+                    self.cache.invalidate(was_live)
+            deleted = int(was_live.size)
+        self.engine.set_live_mask(self.live_local)
+        return {"inserted": inserted, "deleted": deleted}
 
     # ------------------------------------------------------------------
     def collect_metrics(self):

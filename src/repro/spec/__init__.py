@@ -12,6 +12,7 @@ The component registry (:mod:`repro.spec.registry`) maps index family
 names to builder callables and is extensible via :func:`register_index`.
 """
 
+from repro.spec.errors import SpecError
 from repro.spec.registry import (
     INDEX_REGISTRY,
     build_index,
@@ -42,6 +43,7 @@ __all__ = [
     "ResilienceSection",
     "ServeSection",
     "ShardSection",
+    "SpecError",
     "build_index",
     "register_index",
 ]

@@ -1,0 +1,25 @@
+"""Typed errors for spec validation.
+
+:class:`SpecError` subclasses ``ValueError`` so existing callers that
+catch ``ValueError`` (the CLI's serve handler, older tests) keep
+working, while new code can catch the typed class and render the
+message — which is required to name the offending spec section(s) and a
+workaround, not just reject the spec.
+"""
+
+from __future__ import annotations
+
+
+class SpecError(ValueError):
+    """A pipeline spec combines sections that cannot be built together.
+
+    Args:
+        message: human-readable diagnosis; must name the offending
+            section(s) and a workaround.
+        sections: the spec section names involved (e.g.
+            ``("shard", "replica")``).
+    """
+
+    def __init__(self, message: str, *, sections: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.sections = tuple(sections)

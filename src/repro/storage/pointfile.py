@@ -56,6 +56,67 @@ class PointFile:
         # Declare the file's page extent so the device can reject reads
         # beyond it (PageRangeError) instead of charging them silently.
         self.disk.extend_pages(self.num_pages)
+        # Mutation state: rows 0..base_count-1 are the build-time segment,
+        # rows beyond it the append segment; tombstoned rows keep their
+        # id (the id space is stable, never compacted) but reject fetches.
+        self._base_count = n
+        self._live = np.ones(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Mutation: append segment + tombstone bitmap.
+    # ------------------------------------------------------------------
+    @property
+    def base_count(self) -> int:
+        """Rows of the original (build-time) segment."""
+        return self._base_count
+
+    @property
+    def live(self) -> np.ndarray:
+        """Tombstone bitmap: ``live[id]`` is False once the row is deleted."""
+        return self._live
+
+    def append(self, points: np.ndarray) -> np.ndarray:
+        """Append rows to the file; returns the new ids.
+
+        New records land at the end of the physical order (append
+        segment), so existing placements never move; the device's page
+        extent grows to cover them.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(
+                f"appended points must have dim {self.dim}, got {points.shape[1]}"
+            )
+        n_old = self.num_points
+        n_new = len(points)
+        if n_new == 0:
+            return np.empty(0, dtype=np.int64)
+        self.points = np.vstack([self.points, points])
+        tail = np.arange(n_old, n_old + n_new, dtype=np.int64)
+        self._order = np.concatenate([self._order, tail])
+        self._position_of = np.concatenate([self._position_of, tail])
+        self._live = np.concatenate([self._live, np.ones(n_new, dtype=bool)])
+        self.disk.extend_pages(self.num_pages)
+        return tail
+
+    def tombstone(self, point_ids: np.ndarray) -> None:
+        """Mark rows deleted; their pages stay allocated, fetches fail."""
+        ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_points):
+            raise IndexError("point id out of range")
+        self._live[ids] = False
+
+    def update_rows(self, point_ids: np.ndarray, points: np.ndarray) -> None:
+        """Overwrite live records in place (same id, same page)."""
+        ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if len(ids) != len(points):
+            raise ValueError("ids and points must align")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_points):
+            raise IndexError("point id out of range")
+        if not self._live[ids].all():
+            raise IndexError("cannot update a tombstoned point")
+        self.points[ids] = points
 
     @property
     def num_pages(self) -> int:
@@ -112,6 +173,8 @@ class PointFile:
         ids = np.atleast_1d(np.asarray(point_ids, dtype=np.int64))
         if ids.size and (ids.min() < 0 or ids.max() >= self.num_points):
             raise IndexError("point id out of range")
+        if ids.size and not self._live[ids].all():
+            raise IndexError("point id tombstoned")
         span = self.pages_per_point
         for pid in ids.tolist():
             first = self.page_of(pid)
